@@ -1,0 +1,533 @@
+package szx
+
+// Benchmark harness: one testing.B target per table and figure of the SZx
+// paper's evaluation, plus ablations for the design choices called out in
+// DESIGN.md §7. Throughput benches report MB/s via b.SetBytes; the
+// characterization benches (Fig. 2/6/8/12/13) measure the cost of
+// regenerating the artifact itself. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// and regenerate the paper-style tables with cmd/szxbench.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cuszx"
+	"repro/internal/datagen"
+	"repro/internal/experiments"
+	"repro/internal/lossless"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+// benchScale keeps individual fields around a few hundred KB so the full
+// sweep completes in minutes; cmd/szxbench runs the same experiments at
+// larger scales.
+const benchScale = 16
+
+var benchCfg = experiments.Config{Scale: benchScale, Seed: 20220627, Quick: true}
+
+// benchApps caches the six synthetic applications.
+var benchApps = datagen.AllApps(benchScale, 20220627)
+
+func appByName(name string) datagen.App {
+	for _, a := range benchApps {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic("unknown app " + name)
+}
+
+func relAbs(data []float32, rel float64) float64 {
+	mn, mx := metrics.ValueRange(data)
+	return rel * (mx - mn)
+}
+
+// --- Fig. 2: block relative-value-range CDF -------------------------------
+
+func BenchmarkFig2BlockRangeCDF(b *testing.B) {
+	field := appByName("Miranda").Fields[2]
+	thresholds := []float64{0.001, 0.01, 0.05, 0.1, 0.2}
+	for _, bs := range []int{8, 16, 32, 64, 128} {
+		b.Run(fmt.Sprintf("blocksize=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				metrics.BlockRangeCDF(field.Data, bs, thresholds)
+			}
+		})
+	}
+}
+
+// --- Fig. 6: space overhead of right shifting -----------------------------
+
+func BenchmarkFig6ShiftOverhead(b *testing.B) {
+	field := appByName("Hurricane").Fields[2]
+	abs := relAbs(field.Data, 1e-4)
+	for _, bs := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("blocksize=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CharacterizeShiftOverhead32(field.Data, abs, bs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 8: block-size exploration (CR + PSNR) ---------------------------
+
+func BenchmarkFig8BlockSize(b *testing.B) {
+	field := appByName("Miranda").Fields[2]
+	abs := relAbs(field.Data, 1e-3)
+	for _, bs := range []int{8, 16, 32, 64, 128, 224} {
+		b.Run(fmt.Sprintf("blocksize=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				comp, st, err := core.CompressFloat32Stats(field.Data, abs, core.Options{BlockSize: bs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.DecompressFloat32(comp); err != nil {
+					b.Fatal(err)
+				}
+				ratio = st.Ratio()
+			}
+			b.ReportMetric(ratio, "CR")
+		})
+	}
+}
+
+// --- Fig. 12: visual quality (PSNR/SSIM) ----------------------------------
+
+func BenchmarkFig12Quality(b *testing.B) {
+	field := appByName("Hurricane").Fields[0]
+	for _, rel := range []float64{1e-3, 4e-3, 1e-2} {
+		abs := relAbs(field.Data, rel)
+		b.Run(fmt.Sprintf("rel=%g", rel), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				comp, err := core.CompressFloat32(field.Data, abs, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := core.DecompressFloat32(comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := metrics.Measure(field.Data, dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 13: error-distribution characterization -------------------------
+
+func BenchmarkFig13ErrorDist(b *testing.B) {
+	field := appByName("Nyx").Fields[0]
+	for _, e := range []float64{1e-4, 1e-6} {
+		b.Run(fmt.Sprintf("abs=%g", e), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				comp, err := core.CompressFloat32(field.Data, e, core.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec, err := core.DecompressFloat32(comp)
+				if err != nil {
+					b.Fatal(err)
+				}
+				h, err := metrics.ErrorHistogram(field.Data, dec, e, 40)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if h.Exceed != 0 {
+					b.Fatalf("%d errors exceed the bound", h.Exceed)
+				}
+			}
+		})
+	}
+}
+
+// --- Table 3: compression ratios, all four codecs -------------------------
+
+func BenchmarkTable3Ratios(b *testing.B) {
+	field := appByName("Miranda").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	dims := field.Dims
+	codecs := []struct {
+		name string
+		run  func() (int, error)
+	}{
+		{"SZx", func() (int, error) {
+			c, err := core.CompressFloat32(field.Data, abs, core.Options{})
+			return len(c), err
+		}},
+		{"ZFP", func() (int, error) {
+			c, err := zfp.Compress(field.Data, dims, abs)
+			return len(c), err
+		}},
+		{"SZ", func() (int, error) {
+			c, err := sz.Compress(field.Data, dims, abs, sz.Options{})
+			return len(c), err
+		}},
+		{"zstd-like", func() (int, error) {
+			return len(lossless.CompressLZ(lossless.Float32Bytes(field.Data))), nil
+		}},
+	}
+	for _, c := range codecs {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			var size int
+			for i := 0; i < b.N; i++ {
+				n, err := c.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = n
+			}
+			b.ReportMetric(float64(4*len(field.Data))/float64(size), "CR")
+		})
+	}
+}
+
+// --- Tables 4/5: single-core throughput ------------------------------------
+
+func benchSerial(b *testing.B, decompress bool) {
+	for _, appName := range []string{"CESM-ATM", "Miranda", "Nyx"} {
+		app := appByName(appName)
+		field := app.Fields[0]
+		abs := relAbs(field.Data, 1e-3)
+		type entry struct {
+			name       string
+			compress   func() ([]byte, error)
+			decompress func([]byte) error
+		}
+		entries := []entry{
+			{"SZx",
+				func() ([]byte, error) { return core.CompressFloat32(field.Data, abs, core.Options{}) },
+				func(c []byte) error { _, err := core.DecompressFloat32(c); return err }},
+			{"ZFP",
+				func() ([]byte, error) { return zfp.Compress(field.Data, field.Dims, abs) },
+				func(c []byte) error { _, _, err := zfp.Decompress(c); return err }},
+			{"SZ",
+				func() ([]byte, error) { return sz.Compress(field.Data, field.Dims, abs, sz.Options{}) },
+				func(c []byte) error { _, _, err := sz.Decompress(c); return err }},
+		}
+		for _, e := range entries {
+			b.Run(app.Short+"/"+e.name, func(b *testing.B) {
+				b.SetBytes(int64(4 * len(field.Data)))
+				if decompress {
+					comp, err := e.compress()
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := e.decompress(comp); err != nil {
+							b.Fatal(err)
+						}
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						if _, err := e.compress(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkTable4SerialCompress(b *testing.B)   { benchSerial(b, false) }
+func BenchmarkTable5SerialDecompress(b *testing.B) { benchSerial(b, true) }
+
+// --- Tables 6/7: multicore throughput --------------------------------------
+
+func BenchmarkTable6ParallelCompress(b *testing.B) {
+	field := appByName("Nyx").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressFloat32Parallel(field.Data, abs, core.Options{}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable7ParallelDecompress(b *testing.B) {
+	field := appByName("Nyx").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	comp, err := core.CompressFloat32(field.Data, abs, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.DecompressFloat32Parallel(comp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figs. 14/15: simulated GPU kernels ------------------------------------
+
+func BenchmarkFig14GPUCompress(b *testing.B) {
+	field := appByName("Miranda").Fields[2]
+	abs := relAbs(field.Data, 1e-3)
+	b.SetBytes(int64(4 * len(field.Data)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cuszx.Compress(field.Data, abs, core.Options{}, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig15GPUDecompress(b *testing.B) {
+	field := appByName("Miranda").Fields[2]
+	abs := relAbs(field.Data, 1e-3)
+	comp, _, err := cuszx.Compress(field.Data, abs, core.Options{}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(4 * len(field.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := cuszx.Decompress(comp, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Fig. 16: PFS dump/load -------------------------------------------------
+
+func BenchmarkFig16DumpLoad(b *testing.B) {
+	ny := appByName("Nyx")
+	perRank := ny.Fields[0].Data
+	abs := relAbs(perRank, 1e-3)
+	codecs := []pfs.Codec{
+		{Name: "SZx",
+			Compress:   func(d []float32) ([]byte, error) { return core.CompressFloat32(d, abs, core.Options{}) },
+			Decompress: core.DecompressFloat32},
+		{Name: "SZ",
+			Compress: func(d []float32) ([]byte, error) {
+				return sz.Compress(d, []int{len(d)}, abs, sz.Options{})
+			},
+			Decompress: func(c []byte) ([]float32, error) { out, _, err := sz.Decompress(c); return out, err }},
+		{Name: "ZFP",
+			Compress:   func(d []float32) ([]byte, error) { return zfp.Compress(d, []int{len(d)}, abs) },
+			Decompress: func(c []byte) ([]float32, error) { out, _, err := zfp.Decompress(c); return out, err }},
+	}
+	for _, c := range codecs {
+		b.Run(c.Name, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(perRank)))
+			var dump float64
+			for i := 0; i < b.N; i++ {
+				res, err := pfs.Simulate(pfs.ThetaFS, 256, perRank, c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dump = res.DumpSec()
+			}
+			b.ReportMetric(dump*1e3, "dump-ms")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §7) -----------------------------------------------
+
+// BenchmarkAblationShiftVsPack compares Solution C (byte-aligned right
+// shift) against Solution B (tightly packed bits): the paper's core
+// performance claim for §5.1.
+func BenchmarkAblationShiftVsPack(b *testing.B) {
+	field := appByName("Miranda").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	b.Run("shift", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(field.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompressFloat32(field.Data, abs, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("packed", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(field.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompressFloat32PackedBits(field.Data, abs, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockSize sweeps the block size's effect on speed.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	field := appByName("Nyx").Fields[2]
+	abs := relAbs(field.Data, 1e-3)
+	for _, bs := range []int{8, 32, 128, 512, 2048} {
+		b.Run(fmt.Sprintf("blocksize=%d", bs), func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressFloat32(field.Data, abs, core.Options{BlockSize: bs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGuard measures the cost of the guarded error-bound
+// verification pass versus the original SZx's unguarded behaviour.
+func BenchmarkAblationGuard(b *testing.B) {
+	field := appByName("Miranda").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	for _, unguarded := range []bool{false, true} {
+		name := "guarded"
+		if unguarded {
+			name = "unguarded"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			for i := 0; i < b.N; i++ {
+				if _, err := core.CompressFloat32(field.Data, abs, core.Options{Unguarded: unguarded}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationZsize quantifies what the zsize side channel buys: the
+// block-parallel decompression it enables versus serial decoding.
+func BenchmarkAblationZsize(b *testing.B) {
+	field := appByName("Nyx").Fields[0]
+	abs := relAbs(field.Data, 1e-3)
+	comp, err := core.CompressFloat32(field.Data, abs, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("serial", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(field.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecompressFloat32(comp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel-zsize", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(field.Data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecompressFloat32Parallel(comp, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Extension benches -------------------------------------------------------
+
+// BenchmarkSZPredictors compares SZ's Lorenzo, regression, and auto
+// predictor stages (the regression stage is the multiplication-heavy cost
+// the paper attributes to SZ 2.1).
+func BenchmarkSZPredictors(b *testing.B) {
+	field := appByName("Miranda").Fields[2]
+	abs := relAbs(field.Data, 1e-3)
+	for _, p := range []struct {
+		name string
+		pred sz.Predictor
+	}{{"lorenzo", sz.PredLorenzo}, {"regression", sz.PredRegression}, {"auto", sz.PredAuto}} {
+		b.Run(p.name, func(b *testing.B) {
+			b.SetBytes(int64(4 * len(field.Data)))
+			var size int
+			for i := 0; i < b.N; i++ {
+				c, err := sz.Compress(field.Data, field.Dims, abs, sz.Options{Predictor: p.pred})
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(c)
+			}
+			b.ReportMetric(float64(4*len(field.Data))/float64(size), "CR")
+		})
+	}
+}
+
+// BenchmarkCheckpoint runs the Ibtesham-style checkpoint viability model.
+func BenchmarkCheckpoint(b *testing.B) {
+	perRank := appByName("Miranda").Fields[0].Data
+	abs := relAbs(perRank, 1e-3)
+	fs := pfs.FileSystem{Name: "busy", AggregateGBps: 100, PerRankGBps: 1.5, LatencySec: 0.005}
+	params := pfs.CheckpointParams{Ranks: 512, MTBFSeconds: 4 * 3600}
+	c := pfs.Codec{
+		Name:       "SZx",
+		Compress:   func(d []float32) ([]byte, error) { return core.CompressFloat32(d, abs, core.Options{}) },
+		Decompress: core.DecompressFloat32,
+	}
+	b.SetBytes(int64(4 * len(perRank)))
+	for i := 0; i < b.N; i++ {
+		if _, err := pfs.EvaluateCheckpoint(fs, params, perRank, &c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStreaming measures the chunked streaming writer end to end.
+func BenchmarkStreaming(b *testing.B) {
+	data := appByName("Nyx").Fields[2].Data
+	b.SetBytes(int64(4 * len(data)))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Options{ErrorBound: 1e-3, Mode: BoundRelative}, 1<<16)
+		if err := w.Write(data); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomAccess measures block-granular range decodes against the
+// zsize index.
+func BenchmarkRandomAccess(b *testing.B) {
+	data := appByName("Miranda").Fields[0].Data
+	abs := relAbs(data, 1e-3)
+	comp, err := core.CompressFloat32(data, abs, core.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("range64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lo := (i * 4973) % (len(data) - 64)
+			if _, err := core.DecompressFloat32Range(comp, lo, lo+64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		b.SetBytes(int64(4 * len(data)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.DecompressFloat32(comp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

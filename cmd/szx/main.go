@@ -1,0 +1,158 @@
+// Command szx is the command-line interface to the SZx compressor: it
+// compresses raw little-endian float32/float64 arrays into SZx streams and
+// back, mirroring the original szx CLI's basic workflow.
+//
+// Usage:
+//
+//	szx -z -i data.f32 -o data.szx -e 1e-3 [-rel] [-b 128] [-t f32|f64] [-w N]
+//	szx -x -i data.szx -o data.out [-w N]
+//	szx -info -i data.szx
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	szx "repro"
+)
+
+func main() {
+	var (
+		compress   = flag.Bool("z", false, "compress")
+		decompress = flag.Bool("x", false, "decompress")
+		info       = flag.Bool("info", false, "print stream header and exit")
+		in         = flag.String("i", "", "input file")
+		out        = flag.String("o", "", "output file")
+		bound      = flag.Float64("e", 1e-3, "error bound")
+		rel        = flag.Bool("rel", false, "interpret -e as value-range-relative")
+		blockSize  = flag.Int("b", szx.DefaultBlockSize, "block size")
+		dtype      = flag.String("t", "f32", "element type: f32 or f64")
+		workers    = flag.Int("w", szx.WorkersSerial, "workers (-1 = all CPUs)")
+		quiet      = flag.Bool("q", false, "suppress statistics output")
+	)
+	flag.Parse()
+
+	if *in == "" {
+		fail("missing -i input file")
+	}
+	raw, err := os.ReadFile(*in)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	switch {
+	case *info:
+		h, err := szx.Info(raw)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("type=%v n=%d blockSize=%d errBound=%g blocks=%d\n",
+			h.Type, h.N, h.BlockSize, h.ErrBound, h.NumBlocks())
+	case *compress:
+		if *out == "" {
+			fail("missing -o output file")
+		}
+		mode := szx.BoundAbsolute
+		if *rel {
+			mode = szx.BoundRelative
+		}
+		opt := szx.Options{ErrorBound: *bound, Mode: mode, BlockSize: *blockSize, Workers: *workers}
+		var comp []byte
+		start := time.Now()
+		switch *dtype {
+		case "f32":
+			comp, err = szx.Compress(bytesToF32(raw), opt)
+		case "f64":
+			comp, err = szx.CompressFloat64(bytesToF64(raw), opt)
+		default:
+			fail("unknown type %q", *dtype)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*out, comp, 0o644); err != nil {
+			fail("%v", err)
+		}
+		if !*quiet {
+			fmt.Printf("compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
+				len(raw), len(comp), float64(len(raw))/float64(len(comp)), elapsed,
+				float64(len(raw))/elapsed.Seconds()/1e6)
+		}
+	case *decompress:
+		if *out == "" {
+			fail("missing -o output file")
+		}
+		h, err := szx.Info(raw)
+		if err != nil {
+			fail("%v", err)
+		}
+		start := time.Now()
+		var payload []byte
+		if h.Type == szx.TypeFloat64 {
+			vals, derr := szx.DecompressFloat64Parallel(raw, *workers)
+			if derr != nil {
+				fail("%v", derr)
+			}
+			payload = f64ToBytes(vals)
+		} else {
+			vals, derr := szx.DecompressParallel(raw, *workers)
+			if derr != nil {
+				fail("%v", derr)
+			}
+			payload = f32ToBytes(vals)
+		}
+		elapsed := time.Since(start)
+		if err := os.WriteFile(*out, payload, 0o644); err != nil {
+			fail("%v", err)
+		}
+		if !*quiet {
+			fmt.Printf("decompressed %d -> %d bytes in %v (%.1f MB/s)\n",
+				len(raw), len(payload), elapsed,
+				float64(len(payload))/elapsed.Seconds()/1e6)
+		}
+	default:
+		fail("one of -z, -x, -info is required")
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "szx: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func bytesToF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+func f64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}

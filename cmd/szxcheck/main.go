@@ -1,0 +1,107 @@
+// Command szxcheck is a Z-checker-style assessment tool (the paper's §3
+// methodology): given an original raw float32 file and either a compressed
+// SZx stream or a reconstructed raw file, it prints the full distortion
+// battery — max/mean error, PSNR, SNR, NRMSE, Pearson correlation, error
+// bias and lag-1 autocorrelation — and verifies the error bound.
+//
+// Usage:
+//
+//	szxcheck -orig data.f32 -szx data.szx
+//	szxcheck -orig data.f32 -rec data.out.f32 -bound 1e-3
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	szx "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		origPath = flag.String("orig", "", "original raw little-endian float32 file")
+		szxPath  = flag.String("szx", "", "compressed SZx stream to decompress and assess")
+		recPath  = flag.String("rec", "", "reconstructed raw float32 file to assess")
+		bound    = flag.Float64("bound", 0, "absolute error bound to verify (taken from the stream when -szx is used)")
+	)
+	flag.Parse()
+
+	if *origPath == "" || (*szxPath == "") == (*recPath == "") {
+		fmt.Fprintln(os.Stderr, "szxcheck: need -orig plus exactly one of -szx / -rec")
+		os.Exit(2)
+	}
+	orig, err := readF32(*origPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	var rec []float32
+	checkBound := *bound
+	if *szxPath != "" {
+		comp, err := os.ReadFile(*szxPath)
+		if err != nil {
+			fatal(err)
+		}
+		h, err := szx.Info(comp)
+		if err != nil {
+			fatal(err)
+		}
+		if checkBound == 0 {
+			checkBound = h.ErrBound
+		}
+		rec, err = szx.Decompress(comp)
+		if err != nil {
+			fatal(err)
+		}
+		cr := float64(4*len(orig)) / float64(len(comp))
+		fmt.Printf("stream: %v, %d values, block size %d, bound %g, CR %.2f\n\n",
+			h.Type, h.N, h.BlockSize, h.ErrBound, cr)
+	} else {
+		rec, err = readF32(*recPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if len(rec) != len(orig) {
+		fatal(fmt.Errorf("length mismatch: %d original vs %d reconstructed", len(orig), len(rec)))
+	}
+
+	as, err := metrics.Assess(orig, rec)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(as.String())
+
+	if checkBound > 0 {
+		if as.Distortion.MaxErr <= checkBound {
+			fmt.Printf("\nerror bound %g respected ✓\n", checkBound)
+		} else {
+			fmt.Printf("\nerror bound %g VIOLATED (max %g) ✗\n", checkBound, as.Distortion.MaxErr)
+			os.Exit(1)
+		}
+	}
+}
+
+func readF32(path string) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("%s: length %d not a multiple of 4", path, len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "szxcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command szxgen materializes the synthetic application datasets used by
+// the benchmark harness as raw little-endian float32 files, one per field,
+// so they can be fed to the szx CLI or external tools.
+//
+// Usage:
+//
+//	szxgen -app miranda -scale 8 -seed 1 -out ./data
+//	szxgen -app all -scale 16 -out ./data
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/datagen"
+)
+
+func main() {
+	var (
+		app   = flag.String("app", "all", "application: cesm|hurricane|miranda|nyx|qmcpack|scale|all")
+		scale = flag.Int("scale", 8, "grid divisor (1 = paper-size grids)")
+		seed  = flag.Int64("seed", 20220627, "generator seed")
+		out   = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+
+	gens := map[string]func(int, int64) datagen.App{
+		"cesm":      datagen.CESM,
+		"hurricane": datagen.Hurricane,
+		"miranda":   datagen.Miranda,
+		"nyx":       datagen.Nyx,
+		"qmcpack":   datagen.QMCPack,
+		"scale":     datagen.ScaleLetKF,
+	}
+	var apps []datagen.App
+	if *app == "all" {
+		apps = datagen.AllApps(*scale, *seed)
+	} else if g, ok := gens[strings.ToLower(*app)]; ok {
+		apps = []datagen.App{g(*scale, *seed)}
+	} else {
+		fmt.Fprintf(os.Stderr, "szxgen: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "szxgen: %v\n", err)
+		os.Exit(1)
+	}
+	for _, a := range apps {
+		for _, f := range a.Fields {
+			dims := make([]string, len(f.Dims))
+			for i, d := range f.Dims {
+				dims[i] = fmt.Sprint(d)
+			}
+			name := fmt.Sprintf("%s_%s_%s.f32", sanitize(a.Name), sanitize(f.Name),
+				strings.Join(dims, "x"))
+			path := filepath.Join(*out, name)
+			buf := make([]byte, 4*len(f.Data))
+			for i, v := range f.Data {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+			}
+			if err := os.WriteFile(path, buf, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "szxgen: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d values)\n", path, len(f.Data))
+		}
+	}
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,116 @@
+// Command szxviz regenerates the paper's visual artifacts: Fig. 1's
+// field-smoothness gallery and Fig. 12's original-vs-reconstructed
+// comparisons with per-pixel error maps, written as PGM/PPM images.
+//
+// Usage:
+//
+//	szxviz -out ./viz                 # all four Fig. 1 panels + Fig. 12 series
+//	szxviz -out ./viz -rel 4e-3       # one extra Fig. 12 panel at this bound
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	szx "repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/render"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", ".", "output directory")
+		scale = flag.Int("scale", 8, "dataset grid divisor")
+		seed  = flag.Int64("seed", 20220627, "dataset seed")
+		rel   = flag.Float64("rel", 0, "extra Fig. 12 panel at this REL bound")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	// Fig. 1: smoothness gallery, one slice per application.
+	panels := []struct {
+		name  string
+		field datagen.Field
+	}{
+		{"fig1a_miranda_pressure", datagen.Miranda(*scale, *seed).Fields[2]},
+		{"fig1b_nyx_temperature", datagen.Nyx(*scale, *seed).Fields[2]},
+		{"fig1c_qmcpack", datagen.QMCPack(*scale, *seed).Fields[0]},
+		{"fig1d_hurricane_u", datagen.Hurricane(*scale, *seed).Fields[2]},
+	}
+	for _, p := range panels {
+		slice, h, w := datagen.Slice2D(p.field)
+		img, err := render.PPM(render.Normalize(slice, 0.01), h, w)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, p.name+".ppm", img)
+	}
+
+	// Fig. 12: Hurricane cloud field at three bounds, original vs
+	// reconstructed plus an error map.
+	rels := []float64{1e-3, 4e-3, 1e-2}
+	if *rel > 0 {
+		rels = append(rels, *rel)
+	}
+	field := datagen.Hurricane(*scale, *seed).Fields[0]
+	slice, h, w := datagen.Slice2D(field)
+	off := len(field.Data) / 2 / (h * w) * (h * w)
+	for _, r := range rels {
+		mn, mx := metrics.ValueRange(field.Data)
+		abs := r * (mx - mn)
+		comp, err := szx.Compress(field.Data, szx.Options{ErrorBound: abs})
+		if err != nil {
+			fatal(err)
+		}
+		dec, err := szx.Decompress(comp)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := metrics.Measure(field.Data, dec)
+		if err != nil {
+			fatal(err)
+		}
+		ssim, err := metrics.SSIM(slice, dec[off:off+h*w], h, w)
+		if err != nil {
+			fatal(err)
+		}
+		cr := float64(4*len(field.Data)) / float64(len(comp))
+		fmt.Printf("rel=%g: CR=%.1f PSNR=%.1f SSIM=%.3f\n", r, cr, d.PSNR, ssim)
+
+		both, bh, bw, err := render.SideBySide(
+			render.Normalize(slice, 0.01),
+			render.Normalize(dec[off:off+h*w], 0.01), h, w)
+		if err != nil {
+			fatal(err)
+		}
+		img, err := render.PGM(both, bh, bw)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, fmt.Sprintf("fig12_rel%g_pair.pgm", r), img)
+
+		em, err := render.ErrorMap(slice, dec[off:off+h*w], h, w, abs)
+		if err != nil {
+			fatal(err)
+		}
+		write(*out, fmt.Sprintf("fig12_rel%g_errmap.ppm", r), em)
+	}
+}
+
+func write(dir, name string, data []byte) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(data))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "szxviz: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+package szx_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	szx "repro"
+)
+
+// The basic workflow: compress under an absolute bound, decompress, and
+// rely on the per-value guarantee.
+func Example() {
+	data := make([]float32, 100000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 100))
+	}
+	comp, err := szx.Compress(data, szx.Options{ErrorBound: 1e-3})
+	if err != nil {
+		panic(err)
+	}
+	dec, err := szx.Decompress(comp)
+	if err != nil {
+		panic(err)
+	}
+	maxErr := 0.0
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(dec[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Println("bound respected:", maxErr <= 1e-3)
+	// Output: bound respected: true
+}
+
+// Value-range-relative bounds resolve against the data's global range,
+// like the REL bounds throughout the paper's evaluation.
+func ExampleCompress_relative() {
+	data := []float32{0, 250, 500, 750, 1000}
+	comp, err := szx.Compress(data, szx.Options{ErrorBound: 1e-3, Mode: szx.BoundRelative})
+	if err != nil {
+		panic(err)
+	}
+	h, _ := szx.Info(comp)
+	fmt.Printf("resolved absolute bound: %g\n", h.ErrBound)
+	// Output: resolved absolute bound: 1
+}
+
+// DecompressRange decodes only the blocks overlapping the request.
+func ExampleDecompressRange() {
+	data := make([]float32, 10000)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	comp, _ := szx.Compress(data, szx.Options{ErrorBound: 0.5})
+	part, err := szx.DecompressRange(comp, 5000, 5003)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(len(part), "values near", int(part[0]))
+	// Output: 3 values near 5000
+}
+
+// The streaming writer compresses unbounded sequences chunk by chunk.
+func ExampleWriter() {
+	var buf bytes.Buffer
+	w := szx.NewWriter(&buf, szx.Options{ErrorBound: 1e-3}, 4096)
+	for chunk := 0; chunk < 4; chunk++ {
+		vals := make([]float32, 2500)
+		if err := w.Write(vals); err != nil {
+			panic(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	out, err := szx.NewReader(&buf).ReadAll()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("streamed values:", len(out))
+	// Output: streamed values: 10000
+}

@@ -1,0 +1,107 @@
+// Climate: compress a Hurricane-ISABEL-style 3-D atmospheric field with
+// SZx, SZ, and ZFP at the same value-range error bound and compare ratio,
+// speed, and reconstruction quality (PSNR/SSIM) — the workload class the
+// paper's Fig. 12 and Table 3 study.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	szx "repro"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/sz"
+	"repro/internal/zfp"
+)
+
+func main() {
+	hu := datagen.Hurricane(8, 42)
+	field := hu.Fields[2] // U wind component
+	fmt.Printf("field %s, dims %v (%d values, %.1f MB)\n\n",
+		field.Name, field.Dims, len(field.Data), float64(4*len(field.Data))/1e6)
+
+	rel := 1e-3
+	mn, mx := metrics.ValueRange(field.Data)
+	abs := rel * (mx - mn)
+	fmt.Printf("value-range REL bound %g -> absolute bound %.3g\n\n", rel, abs)
+
+	type result struct {
+		name      string
+		comp      []byte
+		dec       []float32
+		compSec   float64
+		decompSec float64
+	}
+	var results []result
+
+	// SZx (this library's public API).
+	start := time.Now()
+	comp, err := szx.Compress(field.Data, szx.Options{ErrorBound: abs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct := time.Since(start).Seconds()
+	start = time.Now()
+	dec, err := szx.Decompress(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"SZx", comp, dec, ct, time.Since(start).Seconds()})
+
+	// SZ baseline.
+	start = time.Now()
+	comp, err = sz.Compress(field.Data, field.Dims, abs, sz.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct = time.Since(start).Seconds()
+	start = time.Now()
+	dec, _, err = sz.Decompress(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"SZ", comp, dec, ct, time.Since(start).Seconds()})
+
+	// ZFP baseline.
+	start = time.Now()
+	comp, err = zfp.Compress(field.Data, field.Dims, abs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ct = time.Since(start).Seconds()
+	start = time.Now()
+	dec, _, err = zfp.Decompress(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results = append(results, result{"ZFP", comp, dec, ct, time.Since(start).Seconds()})
+
+	origMB := float64(4*len(field.Data)) / 1e6
+	fmt.Printf("%-5s %8s %10s %12s %10s %8s %7s\n",
+		"codec", "CR", "comp MB/s", "decomp MB/s", "max err", "PSNR", "SSIM")
+	for _, r := range results {
+		d, err := metrics.Measure(field.Data, r.dec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		slice, h, w := datagen.Slice2D(field)
+		off := len(field.Data) / 2 / (h * w) * (h * w) // middle slice, aligned
+		_ = slice
+		ssim, err := metrics.SSIM(field.Data[off:off+h*w], r.dec[off:off+h*w], h, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %8.1f %10.0f %12.0f %10.2e %8.1f %7.3f\n",
+			r.name,
+			float64(4*len(field.Data))/float64(len(r.comp)),
+			origMB/r.compSec, origMB/r.decompSec,
+			d.MaxErr, d.PSNR, ssim)
+		if d.MaxErr > abs {
+			log.Fatalf("%s violated the error bound!", r.name)
+		}
+	}
+	fmt.Println("\nall codecs respected the error bound ✓")
+	fmt.Println("expected shape (paper): SZ highest CR, SZx fastest, ZFP in between")
+}

@@ -1,0 +1,46 @@
+// Quickstart: compress and decompress a float32 array with SZx and verify
+// the error bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	szx "repro"
+)
+
+func main() {
+	// A smooth synthetic signal, like a 1-D slice of a simulation field.
+	data := make([]float32, 1_000_000)
+	for i := range data {
+		x := float64(i) / 5000
+		data[i] = float32(math.Sin(x) + 0.3*math.Cos(7*x))
+	}
+
+	// Compress under an absolute error bound of 1e-3.
+	comp, stats, err := szx.CompressStats(data, szx.Options{ErrorBound: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compressed %d values: %d -> %d bytes (ratio %.1f)\n",
+		len(data), stats.OriginalSize, stats.CompressedSize, stats.Ratio())
+	fmt.Printf("constant blocks: %d/%d\n", stats.ConstantBlocks, stats.Blocks)
+
+	// Decompress and check the guarantee: |original - reconstructed| <= 1e-3.
+	dec, err := szx.Decompress(comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	maxErr := 0.0
+	for i := range data {
+		if d := math.Abs(float64(data[i]) - float64(dec[i])); d > maxErr {
+			maxErr = d
+		}
+	}
+	fmt.Printf("max reconstruction error: %.2e (bound 1e-3)\n", maxErr)
+	if maxErr > 1e-3 {
+		log.Fatal("error bound violated!")
+	}
+	fmt.Println("error bound respected ✓")
+}

@@ -1,0 +1,45 @@
+package szx
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzOpenArchive(f *testing.F) {
+	aw := NewArchiveWriter(Options{ErrorBound: 1e-3})
+	_ = aw.AddField("x", []int{64}, testField(64, 1))
+	f.Add(aw.Bytes())
+	f.Add([]byte("SZXA\x01\x00\x00\x00\x01"))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		a, err := OpenArchive(blob)
+		if err == nil {
+			for _, inf := range a.Fields() {
+				_, _, _ = a.Read(inf.Name)
+			}
+		}
+	})
+}
+
+func FuzzStreamReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 64)
+	_ = w.Write(testField(200, 2))
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte("SZXS\x01\x00\x00\x00\x00"))
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		r := NewReader(bytes.NewReader(blob))
+		_, _ = r.ReadAll()
+	})
+}
+
+func FuzzDecompressPublic(f *testing.F) {
+	comp, _ := Compress(testField(300, 3), Options{ErrorBound: 1e-3})
+	f.Add(comp)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		_, _ = Decompress(blob)
+		_, _ = DecompressFloat64(blob)
+		_, _ = Info(blob)
+	})
+}

@@ -1,0 +1,106 @@
+package szx
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cuszx"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// TestPipelineIntegration exercises the whole stack the way a user would:
+// synthesize an application snapshot, archive it, read fields back (full
+// and ranged), and verify quality with the assessment battery.
+func TestPipelineIntegration(t *testing.T) {
+	app := datagen.Hurricane(16, 99)
+	aw := NewArchiveWriter(Options{ErrorBound: 1e-3, Mode: BoundRelative})
+	for _, f := range app.Fields {
+		if err := aw.AddField(f.Name, f.Dims, f.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := OpenArchive(aw.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range app.Fields {
+		dec, dims, err := a.Read(f.Name)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if len(dims) != len(f.Dims) {
+			t.Fatalf("%s: dims %v", f.Name, dims)
+		}
+		as, err := metrics.Assess(f.Data, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Resolved bound is in the archive metadata.
+		var bound float64
+		for _, inf := range a.Fields() {
+			if inf.Name == f.Name {
+				bound = inf.ErrBound
+			}
+		}
+		if as.Distortion.MaxErr > bound {
+			t.Errorf("%s: max err %g > bound %g", f.Name, as.Distortion.MaxErr, bound)
+		}
+		if as.PearsonR < 0.99 {
+			t.Errorf("%s: pearson %v", f.Name, as.PearsonR)
+		}
+		// Ranged read agrees with the full decode.
+		part, err := a.ReadRange(f.Name, 10, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range part {
+			if part[i] != dec[10+i] {
+				t.Fatalf("%s: ranged read diverges at %d", f.Name, i)
+			}
+		}
+	}
+}
+
+// TestCrossSubstrate proves the simulated-GPU and CPU paths interoperate in
+// every direction: GPU-compressed streams decode via the public API
+// (serial, parallel, and ranged), and CPU streams decode on the GPU.
+func TestCrossSubstrate(t *testing.T) {
+	field := datagen.Miranda(16, 5).Fields[2]
+	abs := 1e-3 * 2 // roughly REL 1e-3
+	gpuComp, _, err := cuszx.Compress(field.Data, abs, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuDec, err := Decompress(gpuComp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parDec, err := DecompressParallel(gpuComp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuDec, _, err := cuszx.Decompress(gpuComp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := DecompressRange(gpuComp, 100, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cpuDec {
+		if math.Float32bits(cpuDec[i]) != math.Float32bits(parDec[i]) ||
+			math.Float32bits(cpuDec[i]) != math.Float32bits(gpuDec[i]) {
+			t.Fatalf("decoders disagree at %d", i)
+		}
+		if math.Abs(float64(field.Data[i])-float64(cpuDec[i])) > abs {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+	for i := range rng {
+		if rng[i] != cpuDec[100+i] {
+			t.Fatalf("range decode diverges at %d", i)
+		}
+	}
+}

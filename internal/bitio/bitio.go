@@ -1,0 +1,262 @@
+// Package bitio implements the bit-granular stream primitives shared by the
+// compressors in this repository: an MSB-first bit writer/reader used by the
+// Huffman and ZFP codecs, and a packed 2-bit array used by SZx's
+// identical-leading-byte codes.
+package bitio
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrUnexpectedEOF is returned when a reader runs out of input mid-symbol.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into a byte slice.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	acc  uint64 // bits pending, left-aligned at bit position n-1..0
+	n    uint   // number of pending bits in acc (< 8 after flushWords)
+	nbit int    // total bits written
+}
+
+// NewWriter returns a Writer with capacity preallocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.acc = w.acc<<1 | uint64(b&1)
+	w.n++
+	w.nbit++
+	if w.n == 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.n = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 57] so that the accumulator cannot overflow.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n > 57 {
+		w.WriteBits(v>>32, n-32)
+		w.WriteBits(v&0xFFFFFFFF, 32)
+		return
+	}
+	w.acc = w.acc<<n | (v & (1<<n - 1))
+	w.n += n
+	w.nbit += int(n)
+	for w.n >= 8 {
+		w.n -= 8
+		w.buf = append(w.buf, byte(w.acc>>w.n))
+	}
+}
+
+// Len reports the total number of bits written so far.
+func (w *Writer) Len() int { return w.nbit }
+
+// Bytes flushes any partial byte (zero-padded on the right) and returns the
+// underlying buffer. The Writer remains usable; further writes continue from
+// the unpadded bit position only if Len() was a byte multiple.
+func (w *Writer) Bytes() []byte {
+	if w.n > 0 {
+		pad := 8 - w.n
+		out := append(w.buf[:len(w.buf):len(w.buf)], byte(w.acc<<pad))
+		return out
+	}
+	return w.buf
+}
+
+// Reset truncates the writer to empty while retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.acc = 0
+	w.n = 0
+	w.nbit = 0
+}
+
+// WriteBitsLSB appends the low n bits of v in least-significant-first order
+// (the ZFP stream convention): the first bit written is bit 0 of v.
+func (w *Writer) WriteBitsLSB(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	w.WriteBits(bits.Reverse64(v)>>(64-n), n)
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int // next byte index
+	acc uint64
+	n   uint // bits available in acc
+}
+
+// NewReader returns a Reader over data. The Reader does not copy data.
+func NewReader(data []byte) *Reader {
+	return &Reader{buf: data}
+}
+
+// fill loads up to 7 more bytes into the accumulator.
+func (r *Reader) fill() {
+	for r.n <= 56 && r.pos < len(r.buf) {
+		r.acc = r.acc<<8 | uint64(r.buf[r.pos])
+		r.pos++
+		r.n += 8
+	}
+}
+
+// ReadBit reads one bit. It returns ErrUnexpectedEOF past the end of input.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.n == 0 {
+		r.fill()
+		if r.n == 0 {
+			return 0, ErrUnexpectedEOF
+		}
+	}
+	r.n--
+	return uint(r.acc>>r.n) & 1, nil
+}
+
+// ReadBits reads n bits (n ≤ 64), most significant first.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, ErrUnexpectedEOF
+	}
+	if n > 57 {
+		hi, err := r.ReadBits(n - 32)
+		if err != nil {
+			return 0, err
+		}
+		lo, err := r.ReadBits(32)
+		if err != nil {
+			return 0, err
+		}
+		return hi<<32 | lo, nil
+	}
+	if r.n < n {
+		r.fill()
+		if r.n < n {
+			return 0, ErrUnexpectedEOF
+		}
+	}
+	r.n -= n
+	return (r.acc >> r.n) & (1<<n - 1), nil
+}
+
+// ReadBitsLSB reads n bits written with WriteBitsLSB: the first bit read
+// becomes bit 0 of the result.
+func (r *Reader) ReadBitsLSB(n uint) (uint64, error) {
+	if n == 0 {
+		return 0, nil
+	}
+	v, err := r.ReadBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return bits.Reverse64(v << (64 - n)), nil
+}
+
+// PeekBits returns the next n bits (n ≤ 32) without consuming them,
+// zero-padded past the end of the stream, along with how many real bits
+// back the result (< n only at EOF).
+func (r *Reader) PeekBits(n uint) (uint64, uint) {
+	if r.n < n {
+		r.fill()
+	}
+	avail := r.n
+	if avail >= n {
+		return (r.acc >> (r.n - n)) & (1<<n - 1), n
+	}
+	// EOF tail: left-align what remains and pad with zeros.
+	v := r.acc & (1<<avail - 1)
+	return v << (n - avail), avail
+}
+
+// SkipBits consumes n bits previously examined with PeekBits.
+func (r *Reader) SkipBits(n uint) error {
+	if r.n < n {
+		r.fill()
+		if r.n < n {
+			return ErrUnexpectedEOF
+		}
+	}
+	r.n -= n
+	return nil
+}
+
+// Remaining reports how many bits are still available.
+func (r *Reader) Remaining() int {
+	return int(r.n) + 8*(len(r.buf)-r.pos)
+}
+
+// TwoBitArray is a packed array of 2-bit codes, used for SZx's
+// identical-leading-byte counts (codes 0..3). Codes are stored four per
+// byte, first code in the two most significant bits, matching the paper's
+// xor_leadingzero_array layout.
+type TwoBitArray struct {
+	b []byte
+	n int
+}
+
+// NewTwoBitArray allocates a packed array holding n codes.
+func NewTwoBitArray(n int) *TwoBitArray {
+	return &TwoBitArray{b: make([]byte, (n+3)/4), n: n}
+}
+
+// TwoBitArrayFromBytes wraps an existing packed buffer holding n codes.
+// It returns an error if the buffer is too short.
+func TwoBitArrayFromBytes(b []byte, n int) (*TwoBitArray, error) {
+	if len(b) < (n+3)/4 {
+		return nil, ErrUnexpectedEOF
+	}
+	return &TwoBitArray{b: b[:(n+3)/4], n: n}, nil
+}
+
+// Set stores code c (0..3) at index i.
+func (a *TwoBitArray) Set(i int, c byte) {
+	shift := uint(6 - 2*(i&3))
+	idx := i >> 2
+	a.b[idx] = a.b[idx]&^(3<<shift) | (c&3)<<shift
+}
+
+// Get returns the code at index i.
+func (a *TwoBitArray) Get(i int) byte {
+	shift := uint(6 - 2*(i&3))
+	return (a.b[i>>2] >> shift) & 3
+}
+
+// Len returns the number of codes.
+func (a *TwoBitArray) Len() int { return a.n }
+
+// Bytes returns the packed backing buffer, (n+3)/4 bytes long.
+func (a *TwoBitArray) Bytes() []byte { return a.b }
+
+// PackedLen returns the number of bytes needed to store n 2-bit codes.
+func PackedLen(n int) int { return (n + 3) / 4 }
+
+// LeadingZeroBytes32 counts how many of the most significant bytes of x are
+// zero, capped at 3 (SZx's 2-bit code ceiling for float32 words).
+func LeadingZeroBytes32(x uint32) int {
+	lz := bits.LeadingZeros32(x) >> 3
+	if lz > 3 {
+		return 3
+	}
+	return lz
+}
+
+// LeadingZeroBytes64 counts how many of the most significant bytes of x are
+// zero, capped at 3 so the count still fits SZx's 2-bit code.
+func LeadingZeroBytes64(x uint64) int {
+	lz := bits.LeadingZeros64(x) >> 3
+	if lz > 3 {
+		return 3
+	}
+	return lz
+}

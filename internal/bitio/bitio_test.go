@@ -1,0 +1,231 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBits(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFF, 8)
+	w.WriteBits(0, 5)
+	w.WriteBit(1)
+	w.WriteBits(0xABCD, 16)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if v, _ := r.ReadBits(3); v != 0b101 {
+		t.Errorf("got %b want 101", v)
+	}
+	if v, _ := r.ReadBits(8); v != 0xFF {
+		t.Errorf("got %x want ff", v)
+	}
+	if v, _ := r.ReadBits(5); v != 0 {
+		t.Errorf("got %x want 0", v)
+	}
+	if v, _ := r.ReadBit(); v != 1 {
+		t.Errorf("got %d want 1", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Errorf("got %x want abcd", v)
+	}
+}
+
+func TestWriterLen(t *testing.T) {
+	w := NewWriter(4)
+	if w.Len() != 0 {
+		t.Fatalf("empty writer Len = %d", w.Len())
+	}
+	w.WriteBits(1, 1)
+	w.WriteBits(0xFFFF, 13)
+	if w.Len() != 14 {
+		t.Fatalf("Len = %d want 14", w.Len())
+	}
+	if got := len(w.Bytes()); got != 2 {
+		t.Fatalf("Bytes len = %d want 2", got)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader([]byte{0xAA})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrUnexpectedEOF {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestWide64(t *testing.T) {
+	w := NewWriter(16)
+	const v = uint64(0xDEADBEEFCAFEBABE)
+	w.WriteBits(v, 64)
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(64)
+	if err != nil || got != v {
+		t.Fatalf("got %x err %v want %x", got, err, v)
+	}
+}
+
+// Property: any sequence of (value, width) writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, count uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count%64) + 1
+		vals := make([]uint64, n)
+		widths := make([]uint, n)
+		w := NewWriter(64)
+		for i := 0; i < n; i++ {
+			widths[i] = uint(rng.Intn(64) + 1)
+			vals[i] = rng.Uint64() & (1<<widths[i] - 1)
+			if widths[i] == 64 {
+				vals[i] = rng.Uint64()
+			}
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			got, err := r.ReadBits(widths[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(4)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.Len() != 0 || len(w.Bytes()) != 0 {
+		t.Fatal("reset writer not empty")
+	}
+	w.WriteBits(0x12, 8)
+	if !bytes.Equal(w.Bytes(), []byte{0x12}) {
+		t.Fatalf("got % x", w.Bytes())
+	}
+}
+
+func TestTwoBitArray(t *testing.T) {
+	a := NewTwoBitArray(10)
+	want := []byte{0, 1, 2, 3, 3, 2, 1, 0, 2, 1}
+	for i, c := range want {
+		a.Set(i, c)
+	}
+	for i, c := range want {
+		if got := a.Get(i); got != c {
+			t.Errorf("Get(%d) = %d want %d", i, got, c)
+		}
+	}
+	if len(a.Bytes()) != 3 {
+		t.Errorf("packed len = %d want 3", len(a.Bytes()))
+	}
+	// Round-trip through raw bytes.
+	b, err := TwoBitArrayFromBytes(a.Bytes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range want {
+		if got := b.Get(i); got != c {
+			t.Errorf("reloaded Get(%d) = %d want %d", i, got, c)
+		}
+	}
+}
+
+func TestTwoBitArrayOverwrite(t *testing.T) {
+	a := NewTwoBitArray(4)
+	a.Set(1, 3)
+	a.Set(1, 1)
+	if a.Get(1) != 1 {
+		t.Fatalf("overwrite failed: %d", a.Get(1))
+	}
+	if a.Get(0) != 0 || a.Get(2) != 0 || a.Get(3) != 0 {
+		t.Fatal("overwrite disturbed neighbours")
+	}
+}
+
+func TestTwoBitArrayFromBytesShort(t *testing.T) {
+	if _, err := TwoBitArrayFromBytes([]byte{0}, 10); err == nil {
+		t.Fatal("want error for short buffer")
+	}
+}
+
+func TestPackedLen(t *testing.T) {
+	cases := []struct{ n, want int }{{0, 0}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {128, 32}}
+	for _, c := range cases {
+		if got := PackedLen(c.n); got != c.want {
+			t.Errorf("PackedLen(%d) = %d want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLeadingZeroBytes(t *testing.T) {
+	cases32 := []struct {
+		x    uint32
+		want int
+	}{
+		{0xFFFFFFFF, 0}, {0x00FFFFFF, 1}, {0x0000FFFF, 2},
+		{0x000000FF, 3}, {0x00000000, 3}, {0x00000001, 3}, {0x01000000, 0},
+	}
+	for _, c := range cases32 {
+		if got := LeadingZeroBytes32(c.x); got != c.want {
+			t.Errorf("LeadingZeroBytes32(%#x) = %d want %d", c.x, got, c.want)
+		}
+	}
+	cases64 := []struct {
+		x    uint64
+		want int
+	}{
+		{^uint64(0), 0}, {0x00FF000000000000, 1}, {0x0000FF0000000000, 2},
+		{0x000000FF00000000, 3}, {0x1, 3}, {0, 3},
+	}
+	for _, c := range cases64 {
+		if got := LeadingZeroBytes64(c.x); got != c.want {
+			t.Errorf("LeadingZeroBytes64(%#x) = %d want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestPeekSkip(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0b1011_0010_1110, 12)
+	r := NewReader(w.Bytes())
+	v, got := r.PeekBits(4)
+	if v != 0b1011 || got != 4 {
+		t.Fatalf("peek %04b (%d bits)", v, got)
+	}
+	// Peek does not consume.
+	v, _ = r.PeekBits(4)
+	if v != 0b1011 {
+		t.Fatalf("second peek %04b", v)
+	}
+	if err := r.SkipBits(4); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = r.PeekBits(8)
+	if v != 0b0010_1110 {
+		t.Fatalf("after skip: %08b", v)
+	}
+	// Peeking past EOF zero-pads and reports the real count.
+	if err := r.SkipBits(8); err != nil {
+		t.Fatal(err)
+	}
+	// 4 padding bits remain in the final byte (writer pads to byte).
+	v, got = r.PeekBits(8)
+	if got != 4 || v != 0 {
+		t.Fatalf("tail peek %08b (%d bits)", v, got)
+	}
+	if err := r.SkipBits(8); err != ErrUnexpectedEOF {
+		t.Fatalf("skip past EOF: %v", err)
+	}
+}

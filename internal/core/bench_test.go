@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func benchData(n int) []float32 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]float32, n)
+	v := 5.0
+	for i := range out {
+		v += 0.1 * (rng.Float64() - 0.5)
+		out[i] = float32(v + 2*math.Sin(float64(i)/40))
+	}
+	return out
+}
+
+func BenchmarkCoreCompressF32(b *testing.B) {
+	data := benchData(1 << 21)
+	b.SetBytes(int64(4 * len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressFloat32(data, 1e-3, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressF32(b *testing.B) {
+	data := benchData(1 << 21)
+	comp, _ := CompressFloat32(data, 1e-3, Options{})
+	b.SetBytes(int64(4 * len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecompressFloat32(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreCompressF64(b *testing.B) {
+	d32 := benchData(1 << 20)
+	data := make([]float64, len(d32))
+	for i, v := range d32 {
+		data[i] = float64(v)
+	}
+	b.SetBytes(int64(8 * len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := CompressFloat64(data, 1e-6, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressF64(b *testing.B) {
+	d32 := benchData(1 << 20)
+	data := make([]float64, len(d32))
+	for i, v := range d32 {
+		data[i] = float64(v)
+	}
+	comp, _ := CompressFloat64(data, 1e-6, Options{})
+	b.SetBytes(int64(8 * len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := DecompressFloat64(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// DecompressFloat32 reconstructs the values from a stream produced by
+// CompressFloat32.
+func DecompressFloat32(comp []byte) ([]float32, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat32 {
+		return nil, ErrWrongType
+	}
+	out := make([]float32, si.Hdr.N)
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	bs := si.Hdr.BlockSize
+	for k := 0; k < si.Hdr.NumBlocks(); k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(out) {
+			hi = len(out)
+		}
+		if err := decodeBlock32(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// decodeBlock32 reconstructs one block from its payload.
+func decodeBlock32(p []byte, nonConstant bool, out []float32) error {
+	if !nonConstant {
+		if len(p) < 4 {
+			return ErrCorrupt
+		}
+		mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
+		for i := range out {
+			out[i] = mu
+		}
+		return nil
+	}
+	n := len(out)
+	leadLen := bitio.PackedLen(n)
+	if len(p) < 5+leadLen {
+		return ErrCorrupt
+	}
+	mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
+	reqLen := int(p[4])
+	if reqLen < ieee.SignExpBits32 || reqLen > ieee.FullBits32 {
+		return ErrCorrupt
+	}
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	lead := p[5 : 5+leadLen]
+	mid := p[5+leadLen:]
+	lossless := reqLen == ieee.FullBits32
+	lowSh := uint(8 * (4 - reqBytes)) // bit offset of the last stored byte
+
+	// Per value: splice the first l bytes of the previous word with the
+	// next (reqBytes-l) mid-bytes. The mid-bytes are loaded as one
+	// big-endian word on the fast path (shift counts ≥ width are defined
+	// as 0 in Go, so nm == 0 degenerates correctly).
+	var prev uint32
+	mi := 0
+	for i := 0; i < n; i++ {
+		l := int(lead[i>>2]>>uint(6-2*(i&3))) & 3
+		nm := reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		var chunk uint32
+		if mi+4 <= len(mid) {
+			chunk = binary.BigEndian.Uint32(mid[mi:]) >> uint(8*(4-nm))
+		} else {
+			if mi+nm > len(mid) {
+				return ErrCorrupt
+			}
+			for j := 0; j < nm; j++ {
+				chunk = chunk<<8 | uint32(mid[mi+j])
+			}
+		}
+		mi += nm
+		w := prev&leadMask32[l] | chunk<<lowSh
+		prev = w
+		if lossless {
+			// Bit-exact path: μ is forced to zero for lossless blocks, and
+			// skipping the addition preserves NaN payloads and signed zeros.
+			out[i] = math.Float32frombits(w)
+		} else {
+			out[i] = math.Float32frombits(w<<s) + mu
+		}
+	}
+	return nil
+}
+
+// leadMask32[l] keeps the top l bytes of a 32-bit word.
+var leadMask32 = [5]uint32{
+	0x00000000,
+	0xFF000000,
+	0xFFFF0000,
+	0xFFFFFF00,
+	0xFFFFFFFF,
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// DecompressFloat64 reconstructs the values from a stream produced by
+// CompressFloat64.
+func DecompressFloat64(comp []byte) ([]float64, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat64 {
+		return nil, ErrWrongType
+	}
+	out := make([]float64, si.Hdr.N)
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	bs := si.Hdr.BlockSize
+	for k := 0; k < si.Hdr.NumBlocks(); k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(out) {
+			hi = len(out)
+		}
+		if err := decodeBlock64(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func decodeBlock64(p []byte, nonConstant bool, out []float64) error {
+	if !nonConstant {
+		if len(p) < 8 {
+			return ErrCorrupt
+		}
+		mu := math.Float64frombits(binary.LittleEndian.Uint64(p))
+		for i := range out {
+			out[i] = mu
+		}
+		return nil
+	}
+	n := len(out)
+	leadLen := bitio.PackedLen(n)
+	if len(p) < 9+leadLen {
+		return ErrCorrupt
+	}
+	mu := math.Float64frombits(binary.LittleEndian.Uint64(p))
+	reqLen := int(p[8])
+	if reqLen < ieee.SignExpBits64 || reqLen > ieee.FullBits64 {
+		return ErrCorrupt
+	}
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	lead := p[9 : 9+leadLen]
+	mid := p[9+leadLen:]
+	lossless := reqLen == ieee.FullBits64
+
+	lowSh := uint(8 * (8 - reqBytes)) // bit offset of the last stored byte
+	var prev uint64
+	mi := 0
+	for i := 0; i < n; i++ {
+		l := int(lead[i>>2]>>uint(6-2*(i&3))) & 3
+		nm := reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		// Load the mid-bytes as one big-endian word on the fast path
+		// (shift counts >= 64 are defined as 0 in Go, covering nm == 0).
+		var chunk uint64
+		if mi+8 <= len(mid) {
+			chunk = binary.BigEndian.Uint64(mid[mi:]) >> uint(8*(8-nm))
+		} else {
+			if mi+nm > len(mid) {
+				return ErrCorrupt
+			}
+			for j := 0; j < nm; j++ {
+				chunk = chunk<<8 | uint64(mid[mi+j])
+			}
+		}
+		mi += nm
+		w := prev&^(^uint64(0)>>uint(8*l)) | chunk<<lowSh
+		prev = w
+		if lossless {
+			out[i] = math.Float64frombits(w)
+		} else {
+			out[i] = math.Float64frombits(w<<s) + mu
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// CompressFloat32 compresses data with the SZx algorithm under the absolute
+// error bound errBound. The returned stream decompresses with
+// DecompressFloat32 such that every value differs from the original by at
+// most errBound.
+func CompressFloat32(data []float32, errBound float64, opts Options) ([]byte, error) {
+	out, _, err := CompressFloat32Stats(data, errBound, opts)
+	return out, err
+}
+
+// CompressFloat32Stats is CompressFloat32 but also reports per-run statistics.
+func CompressFloat32Stats(data []float32, errBound float64, opts Options) ([]byte, Stats, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, Stats{}, ErrErrBound
+	}
+	h := Header{Type: TypeFloat32, BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+
+	out := make([]byte, 0, headerSize+(nb+7)/8+2*nb+len(data)+len(data)/2)
+	out = AppendHeader(out, h)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+	zsizeOff := len(out)
+	out = append(out, make([]byte, 2*nb)...)
+
+	enc := blockEncoder32{errBound: errBound, guarded: !opts.Unguarded}
+	st := Stats{Blocks: nb, OriginalSize: 4 * len(data)}
+	for k := 0; k < nb; k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		start := len(out)
+		var constant bool
+		out, constant = enc.encodeBlock(out, data[lo:hi])
+		if !constant {
+			out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+		} else {
+			st.ConstantBlocks++
+		}
+		binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], uint16(len(out)-start))
+	}
+	st.LosslessBlocks = enc.lossless
+	st.GuardRetries = enc.retries
+	st.CompressedSize = len(out)
+	return out, st, nil
+}
+
+type blockEncoder32 struct {
+	errBound float64
+	guarded  bool
+	lossless int
+	retries  int
+	// leadBuf stages per-value leading-byte codes before packing; kept in
+	// the encoder so it is not re-zeroed per block.
+	leadBuf [MaxBlockSize]byte
+}
+
+// blockStats32 returns the block representative μ = (min+max)/2 and the
+// variation radius r = max(max-μ, μ-min), computed exactly in float64
+// (differences of float32 values are exact in float64). noNaN reports that
+// the block holds no NaN: NaN compares false against min/max and would
+// otherwise slip into a "constant" block unnoticed, so the constant path
+// may only be taken when noNaN holds (NaN blocks fall through to the
+// nonconstant path, whose guard escalates them to lossless).
+func blockStats32(blk []float32) (mu float32, radius float64, noNaN bool) {
+	mn, mx := blk[0], blk[0]
+	sum := float32(0)
+	for _, v := range blk[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	mu = float32((float64(mn) + float64(mx)) / 2)
+	a := float64(mx) - float64(mu)
+	b := float64(mu) - float64(mn)
+	if b > a {
+		a = b
+	}
+	return mu, a, sum == sum
+}
+
+// encodeBlock appends one block's payload to dst and reports whether the
+// block was constant. Nonconstant payload layout:
+//
+//	μ (4B LE) | reqLength (1B) | leading 2-bit array | mid-bytes
+func (enc *blockEncoder32) encodeBlock(dst []byte, blk []float32) ([]byte, bool) {
+	mu, radius, noNaN := blockStats32(blk)
+	if radius <= enc.errBound && noNaN { // radius NaN also fails the test
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], math.Float32bits(mu))
+		return append(dst, b[:]...), true
+	}
+
+	radExpo := ieee.Exponent64(radius)
+	errExpo := ieee.Exponent64(enc.errBound)
+	reqLen, lossless := ieee.ReqLength32(radExpo, errExpo)
+	start := len(dst)
+	for {
+		if lossless {
+			mu = 0
+			enc.lossless++
+		}
+		var ok bool
+		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless)
+		if ok {
+			return dst, false
+		}
+		// Guard tripped: widen the kept prefix and retry.
+		enc.retries++
+		dst = dst[:start]
+		reqLen += 8
+		if reqLen >= ieee.FullBits32 {
+			reqLen = ieee.FullBits32
+			lossless = true
+		}
+	}
+}
+
+func (enc *blockEncoder32) encodeNonConstant(dst []byte, blk []float32, mu float32, reqLen int, lossless bool) ([]byte, bool) {
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8 // 2..4 for float32
+	n := len(blk)
+	leadLen := bitio.PackedLen(n)
+
+	// Grow once to the worst-case payload and write by index; the slice is
+	// truncated to the actual size at the end (this keeps the per-value
+	// loop free of append bookkeeping).
+	start := len(dst)
+	maxPayload := 5 + leadLen + reqBytes*n
+	dst = slices.Grow(dst, maxPayload)[:start+maxPayload]
+	binary.LittleEndian.PutUint32(dst[start:], math.Float32bits(mu))
+	dst[start+4] = byte(reqLen)
+	leadOff := start + 5
+	idx := leadOff + leadLen
+
+	// Mask of bits that survive truncation (top reqLen bits of the word);
+	// used only by the guard check.
+	keepMask := uint32(0xFFFFFFFF)
+	if reqLen < 32 {
+		keepMask <<= uint(32 - reqLen)
+	}
+	lowSh := uint(8 * (4 - reqBytes)) // bit offset of the last stored byte
+	guarded := enc.guarded && !lossless
+	e := enc.errBound
+	// Fast-accept threshold for the guard: a float32 diff below this is
+	// safely within the bound even after its own rounding; marginal cases
+	// fall through to the exact float64 comparison.
+	eSafe := float32(e * (1 - 1e-6))
+	if float64(eSafe) >= e {
+		// Tiny (subnormal-range) bounds can round eSafe up past e; force
+		// every value through the exact check instead.
+		eSafe = -1
+	}
+
+	leadBuf := &enc.leadBuf
+	var prev uint32
+	for i, d := range blk {
+		v := d - mu
+		bits := math.Float32bits(v)
+		w := bits >> s
+
+		if guarded {
+			rec := math.Float32frombits(bits&keepMask) + mu
+			diff := rec - d
+			if diff < 0 {
+				diff = -diff
+			}
+			// Fast-accept requires diff <= eSafe; NaN diffs fail the
+			// comparison and take the exact path (which rejects them).
+			if !(diff <= eSafe) {
+				if !(math.Abs(float64(d)-float64(rec)) <= e) {
+					return dst[:start], false
+				}
+			}
+		}
+
+		lead := bitio.LeadingZeroBytes32(w ^ prev)
+		if lead > reqBytes {
+			lead = reqBytes
+		}
+		leadBuf[i] = byte(lead)
+
+		// Commit the remaining necessary bytes (big-endian prefix order:
+		// byte j of the word sits at bit offset 8*(3-j); the last stored
+		// byte sits at lowSh).
+		switch reqBytes - lead {
+		case 4:
+			dst[idx] = byte(w >> 24)
+			dst[idx+1] = byte(w >> 16)
+			dst[idx+2] = byte(w >> 8)
+			dst[idx+3] = byte(w)
+			idx += 4
+		case 3:
+			dst[idx] = byte(w >> (lowSh + 16))
+			dst[idx+1] = byte(w >> (lowSh + 8))
+			dst[idx+2] = byte(w >> lowSh)
+			idx += 3
+		case 2:
+			dst[idx] = byte(w >> (lowSh + 8))
+			dst[idx+1] = byte(w >> lowSh)
+			idx += 2
+		case 1:
+			dst[idx] = byte(w >> lowSh)
+			idx++
+		}
+		prev = w
+	}
+	// Pack the 2-bit leading codes, four per byte.
+	for i := 0; i < n; i += 4 {
+		b := leadBuf[i] << 6
+		if i+1 < n {
+			b |= leadBuf[i+1] << 4
+		}
+		if i+2 < n {
+			b |= leadBuf[i+2] << 2
+		}
+		if i+3 < n {
+			b |= leadBuf[i+3]
+		}
+		dst[leadOff+(i>>2)] = b
+	}
+	return dst[:idx], true
+}

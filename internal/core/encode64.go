@@ -1,0 +1,198 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// CompressFloat64 compresses data with the SZx algorithm under the absolute
+// error bound errBound.
+func CompressFloat64(data []float64, errBound float64, opts Options) ([]byte, error) {
+	out, _, err := CompressFloat64Stats(data, errBound, opts)
+	return out, err
+}
+
+// CompressFloat64Stats is CompressFloat64 but also reports per-run statistics.
+func CompressFloat64Stats(data []float64, errBound float64, opts Options) ([]byte, Stats, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, Stats{}, ErrErrBound
+	}
+	h := Header{Type: TypeFloat64, BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+
+	out := make([]byte, 0, headerSize+(nb+7)/8+2*nb+4*len(data))
+	out = AppendHeader(out, h)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+	zsizeOff := len(out)
+	out = append(out, make([]byte, 2*nb)...)
+
+	enc := blockEncoder64{errBound: errBound, guarded: !opts.Unguarded}
+	st := Stats{Blocks: nb, OriginalSize: 8 * len(data)}
+	for k := 0; k < nb; k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		start := len(out)
+		var constant bool
+		out, constant = enc.encodeBlock(out, data[lo:hi])
+		if !constant {
+			out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+		} else {
+			st.ConstantBlocks++
+		}
+		binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], uint16(len(out)-start))
+	}
+	st.LosslessBlocks = enc.lossless
+	st.GuardRetries = enc.retries
+	st.CompressedSize = len(out)
+	return out, st, nil
+}
+
+type blockEncoder64 struct {
+	errBound float64
+	guarded  bool
+	lossless int
+	retries  int
+	// leadBuf stages per-value leading-byte codes before packing.
+	leadBuf [MaxBlockSize]byte
+}
+
+// blockStats64 returns μ = (min+max)/2 and the variation radius. The radius
+// is computed against the rounded μ so the constant-block test |d-μ| ≤ e is
+// exact; mid-point overflow is avoided by halving before adding.
+func blockStats64(blk []float64) (mu float64, radius float64, noNaN bool) {
+	mn, mx := blk[0], blk[0]
+	sum := 0.0
+	for _, v := range blk[1:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		sum += v
+	}
+	mu = mn/2 + mx/2
+	a := mx - mu
+	if b := mu - mn; b > a {
+		a = b
+	}
+	return mu, a, sum == sum
+}
+
+// encodeBlock appends one block's payload to dst. Nonconstant layout:
+//
+//	μ (8B LE) | reqLength (1B) | leading 2-bit array | mid-bytes
+func (enc *blockEncoder64) encodeBlock(dst []byte, blk []float64) ([]byte, bool) {
+	mu, radius, noNaN := blockStats64(blk)
+	if radius <= enc.errBound && noNaN {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(mu))
+		return append(dst, b[:]...), true
+	}
+
+	radExpo := ieee.Exponent64(radius)
+	errExpo := ieee.Exponent64(enc.errBound)
+	reqLen, lossless := ieee.ReqLength64(radExpo, errExpo)
+	start := len(dst)
+	for {
+		if lossless {
+			mu = 0
+			enc.lossless++
+		}
+		var ok bool
+		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless)
+		if ok {
+			return dst, false
+		}
+		enc.retries++
+		dst = dst[:start]
+		reqLen += 8
+		if reqLen >= ieee.FullBits64 {
+			reqLen = ieee.FullBits64
+			lossless = true
+		}
+	}
+}
+
+func (enc *blockEncoder64) encodeNonConstant(dst []byte, blk []float64, mu float64, reqLen int, lossless bool) ([]byte, bool) {
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8 // 2..8 for float64
+	n := len(blk)
+	leadLen := bitio.PackedLen(n)
+
+	// Grow once to the worst-case payload and write by index (see the
+	// float32 encoder for the rationale).
+	start := len(dst)
+	maxPayload := 9 + leadLen + reqBytes*n
+	dst = slices.Grow(dst, maxPayload)[:start+maxPayload]
+	binary.LittleEndian.PutUint64(dst[start:], math.Float64bits(mu))
+	dst[start+8] = byte(reqLen)
+	leadOff := start + 9
+	idx := leadOff + leadLen
+
+	keepMask := ^uint64(0)
+	if reqLen < 64 {
+		keepMask <<= uint(64 - reqLen)
+	}
+	lowSh := uint(8 * (8 - reqBytes)) // bit offset of the last stored byte
+	guarded := enc.guarded && !lossless
+	e := enc.errBound
+
+	leadBuf := &enc.leadBuf
+	var prev uint64
+	for i, d := range blk {
+		v := d - mu
+		bits := math.Float64bits(v)
+		w := bits >> s
+
+		if guarded {
+			rec := math.Float64frombits(bits&keepMask) + mu
+			if diff := math.Abs(d - rec); !(diff <= e) {
+				return dst[:start], false
+			}
+		}
+
+		lead := bitio.LeadingZeroBytes64(w ^ prev)
+		if lead > reqBytes {
+			lead = reqBytes
+		}
+		leadBuf[i] = byte(lead)
+
+		// Commit bytes [lead, reqBytes) of the stored prefix; the last
+		// stored byte sits at bit offset lowSh.
+		sh := lowSh + uint(8*(reqBytes-lead))
+		for j := lead; j < reqBytes; j++ {
+			sh -= 8
+			dst[idx] = byte(w >> sh)
+			idx++
+		}
+		prev = w
+	}
+	// Pack the 2-bit leading codes, four per byte.
+	for i := 0; i < n; i += 4 {
+		b := leadBuf[i] << 6
+		if i+1 < n {
+			b |= leadBuf[i+1] << 4
+		}
+		if i+2 < n {
+			b |= leadBuf[i+2] << 2
+		}
+		if i+3 < n {
+			b |= leadBuf[i+3]
+		}
+		dst[leadOff+(i>>2)] = b
+	}
+	return dst[:idx], true
+}

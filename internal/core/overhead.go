@@ -1,0 +1,275 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// ShiftOverheadReport quantifies the space cost of the byte-aligning
+// right-shift (Solution C, §5.2 of the paper) against the tightly packed
+// alternative (Solution B). Overhead follows the paper's Formula 6:
+// (bits stored by Solution C - bits stored by Solution B) / compressed size.
+type ShiftOverheadReport struct {
+	BitsSolutionC  int64 // Σ (Rk + s − 8·L'i) over nonconstant values
+	BitsSolutionB  int64 // Σ (Rk − 8·Li) over nonconstant values
+	CompressedSize int   // actual Solution C stream size in bytes
+}
+
+// Overhead returns the paper's Formula 6 ratio.
+func (r ShiftOverheadReport) Overhead() float64 {
+	if r.CompressedSize == 0 {
+		return 0
+	}
+	return float64(r.BitsSolutionC-r.BitsSolutionB) / 8 / float64(r.CompressedSize)
+}
+
+// CharacterizeShiftOverhead32 compresses data with SZx and simultaneously
+// counts the necessary mid-bits under Solution C (right-shifted, byte
+// aligned) and Solution B (tightly packed), reproducing the measurement
+// behind Fig. 6.
+func CharacterizeShiftOverhead32(data []float32, errBound float64, blockSize int) (ShiftOverheadReport, error) {
+	comp, _, err := CompressFloat32Stats(data, errBound, Options{BlockSize: blockSize})
+	if err != nil {
+		return ShiftOverheadReport{}, err
+	}
+	rep := ShiftOverheadReport{CompressedSize: len(comp)}
+
+	bs := blockSize
+	if bs == 0 {
+		bs = DefaultBlockSize
+	}
+	errExpo := ieee.Exponent64(errBound)
+	for lo := 0; lo < len(data); lo += bs {
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		blk := data[lo:hi]
+		mu, radius, noNaN := blockStats32(blk)
+		if radius <= errBound && noNaN {
+			continue
+		}
+		radExpo := ieee.Exponent64(radius)
+		reqLen, lossless := ieee.ReqLength32(radExpo, errExpo)
+		if lossless {
+			mu = 0
+		}
+		s := ieee.ShiftBits(reqLen)
+		reqBytes := (reqLen + s) / 8
+		maxLeadB := reqLen / 8
+		if maxLeadB > 3 {
+			maxLeadB = 3
+		}
+		var prevC, prevB uint32
+		for _, d := range blk {
+			w := math.Float32bits(d - mu)
+			wc := w >> uint(s)
+			leadC := bitio.LeadingZeroBytes32(wc ^ prevC)
+			if leadC > reqBytes {
+				leadC = reqBytes
+			}
+			rep.BitsSolutionC += int64(reqLen + s - 8*leadC)
+			prevC = wc
+
+			leadB := bitio.LeadingZeroBytes32(w ^ prevB)
+			if leadB > maxLeadB {
+				leadB = maxLeadB
+			}
+			rep.BitsSolutionB += int64(reqLen - 8*leadB)
+			prevB = w
+		}
+	}
+	return rep, nil
+}
+
+// --- Solution B reference codec (ablation) -------------------------------
+//
+// CompressFloat32PackedBits implements the paper's "Solution B": the
+// necessary significant bits are packed tightly with bit-granular writes
+// instead of being right-shifted to a byte boundary. It exists to measure
+// the speed cost that Solution C avoids; its stream is private to this
+// package pair of functions.
+
+const packedMagic = "SZXB"
+
+// CompressFloat32PackedBits compresses like SZx but commits mid-bits with a
+// bit-packing writer (Solution B in Fig. 5). Guarded like the main codec.
+func CompressFloat32PackedBits(data []float32, errBound float64, opts Options) ([]byte, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, ErrErrBound
+	}
+	nb := (len(data) + bs - 1) / bs
+
+	out := make([]byte, 0, 24+len(data)*2)
+	out = append(out, packedMagic...)
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(bs))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(len(data)))
+	binary.LittleEndian.PutUint64(hdr[12:], math.Float64bits(errBound))
+	out = append(out, hdr[:]...)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+
+	errExpo := ieee.Exponent64(errBound)
+	bw := bitio.NewWriter(bs * 4)
+	for k := 0; k < nb; k++ {
+		lo, hi := k*bs, (k+1)*bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		blk := data[lo:hi]
+		mu, radius, noNaN := blockStats32(blk)
+		if radius <= errBound && noNaN {
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(mu))
+			out = append(out, b[:]...)
+			continue
+		}
+		out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+		reqLen, lossless := ieee.ReqLength32(ieee.Exponent64(radius), errExpo)
+	retry:
+		if lossless {
+			mu = 0
+		}
+		keepMask := uint32(0xFFFFFFFF)
+		if reqLen < 32 {
+			keepMask <<= uint(32 - reqLen)
+		}
+		maxLeadB := reqLen / 8
+		if maxLeadB > 3 {
+			maxLeadB = 3
+		}
+		bw.Reset()
+		leads := bitio.NewTwoBitArray(len(blk))
+		var prev uint32
+		ok := true
+		for i, d := range blk {
+			v := d - mu
+			w := math.Float32bits(v)
+			if !lossless {
+				rec := math.Float32frombits(w&keepMask) + mu
+				if diff := math.Abs(float64(d) - float64(rec)); !(diff <= errBound) {
+					ok = false
+					break
+				}
+			}
+			lead := bitio.LeadingZeroBytes32(w ^ prev)
+			if lead > maxLeadB {
+				lead = maxLeadB
+			}
+			leads.Set(i, byte(lead))
+			nbits := uint(reqLen - 8*lead)
+			chunk := (w >> uint(32-reqLen)) & uint32(1<<nbits-1)
+			bw.WriteBits(uint64(chunk), nbits)
+			prev = w & keepMask
+		}
+		if !ok {
+			reqLen += 8
+			if reqLen >= 32 {
+				reqLen = 32
+				lossless = true
+			}
+			goto retry
+		}
+		var b [5]byte
+		binary.LittleEndian.PutUint32(b[:4], math.Float32bits(mu))
+		b[4] = byte(reqLen)
+		out = append(out, b[:]...)
+		out = append(out, leads.Bytes()...)
+		stream := bw.Bytes()
+		var sz [2]byte
+		binary.LittleEndian.PutUint16(sz[:], uint16(len(stream)))
+		out = append(out, sz[:]...)
+		out = append(out, stream...)
+	}
+	return out, nil
+}
+
+// DecompressFloat32PackedBits reverses CompressFloat32PackedBits.
+func DecompressFloat32PackedBits(comp []byte) ([]float32, error) {
+	if len(comp) < 24 || string(comp[:4]) != packedMagic {
+		return nil, ErrBadMagic
+	}
+	bs := int(binary.LittleEndian.Uint32(comp[4:]))
+	n := int(binary.LittleEndian.Uint64(comp[8:]))
+	if bs < 1 || bs > MaxBlockSize || n < 0 {
+		return nil, ErrCorrupt
+	}
+	nb := (n + bs - 1) / bs
+	pos := 24
+	if len(comp) < pos+(nb+7)/8 {
+		return nil, ErrCorrupt
+	}
+	bitmap := comp[pos : pos+(nb+7)/8]
+	pos += (nb + 7) / 8
+
+	out := make([]float32, n)
+	for k := 0; k < nb; k++ {
+		lo, hi := k*bs, (k+1)*bs
+		if hi > n {
+			hi = n
+		}
+		cnt := hi - lo
+		if bitmap[k>>3]&(1<<uint(k&7)) == 0 {
+			if pos+4 > len(comp) {
+				return nil, ErrCorrupt
+			}
+			mu := math.Float32frombits(binary.LittleEndian.Uint32(comp[pos:]))
+			pos += 4
+			for i := lo; i < hi; i++ {
+				out[i] = mu
+			}
+			continue
+		}
+		leadLen := bitio.PackedLen(cnt)
+		if pos+5+leadLen+2 > len(comp) {
+			return nil, ErrCorrupt
+		}
+		mu := math.Float32frombits(binary.LittleEndian.Uint32(comp[pos:]))
+		reqLen := int(comp[pos+4])
+		if reqLen < ieee.SignExpBits32 || reqLen > ieee.FullBits32 {
+			return nil, ErrCorrupt
+		}
+		leads, err := bitio.TwoBitArrayFromBytes(comp[pos+5:pos+5+leadLen], cnt)
+		if err != nil {
+			return nil, err
+		}
+		streamLen := int(binary.LittleEndian.Uint16(comp[pos+5+leadLen:]))
+		pos += 5 + leadLen + 2
+		if pos+streamLen > len(comp) {
+			return nil, ErrCorrupt
+		}
+		br := bitio.NewReader(comp[pos : pos+streamLen])
+		pos += streamLen
+		lossless := reqLen == 32
+		var prev uint32
+		for i := 0; i < cnt; i++ {
+			lead := int(leads.Get(i))
+			if 8*lead > reqLen {
+				return nil, ErrCorrupt
+			}
+			nbits := uint(reqLen - 8*lead)
+			chunk, err := br.ReadBits(nbits)
+			if err != nil {
+				return nil, err
+			}
+			top := prev >> uint(32-reqLen)
+			top = top&^uint32(1<<nbits-1) | uint32(chunk)
+			w := top << uint(32-reqLen)
+			prev = w
+			if lossless {
+				out[lo+i] = math.Float32frombits(w)
+			} else {
+				out[lo+i] = math.Float32frombits(w) + mu
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request: 0 means GOMAXPROCS.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// shard splits n items into at most workers contiguous ranges of
+// near-equal size. It returns the range boundaries (len = shards+1).
+func shard(n, workers int) []int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	bounds := make([]int, workers+1)
+	for i := 0; i <= workers; i++ {
+		bounds[i] = i * n / workers
+	}
+	return bounds
+}
+
+// CompressFloat32Parallel is CompressFloat32 with block-parallel encoding
+// across a goroutine pool, the analogue of the paper's OpenMP compressor
+// (§6.1): blocks are independent, so each worker compresses a contiguous
+// run of blocks into a private buffer and the results are concatenated.
+func CompressFloat32Parallel(data []float32, errBound float64, opts Options, workers int) ([]byte, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, ErrErrBound
+	}
+	h := Header{Type: TypeFloat32, BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+	w := Workers(workers)
+	if w == 1 || nb < 2 {
+		return CompressFloat32(data, errBound, opts)
+	}
+
+	bounds := shard(nb, w)
+	nshards := len(bounds) - 1
+	type shardOut struct {
+		payload []byte
+		sizes   []uint16
+		bitmap  []bool
+	}
+	outs := make([]shardOut, nshards)
+	var wg sync.WaitGroup
+	for si := 0; si < nshards; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			lo, hi := bounds[si], bounds[si+1]
+			enc := blockEncoder32{errBound: errBound, guarded: !opts.Unguarded}
+			o := shardOut{
+				payload: make([]byte, 0, (hi-lo)*bs*2),
+				sizes:   make([]uint16, hi-lo),
+				bitmap:  make([]bool, hi-lo),
+			}
+			for k := lo; k < hi; k++ {
+				blo, bhi := k*bs, (k+1)*bs
+				if bhi > len(data) {
+					bhi = len(data)
+				}
+				start := len(o.payload)
+				var constant bool
+				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi])
+				o.sizes[k-lo] = uint16(len(o.payload) - start)
+				o.bitmap[k-lo] = !constant
+			}
+			outs[si] = o
+		}(si)
+	}
+	wg.Wait()
+
+	total := headerSize + (nb+7)/8 + 2*nb
+	for _, o := range outs {
+		total += len(o.payload)
+	}
+	out := make([]byte, 0, total)
+	out = AppendHeader(out, h)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+	zsizeOff := len(out)
+	out = append(out, make([]byte, 2*nb)...)
+	for si, o := range outs {
+		lo := bounds[si]
+		for i, sz := range o.sizes {
+			k := lo + i
+			binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], sz)
+			if o.bitmap[i] {
+				out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+			}
+		}
+		out = append(out, o.payload...)
+	}
+	return out, nil
+}
+
+// DecompressFloat32Parallel decompresses block-parallel: a prefix sum over
+// the embedded zsize array gives every worker the byte offset of its blocks
+// (the paper's prefix-sum step in Fig. 10).
+func DecompressFloat32Parallel(comp []byte, workers int) ([]float32, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat32 {
+		return nil, ErrWrongType
+	}
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, si.Hdr.N)
+	nb := si.Hdr.NumBlocks()
+	w := Workers(workers)
+	if w == 1 || nb < 2 {
+		return DecompressFloat32(comp)
+	}
+	bounds := shard(nb, w)
+	bs := si.Hdr.BlockSize
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for s := 0; s < len(bounds)-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := bounds[s]; k < bounds[s+1]; k++ {
+				lo, hi := k*bs, (k+1)*bs
+				if hi > len(out) {
+					hi = len(out)
+				}
+				if err := decodeBlock32(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}
+
+// CompressFloat64Parallel is the float64 analogue of CompressFloat32Parallel.
+func CompressFloat64Parallel(data []float64, errBound float64, opts Options, workers int) ([]byte, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, ErrErrBound
+	}
+	h := Header{Type: TypeFloat64, BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+	w := Workers(workers)
+	if w == 1 || nb < 2 {
+		return CompressFloat64(data, errBound, opts)
+	}
+
+	bounds := shard(nb, w)
+	nshards := len(bounds) - 1
+	type shardOut struct {
+		payload []byte
+		sizes   []uint16
+		bitmap  []bool
+	}
+	outs := make([]shardOut, nshards)
+	var wg sync.WaitGroup
+	for si := 0; si < nshards; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			lo, hi := bounds[si], bounds[si+1]
+			enc := blockEncoder64{errBound: errBound, guarded: !opts.Unguarded}
+			o := shardOut{
+				payload: make([]byte, 0, (hi-lo)*bs*4),
+				sizes:   make([]uint16, hi-lo),
+				bitmap:  make([]bool, hi-lo),
+			}
+			for k := lo; k < hi; k++ {
+				blo, bhi := k*bs, (k+1)*bs
+				if bhi > len(data) {
+					bhi = len(data)
+				}
+				start := len(o.payload)
+				var constant bool
+				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi])
+				o.sizes[k-lo] = uint16(len(o.payload) - start)
+				o.bitmap[k-lo] = !constant
+			}
+			outs[si] = o
+		}(si)
+	}
+	wg.Wait()
+
+	total := headerSize + (nb+7)/8 + 2*nb
+	for _, o := range outs {
+		total += len(o.payload)
+	}
+	out := make([]byte, 0, total)
+	out = AppendHeader(out, h)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+	zsizeOff := len(out)
+	out = append(out, make([]byte, 2*nb)...)
+	for si, o := range outs {
+		lo := bounds[si]
+		for i, sz := range o.sizes {
+			k := lo + i
+			binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], sz)
+			if o.bitmap[i] {
+				out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+			}
+		}
+		out = append(out, o.payload...)
+	}
+	return out, nil
+}
+
+// DecompressFloat64Parallel is the float64 analogue of
+// DecompressFloat32Parallel.
+func DecompressFloat64Parallel(comp []byte, workers int) ([]float64, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat64 {
+		return nil, ErrWrongType
+	}
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, si.Hdr.N)
+	nb := si.Hdr.NumBlocks()
+	w := Workers(workers)
+	if w == 1 || nb < 2 {
+		return DecompressFloat64(comp)
+	}
+	bounds := shard(nb, w)
+	bs := si.Hdr.BlockSize
+	errs := make([]error, len(bounds)-1)
+	var wg sync.WaitGroup
+	for s := 0; s < len(bounds)-1; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for k := bounds[s]; k < bounds[s+1]; k++ {
+				lo, hi := k*bs, (k+1)*bs
+				if hi > len(out) {
+					hi = len(out)
+				}
+				if err := decodeBlock64(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
+					errs[s] = err
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+// Random-access decompression: the zsize side channel that enables the
+// paper's block-parallel decompression (§6.1) also permits decoding any
+// value range without touching the rest of the stream — the access pattern
+// of the in-memory-compression use case from the paper's introduction
+// (full-state quantum-circuit simulation), where a simulation repeatedly
+// decompresses only the amplitude slabs it needs.
+
+// DecompressFloat32Range reconstructs values [lo, hi) from a float32
+// stream, decoding only the blocks that overlap the range. The cost is
+// O(numBlocks) for the offset prefix sum plus the overlapped blocks'
+// payloads.
+func DecompressFloat32Range(comp []byte, lo, hi int) ([]float32, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat32 {
+		return nil, ErrWrongType
+	}
+	if lo < 0 || hi > si.Hdr.N || lo > hi {
+		return nil, ErrCorrupt
+	}
+	if lo == hi {
+		return []float32{}, nil
+	}
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	bs := si.Hdr.BlockSize
+	firstBlk := lo / bs
+	lastBlk := (hi - 1) / bs
+
+	out := make([]float32, hi-lo)
+	scratch := make([]float32, bs)
+	for k := firstBlk; k <= lastBlk; k++ {
+		blo := k * bs
+		bhi := blo + bs
+		if bhi > si.Hdr.N {
+			bhi = si.Hdr.N
+		}
+		blk := scratch[:bhi-blo]
+		if err := decodeBlock32(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), blk); err != nil {
+			return nil, err
+		}
+		// Copy the overlap into the output.
+		from := lo
+		if blo > from {
+			from = blo
+		}
+		to := hi
+		if bhi < to {
+			to = bhi
+		}
+		copy(out[from-lo:to-lo], blk[from-blo:to-blo])
+	}
+	return out, nil
+}
+
+// DecompressFloat64Range is the float64 analogue of
+// DecompressFloat32Range.
+func DecompressFloat64Range(comp []byte, lo, hi int) ([]float64, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != TypeFloat64 {
+		return nil, ErrWrongType
+	}
+	if lo < 0 || hi > si.Hdr.N || lo > hi {
+		return nil, ErrCorrupt
+	}
+	if lo == hi {
+		return []float64{}, nil
+	}
+	offs, err := si.BlockOffsets()
+	if err != nil {
+		return nil, err
+	}
+	bs := si.Hdr.BlockSize
+	firstBlk := lo / bs
+	lastBlk := (hi - 1) / bs
+
+	out := make([]float64, hi-lo)
+	scratch := make([]float64, bs)
+	for k := firstBlk; k <= lastBlk; k++ {
+		blo := k * bs
+		bhi := blo + bs
+		if bhi > si.Hdr.N {
+			bhi = si.Hdr.N
+		}
+		blk := scratch[:bhi-blo]
+		if err := decodeBlock64(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), blk); err != nil {
+			return nil, err
+		}
+		from := lo
+		if blo > from {
+			from = blo
+		}
+		to := hi
+		if bhi < to {
+			to = bhi
+		}
+		copy(out[from-lo:to-lo], blk[from-blo:to-blo])
+	}
+	return out, nil
+}

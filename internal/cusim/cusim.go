@@ -1,0 +1,411 @@
+// Package cusim is a deterministic SIMT execution simulator: a CUDA-like
+// programming model (grids of thread blocks, 32-lane warps, block barriers,
+// warp shuffles and ballots, shared memory) implemented with goroutines.
+//
+// The SZx paper's GPU compressor cuSZx (§6.2) relies on three parallel
+// constructs whose correctness is non-trivial: warp-level min/max
+// reductions, a two-level in-warp prefix scan for mid-byte addressing
+// (Solution 1), and a recursive-doubling "index propagation" that resolves
+// read-after-write dependence chains during decompression (Solution 2,
+// Fig. 11). Real CUDA hardware is unavailable in this environment, so this
+// package executes those exact algorithms under the same synchronization
+// semantics, letting the cuszx package prove them hazard-free and
+// bit-identical to the serial codec. A calibrated device cost model
+// (see Model) converts the executed operation counts into the simulated
+// throughputs reported for Fig. 14/15.
+package cusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// WarpSize is the number of lanes per warp, as on all NVIDIA GPUs.
+const WarpSize = 32
+
+// Device describes a GPU for the cost model.
+type Device struct {
+	Name       string
+	SMs        int
+	CoresPerSM int
+	ClockGHz   float64
+	// MemBWGBps is the peak HBM bandwidth in GB/s.
+	MemBWGBps float64
+}
+
+// The two GPUs of the paper's evaluation (ThetaGPU and Summit).
+var (
+	A100 = Device{Name: "A100", SMs: 108, CoresPerSM: 64, ClockGHz: 1.41, MemBWGBps: 1555}
+	V100 = Device{Name: "V100", SMs: 80, CoresPerSM: 64, ClockGHz: 1.53, MemBWGBps: 900}
+)
+
+// Metrics aggregates the work a kernel launch performed; inputs to the
+// device cost model.
+type Metrics struct {
+	Blocks       int
+	ThreadsTotal int
+	// Ops is the total number of counted thread operations (arithmetic
+	// declared via AddOps, plus one per shuffle/ballot lane and per barrier
+	// participant).
+	Ops int64
+	// GlobalBytes is the number of bytes declared as global-memory traffic.
+	GlobalBytes int64
+	// Barriers counts block-level barrier episodes.
+	Barriers int64
+	// Shuffles counts warp shuffle/ballot episodes (per warp).
+	Shuffles int64
+}
+
+// Add merges two metrics.
+func (m *Metrics) Add(o Metrics) {
+	m.Blocks += o.Blocks
+	m.ThreadsTotal += o.ThreadsTotal
+	m.Ops += o.Ops
+	m.GlobalBytes += o.GlobalBytes
+	m.Barriers += o.Barriers
+	m.Shuffles += o.Shuffles
+}
+
+// blockState is the shared state of one executing thread block.
+type blockState struct {
+	dim      int
+	mu       sync.Mutex
+	cond     *sync.Cond
+	arrived  int
+	phase    uint64
+	shared   map[string]interface{}
+	warpMu   []sync.Mutex
+	warpCond []*sync.Cond
+	warpArr  []int
+	warpPh   []uint64
+	warpBuf  [][]uint64 // exchange slots per warp
+	ops      int64
+	gbytes   int64
+	barriers int64
+	shuffles int64
+}
+
+func newBlockState(dim int) *blockState {
+	nw := (dim + WarpSize - 1) / WarpSize
+	b := &blockState{
+		dim:      dim,
+		shared:   make(map[string]interface{}),
+		warpMu:   make([]sync.Mutex, nw),
+		warpCond: make([]*sync.Cond, nw),
+		warpArr:  make([]int, nw),
+		warpPh:   make([]uint64, nw),
+		warpBuf:  make([][]uint64, nw),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for w := 0; w < nw; w++ {
+		b.warpCond[w] = sync.NewCond(&b.warpMu[w])
+		b.warpBuf[w] = make([]uint64, WarpSize)
+	}
+	return b
+}
+
+// Thread is the per-thread execution context handed to a kernel.
+type Thread struct {
+	// BlockIdx and ThreadIdx identify this thread (1-D indexing).
+	BlockIdx  int
+	ThreadIdx int
+	BlockDim  int
+	GridDim   int
+	b         *blockState
+}
+
+// Lane returns the thread's lane within its warp.
+func (t *Thread) Lane() int { return t.ThreadIdx % WarpSize }
+
+// Warp returns the thread's warp index within the block.
+func (t *Thread) Warp() int { return t.ThreadIdx / WarpSize }
+
+// WarpLanes returns how many threads participate in this thread's warp
+// (the last warp of a block may be partial).
+func (t *Thread) WarpLanes() int { return t.warpLanes() }
+
+// AtomicOrU64 ORs v into arr[idx] atomically (CUDA atomicOr). arr should be
+// a block-shared array obtained from SharedU64.
+func (t *Thread) AtomicOrU64(arr []uint64, idx int, v uint64) {
+	t.b.mu.Lock()
+	arr[idx] |= v
+	t.b.ops++
+	t.b.mu.Unlock()
+}
+
+// warpLanes returns how many threads participate in this thread's warp
+// (the last warp of a block may be partial).
+func (t *Thread) warpLanes() int {
+	lo := t.Warp() * WarpSize
+	hi := lo + WarpSize
+	if hi > t.BlockDim {
+		hi = t.BlockDim
+	}
+	return hi - lo
+}
+
+// AddOps declares n arithmetic operations for the cost model.
+func (t *Thread) AddOps(n int) {
+	t.b.mu.Lock()
+	t.b.ops += int64(n)
+	t.b.mu.Unlock()
+}
+
+// AddGlobalBytes declares global-memory traffic for the cost model.
+func (t *Thread) AddGlobalBytes(n int) {
+	t.b.mu.Lock()
+	t.b.gbytes += int64(n)
+	t.b.mu.Unlock()
+}
+
+// SyncThreads is CUDA's __syncthreads(): a block-wide barrier.
+func (t *Thread) SyncThreads() {
+	b := t.b
+	b.mu.Lock()
+	ph := b.phase
+	b.arrived++
+	b.ops++
+	if b.arrived == b.dim {
+		b.arrived = 0
+		b.phase++
+		b.barriers++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == ph {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// syncWarp is a barrier over the thread's warp.
+func (t *Thread) syncWarp() {
+	w := t.Warp()
+	n := t.warpLanes()
+	b := t.b
+	b.warpMu[w].Lock()
+	ph := b.warpPh[w]
+	b.warpArr[w]++
+	if b.warpArr[w] == n {
+		b.warpArr[w] = 0
+		b.warpPh[w]++
+		b.warpCond[w].Broadcast()
+	} else {
+		for b.warpPh[w] == ph {
+			b.warpCond[w].Wait()
+		}
+	}
+	b.warpMu[w].Unlock()
+}
+
+// exchange publishes v in the warp's exchange slots and returns the slot
+// array after all lanes have written. Two warp barriers make the pattern
+// safe for back-to-back calls.
+func (t *Thread) exchange(v uint64) []uint64 {
+	w := t.Warp()
+	buf := t.b.warpBuf[w]
+	buf[t.Lane()] = v
+	t.syncWarp()
+	return buf
+}
+
+// ShuffleUp returns the value lane-delta lanes below this one contributed,
+// or this thread's own value for lanes < delta (CUDA __shfl_up_sync).
+func (t *Thread) ShuffleUp(v uint64, delta int) uint64 {
+	buf := t.exchange(v)
+	lane := t.Lane()
+	out := v
+	if lane >= delta {
+		out = buf[lane-delta]
+	}
+	t.countShuffle()
+	t.syncWarp() // protect the buffer from the next exchange
+	return out
+}
+
+// ShuffleDown returns the value lane+delta lanes above contributed, or the
+// thread's own value past the warp end (CUDA __shfl_down_sync).
+func (t *Thread) ShuffleDown(v uint64, delta int) uint64 {
+	buf := t.exchange(v)
+	lane := t.Lane()
+	out := v
+	if lane+delta < t.warpLanes() {
+		out = buf[lane+delta]
+	}
+	t.countShuffle()
+	t.syncWarp()
+	return out
+}
+
+// ShuffleIdx returns the value contributed by the given lane
+// (CUDA __shfl_sync).
+func (t *Thread) ShuffleIdx(v uint64, lane int) uint64 {
+	buf := t.exchange(v)
+	out := v
+	if lane >= 0 && lane < t.warpLanes() {
+		out = buf[lane]
+	}
+	t.countShuffle()
+	t.syncWarp()
+	return out
+}
+
+// Ballot returns a bitmask of the warp's lanes whose predicate was true
+// (CUDA __ballot_sync).
+func (t *Thread) Ballot(pred bool) uint32 {
+	v := uint64(0)
+	if pred {
+		v = 1
+	}
+	buf := t.exchange(v)
+	var mask uint32
+	for i := 0; i < t.warpLanes(); i++ {
+		if buf[i] != 0 {
+			mask |= 1 << uint(i)
+		}
+	}
+	t.countShuffle()
+	t.syncWarp()
+	return mask
+}
+
+func (t *Thread) countShuffle() {
+	if t.Lane() == 0 {
+		t.b.mu.Lock()
+		t.b.shuffles++
+		t.b.ops += int64(t.warpLanes())
+		t.b.mu.Unlock()
+	}
+}
+
+// SharedU64 returns (allocating on first use) a block-shared uint64 array.
+// All threads of the block see the same backing array. Callers must
+// synchronize access with SyncThreads.
+func (t *Thread) SharedU64(name string, size int) []uint64 {
+	return sharedAs[uint64](t, name, size)
+}
+
+// SharedU32 returns a block-shared uint32 array.
+func (t *Thread) SharedU32(name string, size int) []uint32 {
+	return sharedAs[uint32](t, name, size)
+}
+
+// SharedI32 returns a block-shared int32 array.
+func (t *Thread) SharedI32(name string, size int) []int32 {
+	return sharedAs[int32](t, name, size)
+}
+
+// SharedF64 returns a block-shared float64 array.
+func (t *Thread) SharedF64(name string, size int) []float64 {
+	return sharedAs[float64](t, name, size)
+}
+
+// SharedBytes returns a block-shared byte array.
+func (t *Thread) SharedBytes(name string, size int) []byte {
+	return sharedAs[byte](t, name, size)
+}
+
+func sharedAs[T any](t *Thread, name string, size int) []T {
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if v, ok := b.shared[name]; ok {
+		arr, ok2 := v.([]T)
+		if !ok2 || len(arr) < size {
+			panic(fmt.Sprintf("cusim: shared array %q redeclared with different type/size", name))
+		}
+		return arr
+	}
+	arr := make([]T, size)
+	b.shared[name] = arr
+	return arr
+}
+
+// Launch runs kernel over a 1-D grid of 1-D thread blocks and returns the
+// aggregated metrics. Thread blocks execute concurrently up to the host
+// CPU's parallelism; threads within a block are goroutines coupled by the
+// barrier and warp primitives above.
+func Launch(gridDim, blockDim int, kernel func(t *Thread)) Metrics {
+	if gridDim < 1 || blockDim < 1 || blockDim > 1024 {
+		panic("cusim: invalid launch configuration")
+	}
+	var total Metrics
+	var totalMu sync.Mutex
+	var panicked interface{}
+
+	maxConc := runtime.GOMAXPROCS(0)
+	sem := make(chan struct{}, maxConc)
+	var wg sync.WaitGroup
+	for blk := 0; blk < gridDim; blk++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(blk int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			bs := newBlockState(blockDim)
+			var bwg sync.WaitGroup
+			for tid := 0; tid < blockDim; tid++ {
+				bwg.Add(1)
+				go func(tid int) {
+					defer bwg.Done()
+					// Kernel panics are re-raised on the launching
+					// goroutine. A panicking thread in a multi-thread block
+					// that others are barrier-waiting on will deadlock, as
+					// on real hardware; keep kernels panic-free.
+					defer func() {
+						if r := recover(); r != nil {
+							totalMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							totalMu.Unlock()
+						}
+					}()
+					kernel(&Thread{
+						BlockIdx:  blk,
+						ThreadIdx: tid,
+						BlockDim:  blockDim,
+						GridDim:   gridDim,
+						b:         bs,
+					})
+				}(tid)
+			}
+			bwg.Wait()
+			totalMu.Lock()
+			total.Blocks++
+			total.ThreadsTotal += blockDim
+			total.Ops += bs.ops
+			total.GlobalBytes += bs.gbytes
+			total.Barriers += bs.barriers
+			total.Shuffles += bs.shuffles
+			totalMu.Unlock()
+		}(blk)
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return total
+}
+
+// Model converts launch metrics into a simulated execution time (seconds)
+// on the device: the maximum of the compute-bound estimate (ops across all
+// CUDA cores at one op per clock) and the memory-bound estimate (declared
+// global traffic at peak bandwidth). This first-order roofline model is how
+// Fig. 14/15's simulated throughputs are produced; see DESIGN.md for the
+// substitution rationale.
+func (d Device) Model(m Metrics) float64 {
+	cores := float64(d.SMs * d.CoresPerSM)
+	compute := float64(m.Ops) / (cores * d.ClockGHz * 1e9)
+	mem := float64(m.GlobalBytes) / (d.MemBWGBps * 1e9)
+	// Barrier and launch overheads: ~1µs per kernel plus ~5ns per barrier
+	// episode, amortized across SMs (resident blocks overlap barrier
+	// latency on real hardware, so the per-episode cost is small).
+	overhead := 1e-6 + 5e-9*float64(m.Barriers)/float64(d.SMs)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + overhead
+}

@@ -1,0 +1,248 @@
+package cusim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunchRunsAllThreads(t *testing.T) {
+	var count int64
+	m := Launch(7, 65, func(th *Thread) {
+		atomic.AddInt64(&count, 1)
+	})
+	if count != 7*65 {
+		t.Fatalf("ran %d threads, want %d", count, 7*65)
+	}
+	if m.Blocks != 7 || m.ThreadsTotal != 7*65 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func TestSyncThreadsOrdering(t *testing.T) {
+	// Every thread writes its id, barrier, then reads a neighbour: without
+	// a correct barrier the read would race/miss.
+	const dim = 96
+	fail := int64(0)
+	Launch(4, dim, func(th *Thread) {
+		sh := th.SharedU64("vals", dim)
+		sh[th.ThreadIdx] = uint64(th.ThreadIdx + 1)
+		th.SyncThreads()
+		neighbor := (th.ThreadIdx + 17) % dim
+		if sh[neighbor] != uint64(neighbor+1) {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatalf("%d threads observed missing writes", fail)
+	}
+}
+
+func TestSharedDistinctPerBlock(t *testing.T) {
+	// Thread 0 of each block writes its block id; all threads must read
+	// their own block's value, not another block's.
+	fail := int64(0)
+	Launch(16, 32, func(th *Thread) {
+		sh := th.SharedU64("blockid", 1)
+		if th.ThreadIdx == 0 {
+			sh[0] = uint64(th.BlockIdx + 100)
+		}
+		th.SyncThreads()
+		if sh[0] != uint64(th.BlockIdx+100) {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatal("shared memory leaked across blocks")
+	}
+}
+
+func TestShuffleUp(t *testing.T) {
+	fail := int64(0)
+	Launch(1, 64, func(th *Thread) {
+		v := uint64(th.ThreadIdx)
+		got := th.ShuffleUp(v, 1)
+		lane := th.Lane()
+		want := v
+		if lane >= 1 {
+			want = v - 1
+		}
+		if got != want {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatal("ShuffleUp wrong")
+	}
+}
+
+func TestShuffleDownAndIdx(t *testing.T) {
+	fail := int64(0)
+	Launch(1, 32, func(th *Thread) {
+		v := uint64(th.ThreadIdx * 3)
+		if got := th.ShuffleDown(v, 2); th.Lane() < 30 && got != v+6 {
+			atomic.AddInt64(&fail, 1)
+		}
+		if got := th.ShuffleIdx(v, 5); got != 15 {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatal("shuffle semantics wrong")
+	}
+}
+
+func TestShuffleBackToBack(t *testing.T) {
+	// Two consecutive shuffles must not interfere (regression for the
+	// double-barrier in exchange()).
+	fail := int64(0)
+	Launch(2, 32, func(th *Thread) {
+		a := th.ShuffleUp(uint64(th.ThreadIdx), 1)
+		b := th.ShuffleUp(uint64(th.ThreadIdx)*10, 1)
+		lane := th.Lane()
+		wantA, wantB := uint64(lane), uint64(lane)*10
+		if lane >= 1 {
+			wantA, wantB = uint64(lane-1), uint64(lane-1)*10
+		}
+		if a != wantA || b != wantB {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatal("back-to-back shuffles interfered")
+	}
+}
+
+func TestBallot(t *testing.T) {
+	fail := int64(0)
+	Launch(1, 32, func(th *Thread) {
+		mask := th.Ballot(th.Lane()%2 == 0)
+		if mask != 0x55555555 {
+			atomic.AddInt64(&fail, 1)
+		}
+	})
+	if fail != 0 {
+		t.Fatal("ballot mask wrong")
+	}
+}
+
+func TestPartialWarp(t *testing.T) {
+	// 40 threads: second warp has 8 lanes; shuffles must stay in-bounds.
+	fail := int64(0)
+	Launch(1, 40, func(th *Thread) {
+		v := uint64(th.ThreadIdx)
+		got := th.ShuffleDown(v, 4)
+		if th.Warp() == 1 {
+			if th.Lane()+4 < 8 {
+				if got != v+4 {
+					atomic.AddInt64(&fail, 1)
+				}
+			} else if got != v {
+				atomic.AddInt64(&fail, 1)
+			}
+		}
+	})
+	if fail != 0 {
+		t.Fatal("partial warp shuffle wrong")
+	}
+}
+
+// warpInclusiveScan is the canonical two-level shuffle prefix sum used by
+// cuszx; tested here against the serial scan.
+func warpInclusiveScan(th *Thread, v uint64) uint64 {
+	for d := 1; d < WarpSize; d <<= 1 {
+		o := th.ShuffleUp(v, d)
+		if th.Lane() >= d {
+			v += o
+		}
+	}
+	return v
+}
+
+func TestWarpScanMatchesSerial(t *testing.T) {
+	const dim = 32
+	vals := make([]uint64, dim)
+	for i := range vals {
+		vals[i] = uint64((i*7 + 3) % 13)
+	}
+	got := make([]uint64, dim)
+	Launch(1, dim, func(th *Thread) {
+		got[th.ThreadIdx] = warpInclusiveScan(th, vals[th.ThreadIdx])
+	})
+	var sum uint64
+	for i := 0; i < dim; i++ {
+		sum += vals[i]
+		if got[i] != sum {
+			t.Fatalf("lane %d: scan %d want %d", i, got[i], sum)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		out := make([]uint64, 64)
+		Launch(2, 32, func(th *Thread) {
+			v := warpInclusiveScan(th, uint64(th.ThreadIdx+th.BlockIdx))
+			out[th.BlockIdx*32+th.ThreadIdx] = v
+		})
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	m := Launch(3, 32, func(th *Thread) {
+		th.AddOps(10)
+		th.AddGlobalBytes(4)
+		th.SyncThreads()
+		th.ShuffleUp(1, 1)
+	})
+	if m.Ops < 3*32*10 {
+		t.Errorf("ops %d too low", m.Ops)
+	}
+	if m.GlobalBytes != 3*32*4 {
+		t.Errorf("bytes %d", m.GlobalBytes)
+	}
+	if m.Barriers != 3 {
+		t.Errorf("barriers %d", m.Barriers)
+	}
+	if m.Shuffles != 3 {
+		t.Errorf("shuffles %d", m.Shuffles)
+	}
+}
+
+func TestModelRoofline(t *testing.T) {
+	m := Metrics{Ops: 1e9, GlobalBytes: 1e9}
+	tA := A100.Model(m)
+	tV := V100.Model(m)
+	if tA <= 0 || tV <= 0 {
+		t.Fatal("nonpositive model time")
+	}
+	// A100 has more cores and bandwidth: it must be faster.
+	if tA >= tV {
+		t.Errorf("A100 (%g) not faster than V100 (%g)", tA, tV)
+	}
+	// Memory-bound case: doubling traffic doubles (approximately) the time.
+	m2 := Metrics{Ops: 1, GlobalBytes: 2e9}
+	m1 := Metrics{Ops: 1, GlobalBytes: 1e9}
+	r := A100.Model(m2) / A100.Model(m1)
+	if r < 1.8 || r > 2.2 {
+		t.Errorf("memory scaling ratio %g", r)
+	}
+}
+
+func TestSharedTypePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shared redeclaration")
+		}
+	}()
+	Launch(1, 1, func(th *Thread) {
+		th.SharedU64("x", 4)
+		th.SharedU32("x", 4)
+	})
+}

@@ -1,0 +1,92 @@
+package cuszx
+
+// GPU stream compaction — the final step of the paper's Fig. 9: the
+// per-data-block payloads sit in fixed-stride scratch after the compression
+// kernel, and a prefix sum over their sizes drives a gather that packs them
+// into the contiguous output stream ("Record the compressed data size").
+
+import (
+	"repro/internal/cusim"
+)
+
+// gpuCompact scatters the variable-size block payloads from fixed-stride
+// scratch into a contiguous buffer on the simulated device. sizes[k] is
+// block k's payload length; stride is the scratch slot size. It returns
+// the packed payload, the per-block offsets (exclusive prefix sum, with
+// the total appended), and the launch metrics.
+func gpuCompact(scratch []byte, sizes []uint16, stride, gridDim int) ([]byte, []int, cusim.Metrics) {
+	nb := len(sizes)
+	offs := make([]int, nb+1)
+	var total cusim.Metrics
+	if nb == 0 {
+		return nil, offs, total
+	}
+	if gridDim <= 0 {
+		gridDim = DefaultGridDim
+	}
+	const tile = 256
+	nTiles := (nb + tile - 1) / tile
+	launchGrid := gridDim
+	if launchGrid > nTiles {
+		launchGrid = nTiles
+	}
+
+	// Phase 1: scan the sizes into offsets (same structure as
+	// GPUBlockOffsets, but over the in-memory sizes array).
+	tileTotals := make([]int64, nTiles)
+	m := cusim.Launch(launchGrid, tile, func(t *cusim.Thread) {
+		for tileIdx := t.BlockIdx; tileIdx < nTiles; tileIdx += t.GridDim {
+			base := tileIdx * tile
+			v := 0
+			if base+t.ThreadIdx < nb {
+				v = int(sizes[base+t.ThreadIdx])
+				t.AddGlobalBytes(2)
+			}
+			ex := blockExclusiveScan(t, v)
+			if base+t.ThreadIdx < nb {
+				offs[base+t.ThreadIdx] = ex // tile-local for now
+				t.AddGlobalBytes(8)
+			}
+			if t.ThreadIdx == tile-1 {
+				tileTotals[tileIdx] = int64(ex + v)
+			}
+			t.SyncThreads()
+		}
+	})
+	total.Add(m)
+	// Tile offsets (host-side scan of nTiles values: O(nb/256) trivial work
+	// the device version of which GPUBlockOffsets already demonstrates).
+	run := 0
+	tileOff := make([]int, nTiles)
+	for i := 0; i < nTiles; i++ {
+		tileOff[i] = run
+		run += int(tileTotals[i])
+	}
+	for k := 0; k < nb; k++ {
+		offs[k] += tileOff[k/tile]
+	}
+	offs[nb] = run
+
+	// Phase 2: gather. One thread block per data block; threads copy the
+	// payload bytes coalesced.
+	out := make([]byte, run)
+	copyGrid := gridDim
+	if copyGrid > nb {
+		copyGrid = nb
+	}
+	m = cusim.Launch(copyGrid, tile, func(t *cusim.Thread) {
+		for k := t.BlockIdx; k < nb; k += t.GridDim {
+			src := k * stride
+			dst := offs[k]
+			n := int(sizes[k])
+			for i := t.ThreadIdx; i < n; i += t.BlockDim {
+				out[dst+i] = scratch[src+i]
+			}
+			if t.ThreadIdx == 0 {
+				t.AddGlobalBytes(2 * n)
+			}
+		}
+	})
+	total.Add(m)
+	return out, offs, total
+}

@@ -1,0 +1,544 @@
+// Package cuszx implements the cuSZx GPU compression and decompression
+// kernels of the SZx paper (§6.2) on the cusim SIMT simulator.
+//
+// The kernels follow the paper's design exactly:
+//
+//   - One thread block processes one SZx data block at a time, iterating
+//     grid-stride over all data blocks (mitigating load imbalance from
+//     constant blocks, §6.2.1).
+//   - μ and the variation radius come from warp-level min/max shuffle
+//     reductions combined across warps through shared memory.
+//   - Mid-byte output addresses are found with a two-level in-warp shuffle
+//     prefix scan (Solution 1 for Challenge 1).
+//   - Compression breaks the previous-value dependency by each thread
+//     reading both its own and the preceding data point from the input
+//     (depth-1 dependency, Solution 2).
+//   - Decompression resolves leading-byte dependence chains with the
+//     recursive-doubling index propagation of Fig. 11 (Solution 2 for the
+//     RAW hazard), one propagation per byte position.
+//
+// The streams produced and consumed are bit-identical to the serial CPU
+// codec in internal/core — verified by tests — so cuSZx "preserves the same
+// compression ratio as SZx" exactly as the paper states.
+package cuszx
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+
+	"repro/internal/bitio"
+	"repro/internal/core"
+	"repro/internal/cusim"
+	"repro/internal/ieee"
+)
+
+// ErrBlockSize is returned when the block size is unsuitable for the GPU
+// layout: it must be a multiple of the warp size, at most 1024 (CUDA's
+// thread-block limit).
+var ErrBlockSize = errors.New("cuszx: block size must be a multiple of 32, ≤ 1024")
+
+// DefaultGridDim is the default number of simulated thread blocks, enough
+// to keep every SM of the modeled devices busy.
+const DefaultGridDim = 216
+
+// Compress compresses data with the cuSZx kernel and returns the SZx
+// stream (bit-identical to core.CompressFloat32 with the same options)
+// plus the simulated-execution metrics. Data must be finite; NaN handling
+// is only defined for the CPU codec.
+func Compress(data []float32, errBound float64, opts core.Options, gridDim int) ([]byte, cusim.Metrics, error) {
+	bs := opts.BlockSize
+	if bs == 0 {
+		bs = core.DefaultBlockSize
+	}
+	if bs%cusim.WarpSize != 0 || bs > 1024 {
+		return nil, cusim.Metrics{}, ErrBlockSize
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, cusim.Metrics{}, core.ErrErrBound
+	}
+	if gridDim <= 0 {
+		gridDim = DefaultGridDim
+	}
+	h := core.Header{Type: core.TypeFloat32, BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+	if nb == 0 {
+		out := core.AppendHeader(nil, h)
+		return out, cusim.Metrics{}, nil
+	}
+	if gridDim > nb {
+		gridDim = nb
+	}
+
+	leadLen := bitio.PackedLen(bs)
+	maxPayload := 5 + leadLen + 4*bs
+	scratch := make([]byte, nb*maxPayload)
+	sizes := make([]uint16, nb)
+	nonConst := make([]bool, nb)
+	guarded := !opts.Unguarded
+	errExpo := ieee.Exponent64(errBound)
+
+	m := cusim.Launch(gridDim, bs, func(t *cusim.Thread) {
+		tid := t.ThreadIdx
+		for k := t.BlockIdx; k < nb; k += t.GridDim {
+			lo := k * bs
+			cnt := len(data) - lo
+			if cnt > bs {
+				cnt = bs
+			}
+			var d float32
+			if tid < cnt {
+				d = data[lo+tid]
+				t.AddGlobalBytes(4)
+			}
+
+			// --- μ and radius via warp + shared-memory reduction ---------
+			mn, mx := math.Inf(1), math.Inf(-1)
+			if tid < cnt {
+				mn = float64(d)
+				mx = mn
+			}
+			mn, mx = blockMinMax(t, mn, mx)
+
+			meta := t.SharedF64("meta", 2)
+			flags := t.SharedU64("flags", 2)
+			if tid == 0 {
+				// Same formula as the serial codec (blockStats32): μ is the
+				// float32 rounding of the float64 midpoint.
+				mu := float32((mn + mx) / 2)
+				radius := mx - float64(mu)
+				if b := float64(mu) - mn; b > radius {
+					radius = b
+				}
+				meta[0] = float64(mu)
+				meta[1] = radius
+				constant := uint64(0)
+				if radius <= errBound {
+					constant = 1
+				}
+				flags[0] = constant
+				reqLen, lossless := ieee.ReqLength32(ieee.Exponent64(radius), errExpo)
+				lv := uint64(0)
+				if lossless {
+					lv = 1
+				}
+				flags[1] = uint64(reqLen)<<1 | lv
+				t.AddOps(12)
+			}
+			t.SyncThreads()
+			base := k * maxPayload
+			if flags[0] == 1 {
+				if tid == 0 {
+					binary.LittleEndian.PutUint32(scratch[base:], math.Float32bits(float32(meta[0])))
+					sizes[k] = 4
+					nonConst[k] = false
+					t.AddGlobalBytes(4)
+				}
+				t.SyncThreads() // shared meta stays readable until all pass
+				continue
+			}
+
+			// --- nonconstant path with the serial codec's guard retry ----
+			reqLen := int(flags[1] >> 1)
+			lossless := flags[1]&1 == 1
+			mu := float32(meta[0])
+			viol := t.SharedU64("viol", 1)
+			for {
+				if lossless {
+					mu = 0
+				}
+				s := uint(ieee.ShiftBits(reqLen))
+				reqBytes := (reqLen + int(s)) / 8
+				keepMask := uint32(0xFFFFFFFF)
+				if reqLen < 32 {
+					keepMask <<= uint(32 - reqLen)
+				}
+
+				if tid == 0 {
+					viol[0] = 0
+				}
+				t.SyncThreads()
+				var w, prev uint32
+				if tid < cnt {
+					v := d - mu
+					w = math.Float32bits(v) >> s
+					if tid > 0 {
+						// Depth-1 dependency: read the preceding input
+						// point directly (Solution 2, compression side).
+						prev = math.Float32bits(data[lo+tid-1]-mu) >> s
+						t.AddGlobalBytes(4)
+					}
+					if guarded && !lossless {
+						trunc := math.Float32frombits(math.Float32bits(v) & keepMask)
+						rec := trunc + mu
+						if diff := math.Abs(float64(d) - float64(rec)); !(diff <= errBound) {
+							t.AtomicOrU64(viol, 0, 1)
+						}
+					}
+					t.AddOps(10)
+				}
+				t.SyncThreads()
+				if viol[0] == 1 {
+					reqLen += 8
+					if reqLen >= ieee.FullBits32 {
+						reqLen = ieee.FullBits32
+						lossless = true
+					}
+					t.SyncThreads()
+					continue
+				}
+
+				lead := 0
+				mid := 0
+				if tid < cnt {
+					lead = bitio.LeadingZeroBytes32(w ^ prev)
+					if lead > reqBytes {
+						lead = reqBytes
+					}
+					mid = reqBytes - lead
+					t.AddOps(4)
+				}
+
+				// Shared lead codes (full overwrite each iteration: the
+				// arrays persist across the grid-stride loop).
+				leads := t.SharedBytes("leads", bs)
+				leads[tid] = byte(lead)
+
+				// Mid-byte offsets via two-level in-warp prefix scan.
+				off := blockExclusiveScan(t, mid)
+				total := t.SharedU64("midtotal", 1)
+				if tid == bs-1 {
+					total[0] = uint64(off + mid)
+				}
+				t.SyncThreads()
+
+				// Commit payload.
+				midBase := base + 5 + bitio.PackedLen(cnt)
+				for j := lead; j < reqBytes && tid < cnt; j++ {
+					scratch[midBase+off+j-lead] = byte(w >> uint(8*(3-j)))
+				}
+				if tid < cnt {
+					t.AddGlobalBytes(mid)
+				}
+				// Pack 2-bit lead codes, four per byte.
+				if tid < bitio.PackedLen(cnt) {
+					var b byte
+					for q := 0; q < 4; q++ {
+						i := 4*tid + q
+						if i < cnt {
+							b |= leads[i] << uint(6-2*q)
+						}
+					}
+					scratch[base+5+tid] = b
+					t.AddGlobalBytes(1)
+				}
+				if tid == 0 {
+					binary.LittleEndian.PutUint32(scratch[base:], math.Float32bits(mu))
+					scratch[base+4] = byte(reqLen)
+					sizes[k] = uint16(5 + bitio.PackedLen(cnt) + int(total[0]))
+					nonConst[k] = true
+					t.AddGlobalBytes(7)
+				}
+				t.SyncThreads()
+				break
+			}
+		}
+	})
+
+	// Device-side compaction (Fig. 9's final step): a prefix sum over the
+	// per-block sizes drives a gather from the fixed-stride scratch into
+	// the contiguous payload; the container header/bitmap/zsize sections
+	// are assembled on the host.
+	payload, _, cm := gpuCompact(scratch, sizes, maxPayload, gridDim)
+	m.Add(cm)
+	out := make([]byte, 0, 28+(nb+7)/8+2*nb+len(payload))
+	out = core.AppendHeader(out, h)
+	bitmapOff := len(out)
+	out = append(out, make([]byte, (nb+7)/8)...)
+	zsizeOff := len(out)
+	out = append(out, make([]byte, 2*nb)...)
+	for k := 0; k < nb; k++ {
+		binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], sizes[k])
+		if nonConst[k] {
+			out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+		}
+	}
+	out = append(out, payload...)
+	return out, m, nil
+}
+
+// Decompress reconstructs values from an SZx float32 stream with the cuSZx
+// decompression kernel, returning simulated-execution metrics. The output
+// is bit-identical to core.DecompressFloat32.
+func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
+	si, err := core.ParseStream(comp)
+	if err != nil {
+		return nil, cusim.Metrics{}, err
+	}
+	if si.Hdr.Type != core.TypeFloat32 {
+		return nil, cusim.Metrics{}, core.ErrWrongType
+	}
+	bs := si.Hdr.BlockSize
+	if bs%cusim.WarpSize != 0 || bs > 1024 {
+		return nil, cusim.Metrics{}, ErrBlockSize
+	}
+	// The paper's Fig. 10 performs the zsize prefix sum on the device;
+	// run the simulated scan kernel and fold its cost into the metrics.
+	offs, scanM, err := GPUBlockOffsets(si, gridDim)
+	if err != nil {
+		return nil, scanM, err
+	}
+	nb := si.Hdr.NumBlocks()
+	out := make([]float32, si.Hdr.N)
+	if nb == 0 {
+		return out, cusim.Metrics{}, nil
+	}
+	if gridDim <= 0 {
+		gridDim = DefaultGridDim
+	}
+	if gridDim > nb {
+		gridDim = nb
+	}
+
+	derrs := make([]error, gridDim)
+	m := cusim.Launch(gridDim, bs, func(t *cusim.Thread) {
+		tid := t.ThreadIdx
+		for k := t.BlockIdx; k < nb; k += t.GridDim {
+			lo := k * bs
+			cnt := len(out) - lo
+			if cnt > bs {
+				cnt = bs
+			}
+			p := si.Payload[offs[k]:offs[k+1]]
+			if !si.IsNonConstant(k) {
+				if len(p) < 4 {
+					derrs[t.BlockIdx] = core.ErrCorrupt
+					return
+				}
+				mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
+				if tid < cnt {
+					out[lo+tid] = mu
+					t.AddGlobalBytes(4)
+				}
+				continue
+			}
+			leadLen := bitio.PackedLen(cnt)
+			if len(p) < 5+leadLen {
+				derrs[t.BlockIdx] = core.ErrCorrupt
+				return
+			}
+			mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
+			reqLen := int(p[4])
+			if reqLen < ieee.SignExpBits32 || reqLen > ieee.FullBits32 {
+				derrs[t.BlockIdx] = core.ErrCorrupt
+				return
+			}
+			s := uint(ieee.ShiftBits(reqLen))
+			reqBytes := (reqLen + int(s)) / 8
+			lossless := reqLen == ieee.FullBits32
+			mids := p[5+leadLen:]
+
+			// Step 1: read this thread's lead code. Corruption is detected
+			// per thread but resolved block-cooperatively so no thread
+			// abandons a barrier its peers are waiting on.
+			bad := false
+			lead := reqBytes // inert for tail threads
+			if tid < cnt {
+				lead = int(p[5+(tid>>2)]>>uint(6-2*(tid&3))) & 3
+				if lead > reqBytes {
+					bad = true
+					lead = reqBytes
+				}
+				t.AddGlobalBytes(1)
+			}
+			mid := reqBytes - lead
+
+			// Step 2 (Solution 1): prefix scan gives the mid-byte offsets.
+			off := blockExclusiveScan(t, mid)
+			if tid < cnt && off+mid > len(mids) {
+				bad = true
+			}
+			badFlag := t.SharedU64("bad", 1)
+			if tid == 0 {
+				badFlag[0] = 0
+			}
+			t.SyncThreads()
+			if bad {
+				t.AtomicOrU64(badFlag, 0, 1)
+			}
+			t.SyncThreads()
+			if badFlag[0] != 0 { // uniform: all threads exit together
+				if tid == 0 {
+					derrs[t.BlockIdx] = core.ErrCorrupt
+				}
+				return
+			}
+
+			// Step 3: fetch own mid-bytes into a partial word.
+			words := t.SharedU32("words", bs)
+			leadsSh := t.SharedBytes("dleads", bs)
+			var w uint32
+			if tid < cnt {
+				for j := lead; j < reqBytes; j++ {
+					w |= uint32(mids[off+j-lead]) << uint(8*(3-j))
+				}
+				t.AddGlobalBytes(mid)
+			}
+			words[tid] = w
+			leadsSh[tid] = byte(lead)
+			t.SyncThreads()
+
+			// Step 4 (Solution 2, Fig. 11): per byte position, resolve the
+			// dependence chain by recursive-doubling index propagation.
+			for j := 0; j < reqBytes; j++ {
+				own := 0
+				if tid < cnt && j >= int(leadsSh[tid]) {
+					own = tid + 1 // 1-based: 0 means "virtual zero word"
+				}
+				src := blockInclusiveMaxScan(t, own, j)
+				if tid < cnt && j < int(leadsSh[tid]) {
+					var b byte
+					if src > 0 {
+						b = byte(words[src-1] >> uint(8*(3-j)))
+					}
+					w |= uint32(b) << uint(8*(3-j))
+				}
+				t.AddOps(3)
+			}
+
+			// Step 5: undo the right shift and denormalize.
+			if tid < cnt {
+				if lossless {
+					out[lo+tid] = math.Float32frombits(w)
+				} else {
+					out[lo+tid] = math.Float32frombits(w<<s) + mu
+				}
+				t.AddGlobalBytes(4)
+				t.AddOps(3)
+			}
+			t.SyncThreads() // words/leads stay valid until all threads pass
+		}
+	})
+	m.Add(scanM)
+	for _, e := range derrs {
+		if e != nil {
+			return nil, m, e
+		}
+	}
+	return out, m, nil
+}
+
+// blockMinMax reduces (mn, mx) across the thread block: warp-level shuffle
+// reductions, then a shared-memory combine by the first warp. Every thread
+// returns the block-wide result.
+func blockMinMax(t *cusim.Thread, mn, mx float64) (float64, float64) {
+	for d := cusim.WarpSize / 2; d > 0; d >>= 1 {
+		omn := math.Float64frombits(t.ShuffleDown(math.Float64bits(mn), d))
+		omx := math.Float64frombits(t.ShuffleDown(math.Float64bits(mx), d))
+		if omn < mn {
+			mn = omn
+		}
+		if omx > mx {
+			mx = omx
+		}
+		t.AddOps(2)
+	}
+	nw := (t.BlockDim + cusim.WarpSize - 1) / cusim.WarpSize
+	wmin := t.SharedU64("wmin", nw)
+	wmax := t.SharedU64("wmax", nw)
+	if t.Lane() == 0 {
+		wmin[t.Warp()] = math.Float64bits(mn)
+		wmax[t.Warp()] = math.Float64bits(mx)
+	}
+	t.SyncThreads()
+	if t.ThreadIdx == 0 {
+		for i := 1; i < nw; i++ {
+			if v := math.Float64frombits(wmin[i]); v < mn {
+				mn = v
+			}
+			if v := math.Float64frombits(wmax[i]); v > mx {
+				mx = v
+			}
+			t.AddOps(2)
+		}
+		wmin[0] = math.Float64bits(mn)
+		wmax[0] = math.Float64bits(mx)
+	}
+	t.SyncThreads()
+	mn = math.Float64frombits(wmin[0])
+	mx = math.Float64frombits(wmax[0])
+	t.SyncThreads() // keep shared slots stable until everyone has read
+	return mn, mx
+}
+
+// blockExclusiveScan computes the exclusive prefix sum of v across the
+// block using the paper's two-level in-warp shuffle scan: an inclusive
+// shuffle scan within each warp, warp totals combined through shared
+// memory, and the warp-prefix added back.
+func blockExclusiveScan(t *cusim.Thread, v int) int {
+	incl := uint64(v)
+	for d := 1; d < cusim.WarpSize; d <<= 1 {
+		o := t.ShuffleUp(incl, d)
+		if t.Lane() >= d {
+			incl += o
+		}
+		t.AddOps(1)
+	}
+	nw := (t.BlockDim + cusim.WarpSize - 1) / cusim.WarpSize
+	wtot := t.SharedU64("scan_wtot", nw)
+	if t.Lane() == t.WarpLanes()-1 {
+		wtot[t.Warp()] = incl
+	}
+	t.SyncThreads()
+	if t.ThreadIdx == 0 {
+		var run uint64
+		for i := 0; i < nw; i++ {
+			tot := wtot[i]
+			wtot[i] = run
+			run += tot
+			t.AddOps(1)
+		}
+	}
+	t.SyncThreads()
+	res := int(incl) - v + int(wtot[t.Warp()])
+	t.SyncThreads()
+	return res
+}
+
+// blockInclusiveMaxScan computes the inclusive prefix maximum of v across
+// the block (recursive doubling, Fig. 11's index propagation). slot keys
+// the shared scratch so per-byte-position calls do not collide.
+func blockInclusiveMaxScan(t *cusim.Thread, v int, slot int) int {
+	m := uint64(v)
+	for d := 1; d < cusim.WarpSize; d <<= 1 {
+		o := t.ShuffleUp(m, d)
+		if t.Lane() >= d && o > m {
+			m = o
+		}
+		t.AddOps(1)
+	}
+	nw := (t.BlockDim + cusim.WarpSize - 1) / cusim.WarpSize
+	wmaxs := t.SharedU64("maxscan_wtot", nw*4)
+	base := slot * nw
+	if t.Lane() == t.WarpLanes()-1 {
+		wmaxs[base+t.Warp()] = m
+	}
+	t.SyncThreads()
+	if t.ThreadIdx == 0 {
+		var run uint64
+		for i := 0; i < nw; i++ {
+			cur := wmaxs[base+i]
+			wmaxs[base+i] = run
+			if cur > run {
+				run = cur
+			}
+			t.AddOps(1)
+		}
+	}
+	t.SyncThreads()
+	if p := wmaxs[base+t.Warp()]; p > m {
+		m = p
+	}
+	t.SyncThreads()
+	return int(m)
+}

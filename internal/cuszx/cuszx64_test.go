@@ -1,0 +1,137 @@
+package cuszx
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func genData64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	v := -2.0
+	for i := range out {
+		v += 0.05 * (rng.Float64() - 0.5)
+		out[i] = v + math.Cos(float64(i)/70)
+	}
+	return out
+}
+
+func TestCompress64BitIdentical(t *testing.T) {
+	for _, n := range []int{128, 1000, 9999} {
+		for _, e := range []float64{1e-3, 1e-8} {
+			data := genData64(n, int64(n))
+			want, err := core.CompressFloat64(data, e, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, m, err := CompressFloat64(data, e, core.Options{}, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d e=%g: GPU f64 stream differs", n, e)
+			}
+			if m.Ops == 0 {
+				t.Error("no counted work")
+			}
+		}
+	}
+}
+
+func TestDecompress64MatchesSerial(t *testing.T) {
+	data := genData64(7000, 3)
+	comp, err := core.CompressFloat64(data, 1e-7, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecompressFloat64(comp, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("value %d differs: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Bound holds.
+	for i := range data {
+		if math.Abs(data[i]-got[i]) > 1e-7 {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestCompress64GuardRetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]float64, 2000)
+	for i := range data {
+		data[i] = 1e15 * (1 + 1e-6*rng.NormFloat64())
+	}
+	want, err := core.CompressFloat64(data, 1e-4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := CompressFloat64(data, 1e-4, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("guard-retry f64 stream differs")
+	}
+}
+
+func TestCompress64Constant(t *testing.T) {
+	data := make([]float64, 1500)
+	for i := range data {
+		data[i] = -7.5
+	}
+	got, _, err := CompressFloat64(data, 1e-3, core.Options{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressFloat64(got, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != -7.5 {
+			t.Fatalf("dec[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestCompress64Tail(t *testing.T) {
+	for _, n := range []int{129, 130, 257} {
+		data := genData64(n, int64(n))
+		want, err := core.CompressFloat64(data, 1e-5, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := CompressFloat64(data, 1e-5, core.Options{}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: tail f64 stream differs", n)
+		}
+	}
+}
+
+func TestDecompress64WrongType(t *testing.T) {
+	data := genData(500, 1)
+	comp, err := core.CompressFloat32(data, 1e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(comp, 2); err != core.ErrWrongType {
+		t.Fatalf("got %v", err)
+	}
+}

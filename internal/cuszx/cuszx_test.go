@@ -1,0 +1,243 @@
+package cuszx
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cusim"
+)
+
+func genData(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	v := 5.0
+	for i := range out {
+		v += 0.1 * (rng.Float64() - 0.5)
+		out[i] = float32(v + 2*math.Sin(float64(i)/40))
+	}
+	return out
+}
+
+func TestCompressBitIdenticalToSerial(t *testing.T) {
+	for _, n := range []int{128, 1000, 4096, 12345} {
+		for _, e := range []float64{1e-2, 1e-4} {
+			data := genData(n, int64(n))
+			want, err := core.CompressFloat32(data, e, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, m, err := Compress(data, e, core.Options{}, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d e=%g: GPU stream differs from serial (%d vs %d bytes)",
+					n, e, len(got), len(want))
+			}
+			if m.Blocks == 0 || m.Ops == 0 {
+				t.Errorf("n=%d: empty metrics %+v", n, m)
+			}
+		}
+	}
+}
+
+func TestDecompressMatchesSerial(t *testing.T) {
+	data := genData(10000, 7)
+	comp, err := core.CompressFloat32(data, 1e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.DecompressFloat32(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, m, err := Decompress(comp, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("value %d: GPU %v != serial %v", i, got[i], want[i])
+		}
+	}
+	if m.Shuffles == 0 {
+		t.Error("decompression used no shuffles?")
+	}
+}
+
+func TestConstantBlocks(t *testing.T) {
+	data := make([]float32, 2048)
+	for i := range data {
+		data[i] = 1.25
+	}
+	comp, _, err := Compress(data, 1e-3, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.CompressFloat32(data, 1e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(comp, want) {
+		t.Fatal("constant-block stream differs")
+	}
+	dec, _, err := Decompress(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 1.25 {
+			t.Fatalf("dec[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestGuardRetryPath(t *testing.T) {
+	// Large magnitude + tiny bound forces guard retries (possibly to the
+	// lossless path); GPU must still match serial bit-for-bit.
+	rng := rand.New(rand.NewSource(9))
+	data := make([]float32, 3000)
+	for i := range data {
+		data[i] = float32(1e9 * (1 + 1e-4*rng.NormFloat64()))
+	}
+	for _, e := range []float64{1e-3, 1e-6} {
+		want, err := core.CompressFloat32(data, e, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Compress(data, e, core.Options{}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("e=%g: guarded stream differs", e)
+		}
+		dec, _, err := Decompress(got, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range data {
+			if math.Abs(float64(data[i])-float64(dec[i])) > e {
+				t.Fatalf("e=%g: bound violated at %d", e, i)
+			}
+		}
+	}
+}
+
+func TestTailBlock(t *testing.T) {
+	// n not a multiple of the block size exercises the partial-count path.
+	for _, n := range []int{129, 255, 383, 130} {
+		data := genData(n, int64(n))
+		want, err := core.CompressFloat32(data, 1e-3, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Compress(data, 1e-3, core.Options{}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: tail-block stream differs", n)
+		}
+		dec, _, err := Decompress(got, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(dec))
+		}
+	}
+}
+
+func TestBlockSizes(t *testing.T) {
+	data := genData(5000, 3)
+	for _, bs := range []int{32, 64, 96, 128, 256} {
+		want, err := core.CompressFloat32(data, 1e-3, core.Options{BlockSize: bs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := Compress(data, 1e-3, core.Options{BlockSize: bs}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("bs=%d: stream differs", bs)
+		}
+	}
+	if _, _, err := Compress(data, 1e-3, core.Options{BlockSize: 48}, 4); err != ErrBlockSize {
+		t.Errorf("bs=48: %v", err)
+	}
+	if _, _, err := Compress(data, 1e-3, core.Options{BlockSize: 2048}, 4); err != ErrBlockSize {
+		t.Errorf("bs=2048: %v", err)
+	}
+}
+
+func TestUnguardedMode(t *testing.T) {
+	data := genData(2000, 5)
+	want, err := core.CompressFloat32(data, 1e-4, core.Options{Unguarded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Compress(data, 1e-4, core.Options{Unguarded: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("unguarded stream differs")
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	data := genData(2000, 6)
+	comp, err := core.CompressFloat32(data, 1e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(comp[:10], 2); err == nil {
+		t.Error("short stream accepted")
+	}
+	// Corrupt the lead/zsize region: must return an error, not hang.
+	c := append([]byte(nil), comp...)
+	for i := 30; i < 60 && i < len(c); i++ {
+		c[i] = 0xFF
+	}
+	if _, _, err := Decompress(c, 2); err == nil {
+		t.Log("corruption not detected (may decode to garbage); acceptable if bounded")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	comp, _, err := Compress(nil, 1e-3, core.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(comp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Fatalf("decoded %d values", len(dec))
+	}
+}
+
+func TestModelThroughputOrdering(t *testing.T) {
+	// The simulated A100 should beat the simulated V100 on the same launch,
+	// mirroring Fig. 14/15's device ordering.
+	data := genData(50000, 8)
+	_, m, err := Compress(data, 1e-3, core.Options{}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tA := cusim.A100.Model(m)
+	tV := cusim.V100.Model(m)
+	if !(tA < tV) {
+		t.Errorf("A100 %g not faster than V100 %g", tA, tV)
+	}
+	bytesIn := float64(4 * len(data))
+	if bytesIn/tA < 1e9 {
+		t.Errorf("simulated A100 throughput %.1f GB/s implausibly low", bytesIn/tA/1e9)
+	}
+}

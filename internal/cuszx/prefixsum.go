@@ -1,0 +1,112 @@
+package cuszx
+
+// GPU prefix sum over the zsize array — the decompressor's first step in
+// the paper's Fig. 10: before any thread block can read its data blocks,
+// the per-block compressed sizes must be turned into starting offsets.
+// This is the classic multi-block scan (Harris, Sengupta & Owens, the
+// paper's reference [24]): each thread block scans a tile with two-level
+// in-warp shuffles, tile totals are scanned, and the tile offsets are
+// added back.
+
+import (
+	"repro/internal/core"
+	"repro/internal/cusim"
+)
+
+// GPUBlockOffsets computes the exclusive prefix sum of the stream's zsize
+// array on the simulated device and returns the nb+1 block offsets
+// (identical to core.Index.BlockOffsets) plus the launch metrics.
+func GPUBlockOffsets(si core.Index, gridDim int) ([]int, cusim.Metrics, error) {
+	nb := si.Hdr.NumBlocks()
+	offs := make([]int, nb+1)
+	if nb == 0 {
+		return offs, cusim.Metrics{}, nil
+	}
+	if gridDim <= 0 {
+		gridDim = DefaultGridDim
+	}
+	const tile = 256 // threads per block = elements per tile
+	nTiles := (nb + tile - 1) / tile
+	if gridDim > nTiles {
+		gridDim = nTiles
+	}
+
+	// Phase 1: per-tile inclusive scans; tileTotals[t] = sum of tile t.
+	incl := make([]int64, nb)
+	tileTotals := make([]int64, nTiles)
+	var total cusim.Metrics
+	m := cusim.Launch(gridDim, tile, func(t *cusim.Thread) {
+		for tileIdx := t.BlockIdx; tileIdx < nTiles; tileIdx += t.GridDim {
+			base := tileIdx * tile
+			v := 0
+			if base+t.ThreadIdx < nb {
+				v = si.BlockSizeBytes(base + t.ThreadIdx)
+				t.AddGlobalBytes(2)
+			}
+			s := blockExclusiveScan(t, v) + v // inclusive
+			if base+t.ThreadIdx < nb {
+				incl[base+t.ThreadIdx] = int64(s)
+				t.AddGlobalBytes(8)
+			}
+			if t.ThreadIdx == tile-1 {
+				tileTotals[tileIdx] = int64(s)
+				t.AddGlobalBytes(8)
+			}
+			t.SyncThreads()
+		}
+	})
+	total.Add(m)
+
+	// Phase 2: scan the tile totals (single block, grid-stride
+	// Hillis-Steele rounds through shared memory when nTiles > tile).
+	tileOffsets := make([]int64, nTiles)
+	if nTiles > 1 {
+		m = cusim.Launch(1, tile, func(t *cusim.Thread) {
+			// Sequential-of-parallel: each pass scans one tile of tile
+			// totals and carries the running sum forward (thread 0 owns
+			// the carry through shared memory).
+			carry := t.SharedU64("carry", 1)
+			if t.ThreadIdx == 0 {
+				carry[0] = 0
+			}
+			t.SyncThreads()
+			for base := 0; base < nTiles; base += tile {
+				v := 0
+				if base+t.ThreadIdx < nTiles {
+					v = int(tileTotals[base+t.ThreadIdx])
+				}
+				ex := blockExclusiveScan(t, v)
+				if base+t.ThreadIdx < nTiles {
+					tileOffsets[base+t.ThreadIdx] = int64(ex) + int64(carry[0])
+					t.AddGlobalBytes(8)
+				}
+				t.SyncThreads()
+				if t.ThreadIdx == tile-1 {
+					carry[0] += uint64(ex + v)
+				}
+				t.SyncThreads()
+			}
+		})
+		total.Add(m)
+	}
+
+	// Phase 3: add tile offsets back to produce the exclusive global scan.
+	m = cusim.Launch(gridDim, tile, func(t *cusim.Thread) {
+		for tileIdx := t.BlockIdx; tileIdx < nTiles; tileIdx += t.GridDim {
+			i := tileIdx*tile + t.ThreadIdx
+			if i < nb {
+				ex := incl[i] - int64(si.BlockSizeBytes(i)) // back to exclusive
+				offs[i] = int(ex + tileOffsets[tileIdx])
+				t.AddGlobalBytes(10)
+				t.AddOps(2)
+			}
+		}
+	})
+	total.Add(m)
+
+	offs[nb] = int(tileOffsets[nTiles-1] + tileTotals[nTiles-1])
+	if offs[nb] > len(si.Payload) {
+		return nil, total, core.ErrCorrupt
+	}
+	return offs, total, nil
+}

@@ -1,0 +1,103 @@
+package cuszx
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestGPUBlockOffsetsMatchSerial(t *testing.T) {
+	for _, n := range []int{0, 100, 4096, 100000, 300000} {
+		data := genData(n, int64(n+1))
+		comp, err := core.CompressFloat32(data, 1e-3, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := core.ParseStream(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := si.BlockOffsets()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, m, err := GPUBlockOffsets(si, 8)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: len %d vs %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: offset %d: %d vs %d", n, i, got[i], want[i])
+			}
+		}
+		if n > 0 && m.Ops == 0 {
+			t.Error("no counted work")
+		}
+	}
+}
+
+func TestGPUBlockOffsetsManyTiles(t *testing.T) {
+	// Enough blocks (> 256*256) to force the multi-pass tile-total scan.
+	// Use a tiny block size to get many blocks cheaply.
+	data := genData(1<<20, 9)
+	comp, err := core.CompressFloat32(data, 1e-2, core.Options{BlockSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := core.ParseStream(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if si.Hdr.NumBlocks() <= 256*256 {
+		t.Skip("not enough blocks to exercise multi-pass path")
+	}
+	want, _ := si.BlockOffsets()
+	got, _, err := GPUBlockOffsets(si, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("offset %d differs", i)
+		}
+	}
+}
+
+func TestGPUCompact(t *testing.T) {
+	// Synthetic scratch: 10 slots of stride 16, variable sizes.
+	const stride = 16
+	sizes := []uint16{4, 0, 16, 7, 1, 0, 9, 16, 3, 5}
+	scratch := make([]byte, len(sizes)*stride)
+	for k := range sizes {
+		for i := 0; i < int(sizes[k]); i++ {
+			scratch[k*stride+i] = byte(k*31 + i)
+		}
+	}
+	out, offs, m := gpuCompact(scratch, sizes, stride, 4)
+	want := 0
+	for k, sz := range sizes {
+		if offs[k] != want {
+			t.Fatalf("offs[%d]=%d want %d", k, offs[k], want)
+		}
+		for i := 0; i < int(sz); i++ {
+			if out[offs[k]+i] != byte(k*31+i) {
+				t.Fatalf("block %d byte %d wrong", k, i)
+			}
+		}
+		want += int(sz)
+	}
+	if offs[len(sizes)] != want || len(out) != want {
+		t.Fatalf("total %d/%d want %d", offs[len(sizes)], len(out), want)
+	}
+	if m.Ops == 0 {
+		t.Error("no counted work")
+	}
+	// Empty case.
+	out, offs, _ = gpuCompact(nil, nil, stride, 4)
+	if len(out) != 0 || len(offs) != 1 {
+		t.Fatal("empty compact wrong")
+	}
+}

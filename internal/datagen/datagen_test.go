@@ -1,0 +1,175 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := Miranda(16, 42)
+	b := Miranda(16, 42)
+	if len(a.Fields) != len(b.Fields) {
+		t.Fatal("field count differs")
+	}
+	for i := range a.Fields {
+		for j := range a.Fields[i].Data {
+			if a.Fields[i].Data[j] != b.Fields[i].Data[j] {
+				t.Fatalf("field %d value %d differs across runs", i, j)
+			}
+		}
+	}
+	c := Miranda(16, 43)
+	same := true
+	for j := range a.Fields[0].Data {
+		if a.Fields[0].Data[j] != c.Fields[0].Data[j] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAppsShape(t *testing.T) {
+	apps := AllApps(16, 1)
+	if len(apps) != 6 {
+		t.Fatalf("want 6 apps, got %d", len(apps))
+	}
+	wantFields := map[string]int{
+		"CESM-ATM": 8, "Hurricane": 6, "Miranda": 7,
+		"Nyx": 6, "QMCPack": 2, "SCALE-LetKF": 5,
+	}
+	wantDims := map[string]int{
+		"CESM-ATM": 2, "Hurricane": 3, "Miranda": 3,
+		"Nyx": 3, "QMCPack": 4, "SCALE-LetKF": 3,
+	}
+	for _, app := range apps {
+		if got := len(app.Fields); got != wantFields[app.Name] {
+			t.Errorf("%s: %d fields, want %d", app.Name, got, wantFields[app.Name])
+		}
+		for _, f := range app.Fields {
+			if len(f.Dims) != wantDims[app.Name] {
+				t.Errorf("%s/%s: %d dims, want %d", app.Name, f.Name, len(f.Dims), wantDims[app.Name])
+			}
+			n := 1
+			for _, d := range f.Dims {
+				n *= d
+			}
+			if n != len(f.Data) {
+				t.Errorf("%s/%s: dims product %d != len %d", app.Name, f.Name, n, len(f.Data))
+			}
+			if f.NumElements() != len(f.Data) {
+				t.Errorf("%s/%s: NumElements mismatch", app.Name, f.Name)
+			}
+			for i, v := range f.Data {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					t.Fatalf("%s/%s: non-finite value at %d", app.Name, f.Name, i)
+				}
+			}
+		}
+		if app.TotalBytes() <= 0 {
+			t.Errorf("%s: TotalBytes %d", app.Name, app.TotalBytes())
+		}
+	}
+}
+
+// blockRangeFraction measures the fraction of size-8 blocks whose relative
+// value range is below 0.01 — the paper's Fig. 2 smoothness signal.
+func blockRangeFraction(data []float32) float64 {
+	gmin, gmax := data[0], data[0]
+	for _, v := range data {
+		if v < gmin {
+			gmin = v
+		}
+		if v > gmax {
+			gmax = v
+		}
+	}
+	g := float64(gmax) - float64(gmin)
+	if g == 0 {
+		return 1
+	}
+	smooth := 0
+	blocks := 0
+	for lo := 0; lo+8 <= len(data); lo += 8 {
+		mn, mx := data[lo], data[lo]
+		for _, v := range data[lo+1 : lo+8] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if (float64(mx)-float64(mn))/g <= 0.01 {
+			smooth++
+		}
+		blocks++
+	}
+	return float64(smooth) / float64(blocks)
+}
+
+// TestSmoothnessOrdering verifies the Fig. 2 relationship the generators
+// are tuned for: Miranda and QMCPack have far more smooth blocks than Nyx.
+func TestSmoothnessOrdering(t *testing.T) {
+	mi := Miranda(8, 7)
+	qm := QMCPack(8, 7)
+	ny := Nyx(8, 7)
+
+	miFrac := blockRangeFraction(mi.Fields[2].Data) // pressure
+	qmFrac := blockRangeFraction(qm.Fields[0].Data)
+	nyFrac := blockRangeFraction(ny.Fields[0].Data) // baryon_density
+
+	if miFrac < 0.5 {
+		t.Errorf("Miranda pressure smooth fraction %.2f < 0.5", miFrac)
+	}
+	if qmFrac < 0.5 {
+		t.Errorf("QMCPack smooth fraction %.2f < 0.5", qmFrac)
+	}
+	if nyFrac > miFrac {
+		t.Errorf("Nyx (%.2f) smoother than Miranda (%.2f); want heavier tail", nyFrac, miFrac)
+	}
+}
+
+func TestSparseFieldsMostlyZero(t *testing.T) {
+	hu := Hurricane(8, 3)
+	cloud := hu.Fields[0]
+	zeros := 0
+	for _, v := range cloud.Data {
+		if v == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / float64(len(cloud.Data))
+	if frac < 0.3 {
+		t.Errorf("CLOUDf48 zero fraction %.2f, want sparse field", frac)
+	}
+}
+
+func TestSlice2D(t *testing.T) {
+	apps := AllApps(16, 2)
+	for _, app := range apps {
+		for _, f := range app.Fields {
+			s, h, w := Slice2D(f)
+			if len(s) != h*w {
+				t.Errorf("%s/%s: slice %d != %dx%d", app.Name, f.Name, len(s), h, w)
+			}
+		}
+	}
+}
+
+func TestScaleDims(t *testing.T) {
+	d := scaleDims([]int{100, 500}, 4)
+	if d[0] != 25 || d[1] != 125 {
+		t.Errorf("got %v", d)
+	}
+	d = scaleDims([]int{8}, 100) // clamps at 4
+	if d[0] != 4 {
+		t.Errorf("got %v", d)
+	}
+	d = scaleDims([]int{16}, 0) // scale < 1 treated as 1
+	if d[0] != 16 {
+		t.Errorf("got %v", d)
+	}
+}

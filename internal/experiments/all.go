@@ -1,0 +1,8 @@
+package experiments
+
+// All runs every experiment driver in paper order and returns the reports.
+// With cfg.Quick it is fast enough for CI; at full scale it regenerates the
+// data behind EXPERIMENTS.md.
+func All(cfg Config) ([]Report, error) {
+	return Run(cfg, nil)
+}

@@ -1,0 +1,411 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var quickCfg = Config{Scale: 16, Seed: 7, Quick: true, Workers: 4}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	s = strings.TrimSuffix(s, "%")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2Shape(t *testing.T) {
+	rep, err := Fig2(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4*2 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+	// CDF rows must be monotone non-decreasing across thresholds and end ~1.
+	for _, row := range rep.Rows {
+		prev := -1.0
+		for _, c := range row[2:] {
+			v := parseF(t, c)
+			if v < prev-1e-9 {
+				t.Fatalf("non-monotone CDF row %v", row)
+			}
+			prev = v
+		}
+	}
+	// Paper ordering at the tightest threshold (column 2), block size 8:
+	// Miranda and QMCPack clearly smoother than Nyx.
+	get := func(prefix string) float64 {
+		for _, row := range rep.Rows {
+			if strings.HasPrefix(row[0], prefix) && row[1] == "8" {
+				return parseF(t, row[2])
+			}
+		}
+		t.Fatalf("panel %s not found", prefix)
+		return 0
+	}
+	if get("Miranda") <= get("Nyx") {
+		t.Error("Miranda not smoother than Nyx at 0.001")
+	}
+	if get("QMCPack") <= get("Nyx") {
+		t.Error("QMCPack not smoother than Nyx at 0.001")
+	}
+}
+
+func TestFig6OverheadBand(t *testing.T) {
+	rep, err := Fig6(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rep.Rows {
+		mean := parseF(t, row[5])
+		max := parseF(t, row[7])
+		if mean > 15 {
+			t.Errorf("%v: mean overhead %v%% above paper band", row[:3], mean)
+		}
+		if max > 25 {
+			t.Errorf("%v: max overhead %v%% far above paper band", row[:3], max)
+		}
+	}
+}
+
+func TestFig8BlockSizeTrend(t *testing.T) {
+	rep, err := Fig8(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each field: CR(128) should be >= CR(8) (impact factor B), and
+	// PSNR should stay within a few dB.
+	type pair struct{ cr8, cr128, p8, p128 float64 }
+	fields := map[string]*pair{}
+	for _, row := range rep.Rows {
+		f := row[0]
+		if fields[f] == nil {
+			fields[f] = &pair{}
+		}
+		switch row[2] {
+		case "8":
+			fields[f].cr8 = parseF(t, row[3])
+			fields[f].p8 = parseF(t, row[4])
+		case "128":
+			fields[f].cr128 = parseF(t, row[3])
+			fields[f].p128 = parseF(t, row[4])
+		}
+	}
+	improved := 0
+	for f, p := range fields {
+		if p.cr128 >= p.cr8 {
+			improved++
+		}
+		if diff := p.p128 - p.p8; diff < -6 || diff > 6 {
+			t.Errorf("%s: PSNR moved %v dB between block sizes", f, diff)
+		}
+	}
+	if improved < len(fields)/2 {
+		t.Errorf("only %d/%d fields improved CR at block size 128", improved, len(fields))
+	}
+}
+
+func TestFig12QualityMonotone(t *testing.T) {
+	rep, err := Fig12(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+	// Looser bounds: higher CR, lower PSNR, lower (or equal) SSIM.
+	for i := 1; i < 3; i++ {
+		if parseF(t, rep.Rows[i][1]) < parseF(t, rep.Rows[i-1][1]) {
+			t.Errorf("CR not increasing with looser bound: %v", rep.Rows)
+		}
+		if parseF(t, rep.Rows[i][2]) > parseF(t, rep.Rows[i-1][2]) {
+			t.Errorf("PSNR not decreasing with looser bound: %v", rep.Rows)
+		}
+	}
+}
+
+func TestFig13NoExceed(t *testing.T) {
+	rep, err := Fig13(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		if row[4] != "0" {
+			t.Errorf("%s: %s errors exceed the bound", row[0], row[4])
+		}
+		if parseF(t, row[2]) > parseF(t, row[1])*1.0000001 {
+			t.Errorf("%s: max err %s above bound %s", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestTable3Ordering(t *testing.T) {
+	rep, err := Table3(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract the overall CR (middle of min/overall/max) per codec for the
+	// first app column.
+	overall := map[string]float64{}
+	for _, row := range rep.Rows {
+		parts := strings.Split(row[2], "/")
+		if len(parts) == 3 && overall[row[0]] == 0 {
+			overall[row[0]] = parseF(t, parts[1])
+		}
+	}
+	if !(overall["SZx"] > overall["zstd*"]) {
+		t.Errorf("SZx (%v) not above lossless (%v)", overall["SZx"], overall["zstd*"])
+	}
+	if !(overall["SZ"] > overall["SZx"]) {
+		t.Errorf("SZ (%v) not above SZx (%v)", overall["SZ"], overall["SZx"])
+	}
+	if overall["zstd*"] < 0.8 || overall["zstd*"] > 3 {
+		t.Errorf("lossless ratio %v outside plausible band", overall["zstd*"])
+	}
+}
+
+func speedup(t *testing.T, rep Report, num, den string) float64 {
+	t.Helper()
+	var a, b float64
+	for _, row := range rep.Rows {
+		if row[0] == num && a == 0 {
+			a = parseF(t, row[2])
+		}
+		if row[0] == den && b == 0 {
+			b = parseF(t, row[2])
+		}
+	}
+	if a == 0 || b == 0 {
+		t.Fatalf("missing rows %s/%s", num, den)
+	}
+	return a / b
+}
+
+func TestTable4SZxFastest(t *testing.T) {
+	rep, err := Table4(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := speedup(t, rep, "SZx", "SZ"); s < 1.5 {
+		t.Errorf("SZx only %.1fx faster than SZ in compression", s)
+	}
+	if s := speedup(t, rep, "SZx", "ZFP"); s < 1.2 {
+		t.Errorf("SZx only %.1fx faster than ZFP in compression", s)
+	}
+}
+
+func TestTable5SZxFastest(t *testing.T) {
+	rep, err := Table5(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := speedup(t, rep, "SZx", "SZ"); s < 1.2 {
+		t.Errorf("SZx only %.1fx faster than SZ in decompression", s)
+	}
+}
+
+func TestTable6NA(t *testing.T) {
+	rep, err := Table6(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CESM (2-D) must be n/a for omp-SZ, as in the paper.
+	found := false
+	for _, row := range rep.Rows {
+		if row[0] == "omp-SZ" && row[2] == "n/a" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("omp-SZ CESM should be n/a")
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	rep, err := Table7(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawZFPna, sawSZx := false, false
+	for _, row := range rep.Rows {
+		if row[0] == "omp-ZFP" && row[2] == "n/a" {
+			sawZFPna = true
+		}
+		if row[0] == "omp-SZx" && row[2] != "n/a" {
+			sawSZx = true
+		}
+	}
+	if !sawZFPna || !sawSZx {
+		t.Errorf("table shape wrong: zfpNA=%v szx=%v", sawZFPna, sawSZx)
+	}
+}
+
+func TestFig14Ordering(t *testing.T) {
+	a, b, err := Fig14(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rep := range []Report{a, b} {
+		for _, row := range rep.Rows {
+			szx := parseF(t, row[1])
+			cusz := parseF(t, row[2])
+			cuzfp := parseF(t, row[3])
+			if !(szx > cusz && szx > cuzfp) {
+				t.Errorf("%s %s: cuSZx (%v) not fastest (cuSZ %v, cuZFP %v)",
+					rep.ID, row[0], szx, cusz, cuzfp)
+			}
+		}
+	}
+}
+
+func TestFig15Ordering(t *testing.T) {
+	a, _, err := Fig15(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range a.Rows {
+		if !(parseF(t, row[1]) > parseF(t, row[2])) {
+			t.Errorf("cuSZx decompression not faster than cuSZ: %v", row)
+		}
+	}
+}
+
+func TestFig16SZxWins(t *testing.T) {
+	rep, err := Fig16(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per (rel, ranks) group, SZx's dump total should be the smallest.
+	type key struct{ rel, ranks string }
+	best := map[key]string{}
+	val := map[key]float64{}
+	for _, row := range rep.Rows {
+		k := key{row[0], row[1]}
+		v := parseF(t, row[5])
+		if cur, ok := val[k]; !ok || v < cur {
+			val[k] = v
+			best[k] = row[2]
+		}
+	}
+	for k, b := range best {
+		if b != "SZx" {
+			t.Errorf("group %v: fastest dump is %s", k, b)
+		}
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	rep := Report{
+		ID: "X", Title: "t",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"n"},
+	}
+	txt := rep.Render()
+	if !strings.Contains(txt, "== X: t ==") || !strings.Contains(txt, "note: n") {
+		t.Errorf("render: %q", txt)
+	}
+	md := rep.Markdown()
+	if !strings.Contains(md, "| a | bb |") || !strings.Contains(md, "### X — t") {
+		t.Errorf("markdown: %q", md)
+	}
+}
+
+func TestAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reports, err := All(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 18 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.ID == "" || len(r.Rows) == 0 {
+			t.Errorf("report %q empty", r.ID)
+		}
+	}
+}
+
+func TestTradeOffFrontier(t *testing.T) {
+	rep, err := TradeOff(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SZx must beat SZ on compression throughput at every bound; SZ must
+	// beat SZx on ratio at every bound.
+	szxMBps := map[string]float64{}
+	szxCR := map[string]float64{}
+	for _, row := range rep.Rows {
+		if row[0] == "SZx" {
+			szxMBps[row[1]] = parseF(t, row[3])
+			szxCR[row[1]] = parseF(t, row[2])
+		}
+	}
+	for _, row := range rep.Rows {
+		if row[0] == "SZ" {
+			if parseF(t, row[3]) >= szxMBps[row[1]] {
+				t.Errorf("rel %s: SZ compresses faster than SZx", row[1])
+			}
+			if parseF(t, row[2]) <= szxCR[row[1]] {
+				t.Errorf("rel %s: SZ ratio not above SZx", row[1])
+			}
+		}
+	}
+}
+
+func TestBlockSizeSpeed(t *testing.T) {
+	rep, err := BlockSizeSpeed(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 3 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if parseF(t, row[2]) <= 0 {
+			t.Errorf("blocksize %s: nonpositive throughput", row[0])
+		}
+	}
+}
+
+func TestCheckpointDriver(t *testing.T) {
+	rep, err := Checkpoint(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows %d", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "raw" {
+		t.Fatalf("first row %v", rep.Rows[0])
+	}
+	var rawOv, szxOv float64
+	for _, row := range rep.Rows {
+		ov := parseF(t, strings.TrimSuffix(row[6], "%"))
+		if ov <= 0 || ov > 100 {
+			t.Errorf("%s: overhead %v%%", row[0], ov)
+		}
+		switch row[0] {
+		case "raw":
+			rawOv = ov
+		case "SZx":
+			szxOv = ov
+		}
+	}
+	// SZx checkpointing should not be more expensive than raw at these
+	// (high-contention) scales.
+	if szxOv > rawOv*1.5 {
+		t.Errorf("SZx overhead %v%% much worse than raw %v%%", szxOv, rawOv)
+	}
+}

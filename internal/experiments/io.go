@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/pfs"
+)
+
+// Fig16 reproduces the parallel-file-system dump/load experiment: 64-1024
+// ranks each compress (or decompress) their share of a Nyx-like dataset and
+// stream it to the modeled ThetaGPU file system, at three value-range error
+// bounds. The paper's finding: SZx's dump/load time is 1/3-1/2 of SZ's and
+// ZFP's because the compressor, not the PFS, is the bottleneck.
+func Fig16(cfg Config) (Report, error) {
+	ny := datagen.Nyx(cfg.scale(), cfg.seed())
+	perRank := gpuSample(ny, 1<<20)
+	if cfg.Quick {
+		perRank = perRank[:1<<15]
+	}
+
+	ranks := []int{64, 128, 256, 512, 1024}
+	rels := []float64{1e-2, 1e-3, 1e-4}
+	if cfg.Quick {
+		ranks = []int{64, 1024}
+		rels = []float64{1e-3}
+	}
+
+	rep := Report{
+		ID:    "Fig. 16",
+		Title: "Data dumping/loading on modeled PFS (seconds per rank-wave)",
+		Header: []string{"rel", "ranks", "codec", "compress", "write", "dump total",
+			"read", "decompress", "load total", "CR"},
+	}
+	for _, rel := range rels {
+		abs := relToAbs(perRank, rel)
+		codecs := []pfs.Codec{
+			pfsCodec(szxCodec(1), abs, len(perRank)),
+			pfsCodec(szCodec(), abs, len(perRank)),
+			pfsCodec(zfpCodec(), abs, len(perRank)),
+		}
+		for _, r := range ranks {
+			for _, c := range codecs {
+				res, err := pfs.Simulate(pfs.ThetaFS, r, perRank, c)
+				if err != nil {
+					return Report{}, err
+				}
+				rep.Rows = append(rep.Rows, []string{
+					fmt.Sprintf("%.0e", rel), fmt.Sprintf("%d", r), res.Codec,
+					f3(res.CompressSec), f3(res.WriteSec), f3(res.DumpSec()),
+					f3(res.ReadSec), f3(res.DecompressSec), f3(res.LoadSec()),
+					f1(res.Ratio()),
+				})
+			}
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"paper: SZx dump/load takes 1/3-1/2 the time of SZ/ZFP; compression dominates because the PFS is fast")
+	return rep, nil
+}
+
+// pfsCodec adapts an experiments codec to the pfs harness.
+func pfsCodec(c codec, abs float64, n int) pfs.Codec {
+	return pfs.Codec{
+		Name: c.name,
+		Compress: func(d []float32) ([]byte, error) {
+			return c.compress(d, []int{len(d)}, abs)
+		},
+		Decompress: func(comp []byte) ([]float32, error) {
+			return c.decompress(comp, n)
+		},
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import "strings"
+
+// Driver is one runnable evaluation artifact (a figure or table); drivers
+// that produce multiple panels return multiple reports.
+type Driver struct {
+	// ID is the artifact identifier ("Table 3", "Fig. 14", ...).
+	ID string
+	// Run regenerates the artifact.
+	Run func(Config) ([]Report, error)
+}
+
+func single(f func(Config) (Report, error)) func(Config) ([]Report, error) {
+	return func(cfg Config) ([]Report, error) {
+		r, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Report{r}, nil
+	}
+}
+
+func double(f func(Config) (Report, Report, error)) func(Config) ([]Report, error) {
+	return func(cfg Config) ([]Report, error) {
+		a, b, err := f(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []Report{a, b}, nil
+	}
+}
+
+// Drivers lists every artifact in paper order.
+func Drivers() []Driver {
+	return []Driver{
+		{"Fig. 2", single(Fig2)},
+		{"Fig. 6", single(Fig6)},
+		{"Fig. 8", single(Fig8)},
+		{"Fig. 12", single(Fig12)},
+		{"Fig. 13", single(Fig13)},
+		{"Table 3", single(Table3)},
+		{"Table 4", single(Table4)},
+		{"Table 5", single(Table5)},
+		{"Table 6", single(Table6)},
+		{"Table 7", single(Table7)},
+		{"Fig. 14", double(Fig14)},
+		{"Fig. 15", double(Fig15)},
+		{"Fig. 16", single(Fig16)},
+		{"Trade-off", single(TradeOff)},
+		{"Checkpoint", single(Checkpoint)},
+		{"Ablation B", single(BlockSizeSpeed)},
+	}
+}
+
+// Run executes the drivers whose IDs match any of the given prefixes
+// (all drivers when prefixes is empty) and returns the reports in order.
+func Run(cfg Config, prefixes []string) ([]Report, error) {
+	keep := func(id string) bool {
+		if len(prefixes) == 0 {
+			return true
+		}
+		for _, p := range prefixes {
+			if strings.HasPrefix(id, strings.TrimSpace(p)) {
+				return true
+			}
+		}
+		return false
+	}
+	var reports []Report
+	for _, d := range Drivers() {
+		if !keep(d.ID) {
+			continue
+		}
+		rs, err := d.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, rs...)
+	}
+	return reports, nil
+}

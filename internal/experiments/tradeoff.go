@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+)
+
+// TradeOff implements the paper's stated future work (§8): a quantitative
+// characterization of the compression-ratio / performance trade-off. For a
+// sweep of error bounds it reports, per codec, the ratio, both throughputs,
+// and PSNR, exposing the frontier a user navigates when choosing between
+// SZx (speed) and SZ/ZFP (ratio) — e.g. for the checkpoint/restart
+// cost model of Ibtesham et al. that the paper cites.
+func TradeOff(cfg Config) (Report, error) {
+	mi := datagen.Miranda(cfg.scale(), cfg.seed())
+	field := mi.Fields[2] // pressure
+	rels := []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}
+	if cfg.Quick {
+		rels = []float64{1e-2, 1e-4}
+	}
+	codecs := []codec{szxCodec(1), zfpCodec(), szCodec()}
+
+	rep := Report{
+		ID:     "Trade-off",
+		Title:  "Compression ratio vs throughput frontier (Miranda pressure)",
+		Header: []string{"codec", "rel", "CR", "comp MB/s", "decomp MB/s", "PSNR(dB)", "bytes/val"},
+	}
+	origBytes := float64(4 * len(field.Data))
+	for _, c := range codecs {
+		for _, rel := range rels {
+			abs := relToAbs(field.Data, rel)
+			comp, err := c.compress(field.Data, field.Dims, abs)
+			if err != nil {
+				return Report{}, err
+			}
+			dec, err := c.decompress(comp, len(field.Data))
+			if err != nil {
+				return Report{}, err
+			}
+			d, err := metrics.Measure(field.Data, dec)
+			if err != nil {
+				return Report{}, err
+			}
+			var cerr error
+			compSec := cfg.measure(func() {
+				if _, e := c.compress(field.Data, field.Dims, abs); e != nil {
+					cerr = e
+				}
+			})
+			decSec := cfg.measure(func() {
+				if _, e := c.decompress(comp, len(field.Data)); e != nil {
+					cerr = e
+				}
+			})
+			if cerr != nil {
+				return Report{}, cerr
+			}
+			rep.Rows = append(rep.Rows, []string{
+				c.name, fmt.Sprintf("%.0e", rel),
+				f2(origBytes / float64(len(comp))),
+				fmt.Sprintf("%.0f", origBytes/compSec/1e6),
+				fmt.Sprintf("%.0f", origBytes/decSec/1e6),
+				f1(d.PSNR),
+				f2(float64(len(comp)) * 8 / float64(len(field.Data))), // bits/value... reported as bits
+			})
+		}
+	}
+	rep.Header[6] = "bits/val"
+	rep.Notes = append(rep.Notes,
+		"paper §8 future work: quantifies what a user trades when choosing SZx's speed over SZ/ZFP's ratio",
+		"expected frontier: SZx dominates on both throughput axes at every bound; SZ dominates on ratio; ZFP between")
+	return rep, nil
+}
+
+// BlockSizeSpeed is a second ablation driver (DESIGN.md §7): the effect of
+// the block size on compression speed and the constant-block fraction,
+// complementing Fig. 8's ratio/PSNR view.
+func BlockSizeSpeed(cfg Config) (Report, error) {
+	ny := datagen.Nyx(cfg.scale(), cfg.seed())
+	field := ny.Fields[2] // temperature
+	abs := relToAbs(field.Data, 1e-3)
+	blockSizes := []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	if cfg.Quick {
+		blockSizes = []int{8, 128, 2048}
+	}
+	rep := Report{
+		ID:     "Ablation B",
+		Title:  "Block size vs speed and constant-block fraction (Nyx temperature, REL 1e-3)",
+		Header: []string{"blocksize", "CR", "comp MB/s", "constant %", "lossless blocks"},
+	}
+	origBytes := float64(4 * len(field.Data))
+	for _, bs := range blockSizes {
+		_, st, err := core.CompressFloat32Stats(field.Data, abs, core.Options{BlockSize: bs})
+		if err != nil {
+			return Report{}, err
+		}
+		var cerr error
+		sec := cfg.measure(func() {
+			if _, e := core.CompressFloat32(field.Data, abs, core.Options{BlockSize: bs}); e != nil {
+				cerr = e
+			}
+		})
+		if cerr != nil {
+			return Report{}, cerr
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fmt.Sprintf("%d", bs), f2(st.Ratio()),
+			fmt.Sprintf("%.0f", origBytes/sec/1e6),
+			f1(100 * float64(st.ConstantBlocks) / float64(st.Blocks)),
+			fmt.Sprintf("%d", st.LosslessBlocks),
+		})
+	}
+	rep.Notes = append(rep.Notes,
+		"paper §5.3: 128 balances ratio (converged) against GPU-friendliness; speed is flat once per-block overheads amortize")
+	return rep, nil
+}

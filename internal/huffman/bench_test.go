@@ -1,0 +1,22 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDecodeAll(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 100000)
+	for i := range syms {
+		syms[i] = 32768 + int(rng.NormFloat64()*15)
+	}
+	enc, _ := EncodeAll(syms, 65536)
+	b.SetBytes(int64(len(syms)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeAll(enc, len(syms)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package huffman
+
+import "testing"
+
+func FuzzDecodeAll(f *testing.F) {
+	enc, _ := EncodeAll([]int{1, 2, 3, 1, 1}, 8)
+	f.Add(enc, 5)
+	f.Add([]byte{}, 3)
+	f.Fuzz(func(t *testing.T, src []byte, n int) {
+		if n < 0 || n > 1<<16 {
+			return
+		}
+		_, _, _ = DecodeAll(src, n)
+	})
+}

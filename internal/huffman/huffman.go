@@ -1,0 +1,405 @@
+// Package huffman implements canonical Huffman coding over integer symbol
+// alphabets. It is the entropy-coding stage of the SZ baseline compressor
+// (Tao et al., IPDPS '17; Liang et al., BigData '18) that the SZx paper
+// compares against: quantization codes produced by the Lorenzo predictor
+// are Huffman-encoded, which is precisely the "expensive encoding" stage
+// whose cost SZx's design avoids.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"sort"
+
+	"repro/internal/bitio"
+)
+
+// Errors returned by the codec.
+var (
+	ErrCorrupt    = errors.New("huffman: corrupt stream")
+	ErrBadSymbol  = errors.New("huffman: symbol out of alphabet range")
+	ErrEmptyInput = errors.New("huffman: no symbols to encode")
+)
+
+// maxCodeLen keeps codes within a single 64-bit accumulator write.
+const maxCodeLen = 57
+
+type node struct {
+	freq        int64
+	symbol      int // -1 for internal
+	left, right int // indices into the pool, -1 for leaves
+}
+
+type nodeHeap struct {
+	pool  []node
+	order []int
+}
+
+func (h nodeHeap) Len() int { return len(h.order) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := h.pool[h.order[i]], h.pool[h.order[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	// Tie-break deterministically.
+	return h.order[i] < h.order[j]
+}
+func (h nodeHeap) Swap(i, j int)       { h.order[i], h.order[j] = h.order[j], h.order[i] }
+func (h *nodeHeap) Push(x interface{}) { h.order = append(h.order, x.(int)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.order
+	n := len(old)
+	x := old[n-1]
+	h.order = old[:n-1]
+	return x
+}
+
+// codeLengths computes Huffman code lengths for the given frequencies
+// (zero-frequency symbols get length 0). If the natural tree would exceed
+// maxCodeLen, frequencies are flattened until it fits.
+func codeLengths(freq []int64) []uint8 {
+	lens := make([]uint8, len(freq))
+	f := append([]int64(nil), freq...)
+	for {
+		used := 0
+		lastSym := -1
+		for s, c := range f {
+			if c > 0 {
+				used++
+				lastSym = s
+			}
+		}
+		if used == 0 {
+			return lens
+		}
+		if used == 1 {
+			lens[lastSym] = 1
+			return lens
+		}
+
+		pool := make([]node, 0, 2*used)
+		h := &nodeHeap{pool: pool}
+		for s, c := range f {
+			if c > 0 {
+				h.pool = append(h.pool, node{freq: c, symbol: s, left: -1, right: -1})
+				h.order = append(h.order, len(h.pool)-1)
+			}
+		}
+		heap.Init(h)
+		for h.Len() > 1 {
+			a := heap.Pop(h).(int)
+			b := heap.Pop(h).(int)
+			h.pool = append(h.pool, node{
+				freq: h.pool[a].freq + h.pool[b].freq, symbol: -1, left: a, right: b,
+			})
+			heap.Push(h, len(h.pool)-1)
+		}
+		root := h.order[0]
+
+		// Depth-first walk to assign lengths.
+		maxLen := uint8(0)
+		for i := range lens {
+			lens[i] = 0
+		}
+		type frame struct {
+			n     int
+			depth uint8
+		}
+		stack := []frame{{root, 0}}
+		for len(stack) > 0 {
+			fr := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			nd := h.pool[fr.n]
+			if nd.symbol >= 0 {
+				lens[nd.symbol] = fr.depth
+				if fr.depth > maxLen {
+					maxLen = fr.depth
+				}
+				continue
+			}
+			stack = append(stack, frame{nd.left, fr.depth + 1}, frame{nd.right, fr.depth + 1})
+		}
+		if maxLen <= maxCodeLen {
+			return lens
+		}
+		// Flatten the distribution and retry (rare: needs ~Fibonacci freqs).
+		for s := range f {
+			if f[s] > 0 {
+				f[s] = f[s]/2 + 1
+			}
+		}
+	}
+}
+
+// lutBits sizes the one-shot decode table: codes up to this length decode
+// with a single peek instead of a bit-by-bit canonical walk.
+const lutBits = 11
+
+// lutEntry is one decode-table slot; len 0 marks "fall back to the walk".
+type lutEntry struct {
+	sym int32
+	len uint8
+}
+
+// Table holds canonical codes for an alphabet.
+type Table struct {
+	lens  []uint8
+	codes []uint64
+	// Canonical decode acceleration, indexed by code length.
+	firstCode  [maxCodeLen + 2]uint64
+	firstIndex [maxCodeLen + 2]int
+	symbols    []int // symbols sorted by (len, symbol)
+	maxLen     uint8
+	lut        []lutEntry
+}
+
+// Build constructs a canonical Huffman table from symbol frequencies.
+func Build(freq []int64) (*Table, error) {
+	any := false
+	for _, c := range freq {
+		if c < 0 {
+			return nil, ErrCorrupt
+		}
+		if c > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return nil, ErrEmptyInput
+	}
+	return fromLengths(codeLengths(freq))
+}
+
+// fromLengths derives canonical codes from code lengths.
+func fromLengths(lens []uint8) (*Table, error) {
+	t := &Table{lens: lens, codes: make([]uint64, len(lens))}
+	var count [maxCodeLen + 2]int
+	for _, l := range lens {
+		if l > maxCodeLen {
+			return nil, ErrCorrupt
+		}
+		if l > 0 {
+			count[l]++
+			if l > t.maxLen {
+				t.maxLen = l
+			}
+		}
+	}
+	if t.maxLen == 0 {
+		return nil, ErrEmptyInput
+	}
+	// Canonical first-code / first-index tables, with a Kraft-inequality
+	// check so corrupt length sets are rejected.
+	var c uint64
+	i := 0
+	for l := uint8(1); l <= t.maxLen; l++ {
+		c <<= 1
+		t.firstCode[l] = c
+		t.firstIndex[l] = i
+		c += uint64(count[l])
+		i += count[l]
+	}
+	if c > 1<<uint(t.maxLen) {
+		return nil, ErrCorrupt
+	}
+
+	// Symbols ordered by (length, symbol) give each its canonical code.
+	t.symbols = make([]int, 0, i)
+	for s, l := range lens {
+		if l > 0 {
+			t.symbols = append(t.symbols, s)
+		}
+	}
+	sort.Slice(t.symbols, func(a, b int) bool {
+		sa, sb := t.symbols[a], t.symbols[b]
+		if lens[sa] != lens[sb] {
+			return lens[sa] < lens[sb]
+		}
+		return sa < sb
+	})
+	perLen := make([]uint64, maxCodeLen+2)
+	for l := uint8(1); l <= t.maxLen; l++ {
+		perLen[l] = t.firstCode[l]
+	}
+	for _, s := range t.symbols {
+		l := t.lens[s]
+		t.codes[s] = perLen[l]
+		perLen[l]++
+	}
+
+	// One-shot decode table: every lutBits-bit window starting with a short
+	// code maps directly to its symbol.
+	t.lut = make([]lutEntry, 1<<lutBits)
+	for _, s := range t.symbols {
+		l := uint(t.lens[s])
+		if l > lutBits {
+			continue
+		}
+		base := t.codes[s] << (lutBits - l)
+		for i := uint64(0); i < 1<<(lutBits-l); i++ {
+			t.lut[base+i] = lutEntry{sym: int32(s), len: uint8(l)}
+		}
+	}
+	return t, nil
+}
+
+// AlphabetSize returns the size of the table's alphabet.
+func (t *Table) AlphabetSize() int { return len(t.lens) }
+
+// CodeLen returns the code length of symbol s (0 = unused).
+func (t *Table) CodeLen(s int) int { return int(t.lens[s]) }
+
+// Encode appends the code for symbol s to w.
+func (t *Table) Encode(w *bitio.Writer, s int) error {
+	if s < 0 || s >= len(t.lens) || t.lens[s] == 0 {
+		return ErrBadSymbol
+	}
+	w.WriteBits(t.codes[s], uint(t.lens[s]))
+	return nil
+}
+
+// Decode reads one symbol from r: a single-peek table lookup for codes up
+// to lutBits long, falling back to the canonical walk for longer codes and
+// stream tails.
+func (t *Table) Decode(r *bitio.Reader) (int, error) {
+	if window, got := r.PeekBits(lutBits); got > 0 {
+		if e := t.lut[window]; e.len != 0 && uint(e.len) <= got {
+			if err := r.SkipBits(uint(e.len)); err != nil {
+				return 0, err
+			}
+			return int(e.sym), nil
+		}
+	}
+	var code uint64
+	for l := uint8(1); l <= t.maxLen; l++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | uint64(b)
+		next := t.firstCode[l] + uint64(t.countAt(l))
+		if code >= t.firstCode[l] && code < next {
+			return t.symbols[t.firstIndex[l]+int(code-t.firstCode[l])], nil
+		}
+	}
+	return 0, ErrCorrupt
+}
+
+func (t *Table) countAt(l uint8) int {
+	if l == t.maxLen {
+		return len(t.symbols) - t.firstIndex[l]
+	}
+	return t.firstIndex[l+1] - t.firstIndex[l]
+}
+
+// WriteTable serializes the table (alphabet size + sparse symbol/length
+// pairs) so the decoder can rebuild it.
+func (t *Table) WriteTable(dst []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(t.lens)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(t.symbols)))
+	dst = append(dst, hdr[:]...)
+	for _, s := range t.symbols {
+		var rec [5]byte
+		binary.LittleEndian.PutUint32(rec[0:], uint32(s))
+		rec[4] = t.lens[s]
+		dst = append(dst, rec[:]...)
+	}
+	return dst
+}
+
+// ReadTable deserializes a table written by WriteTable and returns it along
+// with the number of bytes consumed.
+func ReadTable(src []byte) (*Table, int, error) {
+	if len(src) < 8 {
+		return nil, 0, ErrCorrupt
+	}
+	alpha := int(binary.LittleEndian.Uint32(src[0:]))
+	used := int(binary.LittleEndian.Uint32(src[4:]))
+	if alpha < 1 || alpha > 1<<24 || used < 1 || used > alpha {
+		return nil, 0, ErrCorrupt
+	}
+	need := 8 + 5*used
+	if len(src) < need {
+		return nil, 0, ErrCorrupt
+	}
+	lens := make([]uint8, alpha)
+	for i := 0; i < used; i++ {
+		s := int(binary.LittleEndian.Uint32(src[8+5*i:]))
+		l := src[8+5*i+4]
+		if s >= alpha || l == 0 || l > maxCodeLen {
+			return nil, 0, ErrCorrupt
+		}
+		lens[s] = l
+	}
+	t, err := fromLengths(lens)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, need, nil
+}
+
+// EncodeAll Huffman-encodes the symbol stream and returns table+payload:
+// [table][u32 bit-length][payload bytes].
+func EncodeAll(symbols []int, alphabet int) ([]byte, error) {
+	if len(symbols) == 0 {
+		return nil, ErrEmptyInput
+	}
+	freq := make([]int64, alphabet)
+	for _, s := range symbols {
+		if s < 0 || s >= alphabet {
+			return nil, ErrBadSymbol
+		}
+		freq[s]++
+	}
+	t, err := Build(freq)
+	if err != nil {
+		return nil, err
+	}
+	out := t.WriteTable(nil)
+	w := bitio.NewWriter(len(symbols) / 2)
+	for _, s := range symbols {
+		if err := t.Encode(w, s); err != nil {
+			return nil, err
+		}
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(w.Len()))
+	out = append(out, lenBuf[:]...)
+	out = append(out, w.Bytes()...)
+	return out, nil
+}
+
+// DecodeAll reverses EncodeAll, returning n decoded symbols and the number
+// of bytes consumed from src.
+func DecodeAll(src []byte, n int) ([]int, int, error) {
+	t, used, err := ReadTable(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(src) < used+4 {
+		return nil, 0, ErrCorrupt
+	}
+	bitLen := int(binary.LittleEndian.Uint32(src[used:]))
+	used += 4
+	payloadBytes := (bitLen + 7) / 8
+	if bitLen < 0 || len(src) < used+payloadBytes {
+		return nil, 0, ErrCorrupt
+	}
+	// Every symbol costs at least one bit, so a forged count larger than
+	// the payload cannot force a huge allocation.
+	if n < 0 || n > bitLen {
+		return nil, 0, ErrCorrupt
+	}
+	r := bitio.NewReader(src[used : used+payloadBytes])
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		s, err := t.Decode(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = s
+	}
+	return out, used + payloadBytes, nil
+}

@@ -1,0 +1,272 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitio"
+)
+
+func TestRoundTripSimple(t *testing.T) {
+	syms := []int{0, 1, 1, 2, 2, 2, 2, 3, 0, 1}
+	enc, err := EncodeAll(syms, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, used, err := DecodeAll(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(enc) {
+		t.Errorf("consumed %d of %d", used, len(enc))
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("symbol %d: got %d want %d", i, dec[i], syms[i])
+		}
+	}
+}
+
+func TestSingleSymbolAlphabet(t *testing.T) {
+	syms := make([]int, 100)
+	for i := range syms {
+		syms[i] = 7
+	}
+	enc, err := EncodeAll(syms, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeAll(enc, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range dec {
+		if s != 7 {
+			t.Fatal("wrong symbol")
+		}
+	}
+	// Single-symbol streams should be ~1 bit per symbol.
+	if len(enc) > 64 {
+		t.Errorf("single-symbol stream too large: %d bytes", len(enc))
+	}
+}
+
+func TestSkewGivesShortCodes(t *testing.T) {
+	freq := make([]int64, 256)
+	freq[0] = 1000000
+	freq[1] = 10
+	freq[2] = 10
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.CodeLen(0) != 1 {
+		t.Errorf("dominant symbol len %d, want 1", tab.CodeLen(0))
+	}
+	if tab.CodeLen(1) < tab.CodeLen(0) {
+		t.Error("rare symbol shorter than dominant")
+	}
+	if tab.CodeLen(3) != 0 {
+		t.Error("unused symbol has a code")
+	}
+}
+
+func TestEncodeBadSymbol(t *testing.T) {
+	if _, err := EncodeAll([]int{0, 99}, 10); err != ErrBadSymbol {
+		t.Errorf("got %v", err)
+	}
+	if _, err := EncodeAll(nil, 10); err != ErrEmptyInput {
+		t.Errorf("got %v", err)
+	}
+	freq := make([]int64, 4)
+	tab := func() *Table {
+		freq[0], freq[1] = 5, 3
+		tb, _ := Build(freq)
+		return tb
+	}()
+	w := bitio.NewWriter(8)
+	if err := tab.Encode(w, 3); err != ErrBadSymbol {
+		t.Errorf("unused symbol: got %v", err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	syms := []int{1, 2, 3, 4, 5}
+	enc, err := EncodeAll(syms, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeAll(enc[:4], 5); err == nil {
+		t.Error("short table accepted")
+	}
+	if _, _, err := DecodeAll(enc[:len(enc)-2], 5); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	// Bit flips must never panic.
+	for i := 0; i < len(enc); i++ {
+		c := append([]byte(nil), enc...)
+		c[i] ^= 0x55
+		_, _, _ = DecodeAll(c, 5)
+	}
+}
+
+func TestLargeAlphabet(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := make([]int, 20000)
+	for i := range syms {
+		// Quantization-code-like distribution centered at 32768.
+		syms[i] = 32768 + int(rng.NormFloat64()*20)
+	}
+	enc, err := EncodeAll(syms, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecodeAll(enc, len(syms))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range syms {
+		if dec[i] != syms[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+	// ~8 bits/symbol max for a ±60 spread alphabet.
+	if len(enc) > 2*len(syms) {
+		t.Errorf("encoding too large: %d bytes for %d symbols", len(enc), len(syms))
+	}
+}
+
+func TestTableSerialization(t *testing.T) {
+	freq := make([]int64, 100)
+	for i := 0; i < 100; i += 7 {
+		freq[i] = int64(i + 1)
+	}
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser := tab.WriteTable(nil)
+	tab2, used, err := ReadTable(ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(ser) {
+		t.Errorf("consumed %d of %d", used, len(ser))
+	}
+	for s := 0; s < 100; s++ {
+		if tab.CodeLen(s) != tab2.CodeLen(s) {
+			t.Errorf("symbol %d: len %d != %d", s, tab.CodeLen(s), tab2.CodeLen(s))
+		}
+	}
+	if tab2.AlphabetSize() != 100 {
+		t.Errorf("alphabet %d", tab2.AlphabetSize())
+	}
+}
+
+// Property: prefix-free codes — no code is a prefix of another.
+func TestPrefixFreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		freq := make([]int64, n)
+		for i := range freq {
+			freq[i] = int64(rng.Intn(1000))
+		}
+		freq[0] = 1 // ensure at least one nonzero
+		tab, err := Build(freq)
+		if err != nil {
+			return false
+		}
+		type cw struct {
+			code uint64
+			len  uint8
+		}
+		var codes []cw
+		for s := 0; s < n; s++ {
+			if l := tab.CodeLen(s); l > 0 {
+				codes = append(codes, cw{tab.codes[s], uint8(l)})
+			}
+		}
+		for i := range codes {
+			for j := range codes {
+				if i == j {
+					continue
+				}
+				a, b := codes[i], codes[j]
+				if a.len > b.len {
+					continue
+				}
+				if b.code>>uint(b.len-a.len) == a.code {
+					return false // a is a prefix of b
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary symbol streams round-trip exactly.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64, count uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(count)%3000 + 1
+		alpha := 2 + rng.Intn(512)
+		syms := make([]int, n)
+		for i := range syms {
+			// Mix of uniform and geometric-ish distributions.
+			if rng.Intn(2) == 0 {
+				syms[i] = rng.Intn(alpha)
+			} else {
+				s := 0
+				for s < alpha-1 && rng.Intn(3) != 0 {
+					s++
+				}
+				syms[i] = s
+			}
+		}
+		enc, err := EncodeAll(syms, alpha)
+		if err != nil {
+			return false
+		}
+		dec, _, err := DecodeAll(enc, n)
+		if err != nil {
+			return false
+		}
+		for i := range syms {
+			if dec[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathologicalFrequencies(t *testing.T) {
+	// Fibonacci-like frequencies produce the deepest trees; the flattening
+	// fallback must keep codes within maxCodeLen.
+	freq := make([]int64, 90)
+	a, b := int64(1), int64(1)
+	for i := range freq {
+		freq[i] = a
+		a, b = b, a+b
+		if a < 0 { // overflow guard
+			a = 1 << 62
+		}
+	}
+	tab, err := Build(freq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := range freq {
+		if tab.CodeLen(s) > maxCodeLen {
+			t.Fatalf("symbol %d: code length %d exceeds cap", s, tab.CodeLen(s))
+		}
+	}
+}

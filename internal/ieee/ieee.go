@@ -1,0 +1,96 @@
+// Package ieee provides IEEE-754 bit-level helpers used by the SZx codec
+// and its baselines: exponent extraction, required-significant-bit math
+// (Formula 4 of the SZx paper), and byte-order conversions for float words.
+//
+// All helpers operate on the raw bit patterns so that the hot compression
+// loops stay free of multiplications and divisions, per the paper's design
+// constraint of using only lightweight operations.
+package ieee
+
+import "math"
+
+// Float32 layout constants.
+const (
+	// SignExpBits32 is the number of sign+exponent bits in a float32 word.
+	SignExpBits32 = 9
+	// FullBits32 is the total number of bits in a float32 word.
+	FullBits32 = 32
+	// MantBits32 is the number of explicit mantissa bits in a float32.
+	MantBits32 = 23
+	// Bias32 is the float32 exponent bias.
+	Bias32 = 127
+)
+
+// Float64 layout constants.
+const (
+	// SignExpBits64 is the number of sign+exponent bits in a float64 word.
+	SignExpBits64 = 12
+	// FullBits64 is the total number of bits in a float64 word.
+	FullBits64 = 64
+	// MantBits64 is the number of explicit mantissa bits in a float64.
+	MantBits64 = 52
+	// Bias64 is the float64 exponent bias.
+	Bias64 = 1023
+)
+
+// Exponent32 returns the unbiased binary exponent of x, i.e. floor(log2|x|)
+// for normal values. Zero and subnormal inputs return -Bias32, which is a
+// safe (conservative) lower bound for the codec: it only ever causes more
+// bits to be kept, never fewer.
+func Exponent32(x float32) int {
+	bits := math.Float32bits(x)
+	e := int(bits>>MantBits32) & 0xFF
+	return e - Bias32
+}
+
+// Exponent64 returns the unbiased binary exponent of x, i.e. floor(log2|x|)
+// for normal values. Zero and subnormal inputs return -Bias64.
+func Exponent64(x float64) int {
+	bits := math.Float64bits(x)
+	e := int(bits>>MantBits64) & 0x7FF
+	return e - Bias64
+}
+
+// ReqLength32 computes the number of significant bits that must be kept from
+// a normalized float32 word so that truncation error stays below the error
+// bound (Formula 4). radExpo is the exponent of the block's variation radius
+// and errExpo the exponent of the absolute error bound.
+//
+// The returned length includes the 9 sign+exponent bits. lossless reports
+// whether the full 32-bit word must be kept, in which case the caller must
+// disable normalization (store values verbatim) so reconstruction is exact.
+func ReqLength32(radExpo, errExpo int) (reqLength int, lossless bool) {
+	reqLength = SignExpBits32 + radExpo - errExpo
+	if reqLength < SignExpBits32 {
+		reqLength = SignExpBits32
+	}
+	if reqLength >= FullBits32 {
+		return FullBits32, true
+	}
+	return reqLength, false
+}
+
+// ReqLength64 is the float64 analogue of ReqLength32; the kept length
+// includes the 12 sign+exponent bits.
+func ReqLength64(radExpo, errExpo int) (reqLength int, lossless bool) {
+	reqLength = SignExpBits64 + radExpo - errExpo
+	if reqLength < SignExpBits64 {
+		reqLength = SignExpBits64
+	}
+	if reqLength >= FullBits64 {
+		return FullBits64, true
+	}
+	return reqLength, false
+}
+
+// ShiftBits returns the right-shift amount s that pads reqLength up to the
+// next multiple of 8 (Formula 5, Solution C in the paper): after shifting a
+// word right by s bits, the significant prefix occupies a whole number of
+// bytes and can be committed with plain byte copies.
+func ShiftBits(reqLength int) int {
+	r := reqLength & 7
+	if r == 0 {
+		return 0
+	}
+	return 8 - r
+}

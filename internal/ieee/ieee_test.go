@@ -1,0 +1,127 @@
+package ieee
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponent32(t *testing.T) {
+	cases := []struct {
+		x    float32
+		want int
+	}{
+		{1.0, 0},
+		{2.0, 1},
+		{4.0, 2},
+		{0.5, -1},
+		{0.25, -2},
+		{1.5, 0},
+		{3.9, 1},
+		{-8.0, 3},
+		{1e-3, -10},
+		{0, -Bias32},
+	}
+	for _, c := range cases {
+		if got := Exponent32(c.x); got != c.want {
+			t.Errorf("Exponent32(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestExponent64(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want int
+	}{
+		{1.0, 0},
+		{1e-4, -14},
+		{1e6, 19},
+		{-0.75, -1},
+		{0, -Bias64},
+	}
+	for _, c := range cases {
+		if got := Exponent64(c.x); got != c.want {
+			t.Errorf("Exponent64(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+// Exponent must agree with math.Log2 (floored) for normal positive values.
+func TestExponentMatchesLog2(t *testing.T) {
+	f := func(x float64) bool {
+		if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		ax := math.Abs(x)
+		if ax < math.SmallestNonzeroFloat64*(1<<53) { // skip subnormals
+			return true
+		}
+		want := int(math.Floor(math.Log2(ax)))
+		return Exponent64(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReqLength32(t *testing.T) {
+	// radius exponent 0, error exponent -10 -> 9 + 10 = 19 bits.
+	if got, lossless := ReqLength32(0, -10); got != 19 || lossless {
+		t.Errorf("ReqLength32(0,-10) = %d,%v want 19,false", got, lossless)
+	}
+	// Error bound looser than radius -> minimum 9 bits.
+	if got, lossless := ReqLength32(-5, 3); got != SignExpBits32 || lossless {
+		t.Errorf("ReqLength32(-5,3) = %d,%v want 9,false", got, lossless)
+	}
+	// Very tight bound -> lossless full word.
+	if got, lossless := ReqLength32(10, -40); got != FullBits32 || !lossless {
+		t.Errorf("ReqLength32(10,-40) = %d,%v want 32,true", got, lossless)
+	}
+	// Exactly 32 is lossless.
+	if got, lossless := ReqLength32(0, -23); got != FullBits32 || !lossless {
+		t.Errorf("ReqLength32(0,-23) = %d,%v want 32,true", got, lossless)
+	}
+	// 31 is not.
+	if got, lossless := ReqLength32(0, -22); got != 31 || lossless {
+		t.Errorf("ReqLength32(0,-22) = %d,%v want 31,false", got, lossless)
+	}
+}
+
+func TestReqLength64(t *testing.T) {
+	if got, lossless := ReqLength64(0, -10); got != 22 || lossless {
+		t.Errorf("ReqLength64(0,-10) = %d,%v want 22,false", got, lossless)
+	}
+	if got, lossless := ReqLength64(-3, 5); got != SignExpBits64 || lossless {
+		t.Errorf("ReqLength64(-3,5) = %d,%v want 12,false", got, lossless)
+	}
+	if got, lossless := ReqLength64(0, -60); got != FullBits64 || !lossless {
+		t.Errorf("ReqLength64(0,-60) = %d,%v want 64,true", got, lossless)
+	}
+}
+
+func TestShiftBits(t *testing.T) {
+	cases := []struct{ req, want int }{
+		{8, 0}, {16, 0}, {24, 0}, {32, 0},
+		{9, 7}, {10, 6}, {15, 1}, {17, 7}, {23, 1}, {31, 1},
+	}
+	for _, c := range cases {
+		if got := ShiftBits(c.req); got != c.want {
+			t.Errorf("ShiftBits(%d) = %d, want %d", c.req, got, c.want)
+		}
+	}
+}
+
+// Property: reqLength + shift is always a positive multiple of 8 and at most
+// one byte above the unpadded length.
+func TestShiftBitsProperty(t *testing.T) {
+	for req := 1; req <= 64; req++ {
+		s := ShiftBits(req)
+		if (req+s)%8 != 0 {
+			t.Errorf("req %d + shift %d not a byte multiple", req, s)
+		}
+		if s < 0 || s > 7 {
+			t.Errorf("shift %d out of range for req %d", s, req)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package lossless
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecompressLZ(f *testing.F) {
+	f.Add(CompressLZ([]byte("hello hello hello")))
+	f.Add([]byte{})
+	f.Add([]byte("LZG1\x00\x00\x00\x00\x00\x00\x00\x10"))
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		_, _ = DecompressLZ(comp)
+	})
+}
+
+// FuzzLZRoundTrip checks the stronger property: compression of arbitrary
+// input always round-trips exactly.
+func FuzzLZRoundTrip(f *testing.F) {
+	f.Add([]byte("abc"))
+	f.Add(bytes.Repeat([]byte{7}, 1000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		dec, err := DecompressLZ(CompressLZ(src))
+		if err != nil || !bytes.Equal(dec, src) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

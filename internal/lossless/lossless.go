@@ -1,0 +1,250 @@
+// Package lossless provides the lossless baselines for the SZx paper's
+// Table 3: a from-scratch byte-oriented LZ codec in the spirit of LZ4/Zstd's
+// fast match-copy stage (the "Zstd" row's stand-in — the real Zstd is not
+// available under the stdlib-only constraint), plus a DEFLATE-backed codec
+// for a second reference point. On float32 scientific data both land at the
+// compression ratios the paper reports for lossless compressors (~1.1-1.5),
+// which is the only property the evaluation uses them for.
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+)
+
+// Errors returned by the codecs.
+var (
+	ErrCorrupt = errors.New("lossless: corrupt or truncated stream")
+)
+
+const (
+	lzMagic   = "LZG1"
+	hashBits  = 16
+	hashSize  = 1 << hashBits
+	minMatch  = 4
+	maxOffset = 1 << 16
+)
+
+// hash4 hashes 4 bytes for the match table.
+func hash4(v uint32) uint32 {
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// CompressLZ compresses src with a greedy hash-chain LZ77: token bytes carry
+// literal-run and match lengths (LZ4-style), matches are within a 64 KiB
+// window, and everything is byte-aligned for speed.
+//
+// Token layout per sequence: 1 byte [lit<<4 | mlen], extended lengths as
+// 255-run bytes, literals, then a 2-byte little-endian match offset (absent
+// in the final literal-only sequence).
+func CompressLZ(src []byte) []byte {
+	out := make([]byte, 0, len(src)/2+32)
+	out = append(out, lzMagic...)
+	var n8 [8]byte
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(src)))
+	out = append(out, n8[:]...)
+	if len(src) == 0 {
+		return out
+	}
+
+	var table [hashSize]int32
+	for i := range table {
+		table[i] = -1
+	}
+
+	emitLen := func(l int) {
+		for l >= 255 {
+			out = append(out, 255)
+			l -= 255
+		}
+		out = append(out, byte(l))
+	}
+	emitSeq := func(lits []byte, mlen, moff int) {
+		litCode := len(lits)
+		if litCode > 15 {
+			litCode = 15
+		}
+		mCode := mlen - minMatch
+		if mlen == 0 {
+			mCode = 0
+		} else if mCode > 15 {
+			mCode = 15
+		}
+		out = append(out, byte(litCode<<4|mCode))
+		if litCode == 15 {
+			emitLen(len(lits) - 15)
+		}
+		out = append(out, lits...)
+		if mlen > 0 {
+			if mCode == 15 {
+				emitLen(mlen - minMatch - 15)
+			}
+			var o2 [2]byte
+			binary.LittleEndian.PutUint16(o2[:], uint16(moff-1))
+			out = append(out, o2[:]...)
+		}
+	}
+
+	litStart := 0
+	i := 0
+	for i+minMatch <= len(src) {
+		v := binary.LittleEndian.Uint32(src[i:])
+		h := hash4(v)
+		cand := int(table[h])
+		table[h] = int32(i)
+		if cand >= 0 && i-cand <= maxOffset &&
+			binary.LittleEndian.Uint32(src[cand:]) == v {
+			// Extend the match.
+			mlen := minMatch
+			for i+mlen < len(src) && src[cand+mlen] == src[i+mlen] {
+				mlen++
+			}
+			emitSeq(src[litStart:i], mlen, i-cand)
+			i += mlen
+			litStart = i
+			continue
+		}
+		i++
+	}
+	// Final literal-only sequence.
+	emitSeq(src[litStart:], 0, 0)
+	return out
+}
+
+// DecompressLZ reverses CompressLZ.
+func DecompressLZ(comp []byte) ([]byte, error) {
+	if len(comp) < 12 || string(comp[:4]) != lzMagic {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint64(comp[4:]))
+	if n < 0 || n > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	src := comp[12:]
+	out := make([]byte, 0, n)
+	pos := 0
+	readLen := func(base int) (int, bool) {
+		l := base
+		for {
+			if pos >= len(src) {
+				return 0, false
+			}
+			b := src[pos]
+			pos++
+			l += int(b)
+			if b != 255 {
+				return l, true
+			}
+		}
+	}
+	for len(out) < n {
+		if pos >= len(src) {
+			return nil, ErrCorrupt
+		}
+		tok := src[pos]
+		pos++
+		lit := int(tok >> 4)
+		mCode := int(tok & 15)
+		if lit == 15 {
+			ext, ok := readLen(15)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			lit = ext
+		}
+		if pos+lit > len(src) || len(out)+lit > n {
+			return nil, ErrCorrupt
+		}
+		out = append(out, src[pos:pos+lit]...)
+		pos += lit
+		if len(out) == n {
+			break // final literal-only sequence
+		}
+		mlen := mCode + minMatch
+		if mCode == 15 {
+			ext, ok := readLen(minMatch + 15)
+			if !ok {
+				return nil, ErrCorrupt
+			}
+			mlen = ext
+		}
+		if pos+2 > len(src) {
+			return nil, ErrCorrupt
+		}
+		moff := int(binary.LittleEndian.Uint16(src[pos:])) + 1
+		pos += 2
+		start := len(out) - moff
+		if start < 0 || len(out)+mlen > n {
+			return nil, ErrCorrupt
+		}
+		// Byte-by-byte copy: matches may overlap their own output.
+		for k := 0; k < mlen; k++ {
+			out = append(out, out[start+k])
+		}
+	}
+	return out, nil
+}
+
+// CompressFlate compresses src with DEFLATE (stdlib), the second lossless
+// reference. level follows compress/flate (use flate.BestSpeed for the
+// throughput comparisons).
+func CompressFlate(src []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	var n8 [8]byte
+	binary.LittleEndian.PutUint64(n8[:], uint64(len(src)))
+	buf.Write(n8[:])
+	fw, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(src); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecompressFlate reverses CompressFlate.
+func DecompressFlate(comp []byte) ([]byte, error) {
+	if len(comp) < 8 {
+		return nil, ErrCorrupt
+	}
+	n := int(binary.LittleEndian.Uint64(comp))
+	if n < 0 || n > 1<<34 {
+		return nil, ErrCorrupt
+	}
+	fr := flate.NewReader(bytes.NewReader(comp[8:]))
+	out := make([]byte, n)
+	if _, err := io.ReadFull(fr, out); err != nil {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+// Float32Bytes reinterprets a float32 slice as little-endian bytes for the
+// lossless baselines.
+func Float32Bytes(data []float32) []byte {
+	out := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BytesFloat32 is the inverse of Float32Bytes.
+func BytesFloat32(b []byte) ([]float32, error) {
+	if len(b)%4 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+package lossless
+
+import (
+	"bytes"
+	"compress/flate"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLZRoundTripBasic(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("abc"),
+		[]byte("abcd"),
+		[]byte("hello hello hello hello"),
+		bytes.Repeat([]byte{0}, 10000),
+		bytes.Repeat([]byte("abcdefg"), 1000),
+		[]byte("no repeats: qwertyuiopasdfghjklzxcvbnm1234567890"),
+	}
+	for i, c := range cases {
+		comp := CompressLZ(c)
+		dec, err := DecompressLZ(comp)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(dec, c) {
+			t.Fatalf("case %d: round trip mismatch (%d vs %d bytes)", i, len(dec), len(c))
+		}
+	}
+}
+
+func TestLZCompressesRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("scientific data "), 4096)
+	comp := CompressLZ(src)
+	if len(comp) > len(src)/10 {
+		t.Errorf("repetitive data: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestLZRandomDataNearIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 100000)
+	rng.Read(src)
+	comp := CompressLZ(src)
+	// Random bytes shouldn't blow up by more than ~7%.
+	if len(comp) > len(src)+len(src)/14 {
+		t.Errorf("random data expanded too much: %d -> %d", len(src), len(comp))
+	}
+	dec, err := DecompressLZ(comp)
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("round trip failed on random data")
+	}
+}
+
+// Property: arbitrary byte strings round-trip exactly.
+func TestLZRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		dec, err := DecompressLZ(CompressLZ(src))
+		return err == nil && bytes.Equal(dec, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLZOverlappingMatches(t *testing.T) {
+	// RLE-style data exercises self-overlapping match copies.
+	src := append(bytes.Repeat([]byte{7}, 300), []byte("tail")...)
+	dec, err := DecompressLZ(CompressLZ(src))
+	if err != nil || !bytes.Equal(dec, src) {
+		t.Fatal("overlap copy broken")
+	}
+}
+
+func TestLZCorrupt(t *testing.T) {
+	comp := CompressLZ([]byte("some reasonably long input with repeats repeats repeats"))
+	if _, err := DecompressLZ(comp[:6]); err == nil {
+		t.Error("short stream accepted")
+	}
+	if _, err := DecompressLZ([]byte("XXXX12345678")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for i := 12; i < len(comp); i++ {
+		c := append([]byte(nil), comp...)
+		c[i] ^= 0xFF
+		_, _ = DecompressLZ(c) // must not panic
+	}
+	// Truncations must error, not panic.
+	for i := 12; i < len(comp); i += 3 {
+		_, _ = DecompressLZ(comp[:i])
+	}
+}
+
+func TestFlateRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte("float data stream "), 500)
+	comp, err := CompressFlate(src, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecompressFlate(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("mismatch")
+	}
+	if len(comp) > len(src)/4 {
+		t.Errorf("flate: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestFlateCorrupt(t *testing.T) {
+	if _, err := DecompressFlate([]byte{1, 2}); err == nil {
+		t.Error("short accepted")
+	}
+	// Truncations must either error or still yield the exact payload (the
+	// DEFLATE trailer can be cut without losing data bytes); never panic.
+	comp, _ := CompressFlate([]byte("data"), flate.BestSpeed)
+	for i := 8; i < len(comp); i++ {
+		out, err := DecompressFlate(comp[:i])
+		if err == nil && !bytes.Equal(out, []byte("data")) {
+			t.Errorf("truncation at %d returned wrong data", i)
+		}
+	}
+}
+
+func TestFloat32BytesRoundTrip(t *testing.T) {
+	data := []float32{0, 1.5, -2.25, float32(math.Pi), float32(math.Inf(1))}
+	b := Float32Bytes(data)
+	if len(b) != 4*len(data) {
+		t.Fatalf("len %d", len(b))
+	}
+	back, err := BytesFloat32(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float32bits(back[i]) != math.Float32bits(data[i]) {
+			t.Errorf("value %d differs", i)
+		}
+	}
+	if _, err := BytesFloat32([]byte{1, 2, 3}); err == nil {
+		t.Error("odd length accepted")
+	}
+}
+
+// On scientific float data, lossless CR should land in the paper's
+// 1.0-2 band — far below SZx's error-bounded ratios.
+func TestLosslessRatioOnFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]float32, 100000)
+	v := 0.0
+	for i := range data {
+		v += 0.01 * rng.NormFloat64()
+		data[i] = float32(math.Sin(float64(i)/100) + v)
+	}
+	raw := Float32Bytes(data)
+	lz := CompressLZ(raw)
+	fl, err := CompressFlate(raw, flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crLZ := float64(len(raw)) / float64(len(lz))
+	crFl := float64(len(raw)) / float64(len(fl))
+	if crLZ < 0.9 || crLZ > 2.5 {
+		t.Errorf("LZ ratio %.2f outside lossless band", crLZ)
+	}
+	if crFl < 0.9 || crFl > 2.5 {
+		t.Errorf("flate ratio %.2f outside lossless band", crFl)
+	}
+}

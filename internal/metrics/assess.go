@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Assessment is a Z-checker-style compression quality report (the paper's
+// §3 evaluation methodology cites Z-checker / cuZ-checker for exactly this
+// battery of statistics).
+type Assessment struct {
+	N            int
+	Distortion   Distortion
+	NRMSE        float64 // RMSE / value range
+	SNR          float64 // dB, signal variance over error variance
+	PearsonR     float64 // correlation between original and reconstructed
+	ErrAutoCorr1 float64 // lag-1 autocorrelation of the error signal
+	ErrMean      float64 // signed mean error (bias)
+	ErrStd       float64
+}
+
+// Assess computes the full quality battery for a reconstruction.
+func Assess(orig, rec []float32) (Assessment, error) {
+	d, err := Measure(orig, rec)
+	if err != nil {
+		return Assessment{}, err
+	}
+	a := Assessment{N: len(orig), Distortion: d}
+	if len(orig) == 0 {
+		return a, nil
+	}
+
+	n := float64(len(orig))
+	var sumO, sumR, sumE float64
+	for i := range orig {
+		sumO += float64(orig[i])
+		sumR += float64(rec[i])
+		sumE += float64(orig[i]) - float64(rec[i])
+	}
+	meanO, meanR := sumO/n, sumR/n
+	a.ErrMean = sumE / n
+
+	var varO, varR, cov, varE float64
+	for i := range orig {
+		do := float64(orig[i]) - meanO
+		dr := float64(rec[i]) - meanR
+		e := float64(orig[i]) - float64(rec[i]) - a.ErrMean
+		varO += do * do
+		varR += dr * dr
+		cov += do * dr
+		varE += e * e
+	}
+	varO /= n
+	varR /= n
+	cov /= n
+	varE /= n
+	a.ErrStd = math.Sqrt(varE)
+
+	if varO > 0 && varR > 0 {
+		a.PearsonR = cov / math.Sqrt(varO*varR)
+	} else if varO == varR {
+		a.PearsonR = 1
+	}
+	rng := d.ValueMax - d.ValueMin
+	if rng > 0 {
+		a.NRMSE = math.Sqrt(d.MSE) / rng
+	}
+	if d.MSE > 0 && varO > 0 {
+		a.SNR = 10 * math.Log10(varO/d.MSE)
+	} else if d.MSE == 0 {
+		a.SNR = math.Inf(1)
+	}
+	a.ErrAutoCorr1 = errAutoCorr(orig, rec, a.ErrMean, varE)
+	return a, nil
+}
+
+// errAutoCorr computes the lag-1 autocorrelation of the signed error —
+// Z-checker's indicator of spatially correlated compression artifacts
+// (near 0 = white, near 1 = smeared/structured error).
+func errAutoCorr(orig, rec []float32, mean, variance float64) float64 {
+	if len(orig) < 2 || variance == 0 {
+		return 0
+	}
+	var acc float64
+	for i := 1; i < len(orig); i++ {
+		e0 := float64(orig[i-1]) - float64(rec[i-1]) - mean
+		e1 := float64(orig[i]) - float64(rec[i]) - mean
+		acc += e0 * e1
+	}
+	return acc / (float64(len(orig)-1) * variance)
+}
+
+// String renders the assessment as a Z-checker-style report block.
+func (a Assessment) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "values            %d\n", a.N)
+	fmt.Fprintf(&b, "value range       [%g, %g]\n", a.Distortion.ValueMin, a.Distortion.ValueMax)
+	fmt.Fprintf(&b, "max abs error     %.6g\n", a.Distortion.MaxErr)
+	fmt.Fprintf(&b, "mean abs error    %.6g\n", a.Distortion.MeanErr)
+	fmt.Fprintf(&b, "error bias        %.6g\n", a.ErrMean)
+	fmt.Fprintf(&b, "error std         %.6g\n", a.ErrStd)
+	fmt.Fprintf(&b, "MSE               %.6g\n", a.Distortion.MSE)
+	fmt.Fprintf(&b, "NRMSE             %.6g\n", a.NRMSE)
+	fmt.Fprintf(&b, "PSNR              %.2f dB\n", a.Distortion.PSNR)
+	fmt.Fprintf(&b, "SNR               %.2f dB\n", a.SNR)
+	fmt.Fprintf(&b, "pearson R         %.6f\n", a.PearsonR)
+	fmt.Fprintf(&b, "err autocorr lag1 %.4f\n", a.ErrAutoCorr1)
+	return b.String()
+}

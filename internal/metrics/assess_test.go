@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAssessIdentical(t *testing.T) {
+	a := []float32{1, 2, 3, 4, 5}
+	as, err := Assess(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Distortion.MaxErr != 0 || as.ErrMean != 0 || as.ErrStd != 0 {
+		t.Errorf("%+v", as)
+	}
+	if math.Abs(as.PearsonR-1) > 1e-12 {
+		t.Errorf("pearson %v", as.PearsonR)
+	}
+	if !math.IsInf(as.SNR, 1) {
+		t.Errorf("SNR %v", as.SNR)
+	}
+}
+
+func TestAssessKnownBias(t *testing.T) {
+	orig := []float32{0, 0, 0, 0}
+	rec := []float32{-1, -1, -1, -1} // error = orig-rec = +1 everywhere
+	as, err := Assess(orig, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(as.ErrMean-1) > 1e-12 {
+		t.Errorf("bias %v want 1", as.ErrMean)
+	}
+	if as.ErrStd != 0 {
+		t.Errorf("std %v want 0", as.ErrStd)
+	}
+}
+
+func TestAssessWhiteVsCorrelatedError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	orig := make([]float32, n)
+	white := make([]float32, n)
+	smear := make([]float32, n)
+	carry := 0.0
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i) / 100))
+		e := rng.NormFloat64() * 1e-3
+		white[i] = orig[i] + float32(e)
+		carry = 0.95*carry + e // strongly autocorrelated error
+		smear[i] = orig[i] + float32(carry)
+	}
+	aw, err := Assess(orig, white)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := Assess(orig, smear)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aw.ErrAutoCorr1) > 0.1 {
+		t.Errorf("white error autocorr %v, want ~0", aw.ErrAutoCorr1)
+	}
+	if ac.ErrAutoCorr1 < 0.7 {
+		t.Errorf("smeared error autocorr %v, want high", ac.ErrAutoCorr1)
+	}
+	if aw.PearsonR < 0.999 {
+		t.Errorf("pearson %v", aw.PearsonR)
+	}
+}
+
+func TestAssessSNRAndNRMSE(t *testing.T) {
+	// Signal with variance 1, error with std 0.1 -> SNR ~ 20 dB.
+	rng := rand.New(rand.NewSource(2))
+	n := 50000
+	orig := make([]float32, n)
+	rec := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(rng.NormFloat64())
+		rec[i] = orig[i] + float32(0.1*rng.NormFloat64())
+	}
+	as, err := Assess(orig, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.SNR < 18 || as.SNR > 22 {
+		t.Errorf("SNR %v want ~20", as.SNR)
+	}
+	if as.NRMSE <= 0 || as.NRMSE > 0.05 {
+		t.Errorf("NRMSE %v", as.NRMSE)
+	}
+}
+
+func TestAssessMismatch(t *testing.T) {
+	if _, err := Assess([]float32{1}, []float32{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestAssessEmpty(t *testing.T) {
+	as, err := Assess(nil, nil)
+	if err != nil || as.N != 0 {
+		t.Errorf("%v %+v", err, as)
+	}
+}
+
+func TestAssessString(t *testing.T) {
+	a := []float32{1, 2, 3}
+	as, _ := Assess(a, a)
+	s := as.String()
+	for _, want := range []string{"PSNR", "pearson", "autocorr", "NRMSE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

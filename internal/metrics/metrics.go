@@ -1,0 +1,274 @@
+// Package metrics implements the reconstruction-quality measures used in
+// the SZx paper's evaluation: PSNR (Formula 7), SSIM, MSE, maximum error,
+// compression-error histograms (Fig. 13), and the block relative-value-range
+// CDF characterization behind Fig. 2.
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLengthMismatch is returned when original and reconstructed slices
+// differ in length.
+var ErrLengthMismatch = errors.New("metrics: slice length mismatch")
+
+// Distortion summarizes pointwise reconstruction quality.
+type Distortion struct {
+	MSE      float64
+	PSNR     float64 // dB, per the paper's Formula 7 (range-based)
+	MaxErr   float64
+	MeanErr  float64
+	ValueMin float64
+	ValueMax float64
+}
+
+// Measure computes pointwise distortion between original and reconstructed
+// data. PSNR uses the dataset value range, matching the paper.
+func Measure(orig, rec []float32) (Distortion, error) {
+	if len(orig) != len(rec) {
+		return Distortion{}, ErrLengthMismatch
+	}
+	if len(orig) == 0 {
+		return Distortion{}, nil
+	}
+	var d Distortion
+	d.ValueMin = float64(orig[0])
+	d.ValueMax = float64(orig[0])
+	var sse, sae float64
+	for i := range orig {
+		o := float64(orig[i])
+		if o < d.ValueMin {
+			d.ValueMin = o
+		}
+		if o > d.ValueMax {
+			d.ValueMax = o
+		}
+		e := o - float64(rec[i])
+		if e < 0 {
+			e = -e
+		}
+		if e > d.MaxErr {
+			d.MaxErr = e
+		}
+		sae += e
+		sse += e * e
+	}
+	n := float64(len(orig))
+	d.MSE = sse / n
+	d.MeanErr = sae / n
+	rng := d.ValueMax - d.ValueMin
+	switch {
+	case d.MSE == 0:
+		d.PSNR = math.Inf(1)
+	case rng == 0:
+		d.PSNR = 0
+	default:
+		d.PSNR = 20 * math.Log10(rng/math.Sqrt(d.MSE))
+	}
+	return d, nil
+}
+
+// SSIM computes the mean structural similarity index over an h×w 2-D field
+// using the standard 8×8 sliding window (stride 8 for speed) and the usual
+// K1=0.01, K2=0.03 stabilizers scaled by the data range.
+func SSIM(orig, rec []float32, h, w int) (float64, error) {
+	if len(orig) != len(rec) || len(orig) < h*w || h < 1 || w < 1 {
+		return 0, ErrLengthMismatch
+	}
+	var mn, mx float64
+	mn, mx = float64(orig[0]), float64(orig[0])
+	for _, v := range orig[:h*w] {
+		f := float64(v)
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	l := mx - mn
+	if l == 0 {
+		l = 1
+	}
+	c1 := (0.01 * l) * (0.01 * l)
+	c2 := (0.03 * l) * (0.03 * l)
+
+	const win = 8
+	var sum float64
+	var count int
+	for y := 0; y+win <= h; y += win {
+		for x := 0; x+win <= w; x += win {
+			var ma, mb float64
+			for dy := 0; dy < win; dy++ {
+				row := (y + dy) * w
+				for dx := 0; dx < win; dx++ {
+					ma += float64(orig[row+x+dx])
+					mb += float64(rec[row+x+dx])
+				}
+			}
+			nw := float64(win * win)
+			ma /= nw
+			mb /= nw
+			var va, vb, cov float64
+			for dy := 0; dy < win; dy++ {
+				row := (y + dy) * w
+				for dx := 0; dx < win; dx++ {
+					da := float64(orig[row+x+dx]) - ma
+					db := float64(rec[row+x+dx]) - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= nw - 1
+			vb /= nw - 1
+			cov /= nw - 1
+			s := ((2*ma*mb + c1) * (2*cov + c2)) /
+				((ma*ma + mb*mb + c1) * (va + vb + c2))
+			sum += s
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, ErrLengthMismatch
+	}
+	return sum / float64(count), nil
+}
+
+// Histogram is a binned distribution of compression errors (orig - rec),
+// the Fig. 13 PDF. Bins span [-Bound, +Bound].
+type Histogram struct {
+	Bound  float64
+	Counts []int
+	Total  int
+	// Exceed counts errors outside ±Bound (must be 0 for a correct
+	// error-bounded compressor).
+	Exceed int
+}
+
+// ErrorHistogram bins the signed errors into 2*half bins over [-bound, bound].
+func ErrorHistogram(orig, rec []float32, bound float64, bins int) (Histogram, error) {
+	if len(orig) != len(rec) {
+		return Histogram{}, ErrLengthMismatch
+	}
+	if bins < 2 {
+		bins = 2
+	}
+	h := Histogram{Bound: bound, Counts: make([]int, bins), Total: len(orig)}
+	for i := range orig {
+		e := float64(orig[i]) - float64(rec[i])
+		if e < -bound || e > bound || math.IsNaN(e) {
+			h.Exceed++
+			continue
+		}
+		// Map [-bound, bound] -> [0, bins).
+		idx := int((e + bound) / (2 * bound) * float64(bins))
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// PDF returns the normalized densities of the histogram.
+func (h Histogram) PDF() []float64 {
+	out := make([]float64, len(h.Counts))
+	if h.Total == 0 {
+		return out
+	}
+	for i, c := range h.Counts {
+		out[i] = float64(c) / float64(h.Total)
+	}
+	return out
+}
+
+// BlockRangeCDF computes the cumulative distribution of per-block relative
+// value ranges (block range / global range) for the given block size — the
+// characterization in the paper's Fig. 2. It returns the fraction of blocks
+// whose relative range is ≤ each threshold.
+func BlockRangeCDF(data []float32, blockSize int, thresholds []float64) []float64 {
+	if blockSize < 1 || len(data) == 0 {
+		return make([]float64, len(thresholds))
+	}
+	gmin, gmax := data[0], data[0]
+	for _, v := range data {
+		if v < gmin {
+			gmin = v
+		}
+		if v > gmax {
+			gmax = v
+		}
+	}
+	grange := float64(gmax) - float64(gmin)
+	if grange == 0 {
+		out := make([]float64, len(thresholds))
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	var rels []float64
+	for lo := 0; lo < len(data); lo += blockSize {
+		hi := lo + blockSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		mn, mx := data[lo], data[lo]
+		for _, v := range data[lo+1 : hi] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		rels = append(rels, (float64(mx)-float64(mn))/grange)
+	}
+	sort.Float64s(rels)
+	out := make([]float64, len(thresholds))
+	for i, t := range thresholds {
+		// Count of blocks with relative range <= t.
+		idx := sort.SearchFloat64s(rels, math.Nextafter(t, math.Inf(1)))
+		out[i] = float64(idx) / float64(len(rels))
+	}
+	return out
+}
+
+// ValueRange returns the global min and max of the data.
+func ValueRange(data []float32) (mn, mx float64) {
+	if len(data) == 0 {
+		return 0, 0
+	}
+	mn, mx = float64(data[0]), float64(data[0])
+	for _, v := range data {
+		f := float64(v)
+		if f < mn {
+			mn = f
+		}
+		if f > mx {
+			mx = f
+		}
+	}
+	return mn, mx
+}
+
+// HarmonicMeanCR aggregates per-field compression ratios the way the paper
+// reports an application's "overall" ratio: total original bytes divided by
+// total compressed bytes (equivalently a weighted harmonic mean).
+func HarmonicMeanCR(origBytes, compBytes []int) float64 {
+	var o, c int
+	for i := range origBytes {
+		o += origBytes[i]
+		c += compBytes[i]
+	}
+	if c == 0 {
+		return 0
+	}
+	return float64(o) / float64(c)
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMeasureIdentical(t *testing.T) {
+	a := []float32{1, 2, 3, 4}
+	d, err := Measure(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MSE != 0 || d.MaxErr != 0 || !math.IsInf(d.PSNR, 1) {
+		t.Errorf("identical data: %+v", d)
+	}
+	if d.ValueMin != 1 || d.ValueMax != 4 {
+		t.Errorf("range: %+v", d)
+	}
+}
+
+func TestMeasureKnown(t *testing.T) {
+	a := []float32{0, 10}
+	b := []float32{1, 9}
+	d, err := Measure(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.MaxErr != 1 || d.MSE != 1 || d.MeanErr != 1 {
+		t.Errorf("%+v", d)
+	}
+	// PSNR = 20 log10(10/1) = 20.
+	if math.Abs(d.PSNR-20) > 1e-9 {
+		t.Errorf("PSNR = %v want 20", d.PSNR)
+	}
+}
+
+func TestMeasureMismatch(t *testing.T) {
+	if _, err := Measure([]float32{1}, []float32{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestMeasureEmpty(t *testing.T) {
+	if _, err := Measure(nil, nil); err != nil {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	const h, w = 32, 32
+	a := make([]float32, h*w)
+	rng := rand.New(rand.NewSource(1))
+	for i := range a {
+		a[i] = float32(rng.Float64())
+	}
+	s, err := SSIM(a, a, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("SSIM(identical) = %v", s)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	const h, w = 64, 64
+	rng := rand.New(rand.NewSource(2))
+	a := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			a[y*w+x] = float32(math.Sin(float64(x)/5) + math.Cos(float64(y)/7))
+		}
+	}
+	mild := make([]float32, h*w)
+	heavy := make([]float32, h*w)
+	for i := range a {
+		n := float32(rng.NormFloat64())
+		mild[i] = a[i] + 0.01*n
+		heavy[i] = a[i] + 0.5*n
+	}
+	sMild, err := SSIM(a, mild, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHeavy, err := SSIM(a, heavy, h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sMild > sHeavy) {
+		t.Errorf("SSIM ordering: mild %v <= heavy %v", sMild, sHeavy)
+	}
+	if sMild < 0.9 {
+		t.Errorf("mild-noise SSIM %v < 0.9", sMild)
+	}
+	if sHeavy > 0.9 {
+		t.Errorf("heavy-noise SSIM %v > 0.9", sHeavy)
+	}
+}
+
+func TestSSIMErrors(t *testing.T) {
+	if _, err := SSIM([]float32{1}, []float32{1, 2}, 1, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SSIM([]float32{1, 2}, []float32{1, 2}, 1, 2); err == nil {
+		t.Error("window larger than field accepted")
+	}
+}
+
+func TestErrorHistogram(t *testing.T) {
+	orig := []float32{0, 0, 0, 0}
+	rec := []float32{0.5, -0.5, 0.99, -2}
+	h, err := ErrorHistogram(orig, rec, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Exceed != 1 {
+		t.Errorf("Exceed = %d want 1 (the -2)", h.Exceed)
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != 3 {
+		t.Errorf("binned %d want 3", sum)
+	}
+	pdf := h.PDF()
+	var tot float64
+	for _, p := range pdf {
+		tot += p
+	}
+	if math.Abs(tot-0.75) > 1e-12 {
+		t.Errorf("pdf total %v want 0.75", tot)
+	}
+}
+
+func TestBlockRangeCDF(t *testing.T) {
+	// Construct data: first half constant (rel range 0), second half a ramp
+	// spanning the global range within each block.
+	data := make([]float32, 1024)
+	for i := 512; i < 1024; i++ {
+		data[i] = float32(i % 64)
+	}
+	cdf := BlockRangeCDF(data, 64, []float64{0.0, 0.5, 1.0})
+	if cdf[0] < 0.49 || cdf[0] > 0.51 {
+		t.Errorf("cdf[0]=%v want ~0.5", cdf[0])
+	}
+	if cdf[2] != 1 {
+		t.Errorf("cdf at 1.0 = %v want 1", cdf[2])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i] < cdf[i-1] {
+			t.Errorf("CDF not monotone: %v", cdf)
+		}
+	}
+}
+
+func TestBlockRangeCDFConstantData(t *testing.T) {
+	cdf := BlockRangeCDF(make([]float32, 100), 8, []float64{0, 0.01})
+	for _, v := range cdf {
+		if v != 1 {
+			t.Errorf("constant data CDF %v want all 1", cdf)
+		}
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	mn, mx := ValueRange([]float32{3, -1, 7, 2})
+	if mn != -1 || mx != 7 {
+		t.Errorf("got %v %v", mn, mx)
+	}
+	mn, mx = ValueRange(nil)
+	if mn != 0 || mx != 0 {
+		t.Errorf("empty: %v %v", mn, mx)
+	}
+}
+
+func TestHarmonicMeanCR(t *testing.T) {
+	// Two fields of 100 bytes compressed to 10 and 50: overall = 200/60.
+	got := HarmonicMeanCR([]int{100, 100}, []int{10, 50})
+	want := 200.0 / 60.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("got %v want %v", got, want)
+	}
+	if HarmonicMeanCR(nil, nil) != 0 {
+		t.Error("empty should be 0")
+	}
+}

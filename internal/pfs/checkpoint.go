@@ -1,0 +1,72 @@
+package pfs
+
+import (
+	"errors"
+	"math"
+)
+
+// Checkpoint/restart viability model. The SZx paper cites Ibtesham et al.
+// [16] ("On the viability of compression for reducing the overheads of
+// checkpoint/restart-based fault tolerance") as the framing for its
+// planned ratio-vs-performance characterization: compressing checkpoints
+// shrinks the write, but only pays off if the compressor is fast enough.
+// This model combines a measured codec cost with the PFS transfer model
+// and the first-order Young/Daly optimal-interval analysis to answer
+// exactly that question.
+
+// CheckpointParams describes the application and system.
+type CheckpointParams struct {
+	// Ranks is the number of concurrently checkpointing processes.
+	Ranks int
+	// MTBFSeconds is the system mean time between failures.
+	MTBFSeconds float64
+}
+
+// ErrParams reports invalid checkpoint parameters.
+var ErrParams = errors.New("pfs: invalid checkpoint parameters")
+
+// CheckpointResult evaluates one codec under the model.
+type CheckpointResult struct {
+	Codec string
+	// CostSec is the per-checkpoint cost C: compression + write.
+	CostSec float64
+	// IntervalSec is the Young optimal checkpoint interval sqrt(2*C*MTBF).
+	IntervalSec float64
+	// OverheadFrac is the first-order expected runtime overhead
+	// C/tau + tau/(2*MTBF) at the optimal interval.
+	OverheadFrac float64
+	// CompressSec and WriteSec split the cost.
+	CompressSec float64
+	WriteSec    float64
+	// Ratio is the checkpoint compression ratio (1 for the raw baseline).
+	Ratio float64
+}
+
+// EvaluateCheckpoint measures one rank's compression of its checkpoint
+// slab, models the concurrent write, and derives the Young/Daly numbers.
+// A nil codec models uncompressed checkpointing.
+func EvaluateCheckpoint(fs FileSystem, p CheckpointParams, perRank []float32, c *Codec) (CheckpointResult, error) {
+	if p.Ranks < 1 || !(p.MTBFSeconds > 0) || len(perRank) == 0 {
+		return CheckpointResult{}, ErrParams
+	}
+	res := CheckpointResult{Codec: "raw", Ratio: 1}
+	rawBytes := 4 * len(perRank)
+	if c == nil {
+		res.WriteSec = fs.TransferTime(p.Ranks, rawBytes)
+	} else {
+		sim, err := Simulate(fs, p.Ranks, perRank, *c)
+		if err != nil {
+			return CheckpointResult{}, err
+		}
+		res.Codec = c.Name
+		res.CompressSec = sim.CompressSec
+		res.WriteSec = sim.WriteSec
+		res.Ratio = sim.Ratio()
+	}
+	res.CostSec = res.CompressSec + res.WriteSec
+	res.IntervalSec = math.Sqrt(2 * res.CostSec * p.MTBFSeconds)
+	if res.IntervalSec > 0 {
+		res.OverheadFrac = res.CostSec/res.IntervalSec + res.IntervalSec/(2*p.MTBFSeconds)
+	}
+	return res, nil
+}

@@ -1,0 +1,121 @@
+// Package pfs models the parallel-file-system dump/load experiment of the
+// SZx paper's Fig. 16: N MPI ranks each compress their share of a dataset
+// and write the compressed bytes to a shared parallel file system (dump),
+// or read and decompress it (load).
+//
+// The actual ThetaGPU Lustre system is unavailable here, so the I/O side is
+// a bandwidth/contention model: each rank streams at min(per-rank cap,
+// aggregate bandwidth / ranks). The compression side is *measured* (one
+// rank's work is timed on the host CPU); since all ranks compress
+// concurrently on their own cores, the modeled wall time for the compute
+// phase is a single rank's time. This reproduces exactly the trade-off
+// Fig. 16 demonstrates: with a fast PFS, the compressor's speed — not its
+// ratio — dominates end-to-end dump/load time.
+package pfs
+
+import (
+	"errors"
+	"time"
+)
+
+// FileSystem describes the modeled parallel file system.
+type FileSystem struct {
+	Name string
+	// AggregateGBps is the peak aggregate bandwidth across all ranks.
+	AggregateGBps float64
+	// PerRankGBps caps a single rank's streaming bandwidth.
+	PerRankGBps float64
+	// LatencySec is the fixed per-operation cost (open/close, metadata).
+	LatencySec float64
+}
+
+// ThetaFS approximates the ANL ThetaGPU/Theta Lustre file system the paper
+// used: high aggregate bandwidth, so compression speed dominates at the
+// paper's 64-1024 rank scales.
+var ThetaFS = FileSystem{
+	Name:          "theta-lustre",
+	AggregateGBps: 650,
+	PerRankGBps:   2.0,
+	LatencySec:    0.003,
+}
+
+// TransferTime returns the modeled wall time for ranks concurrent streams
+// of bytesPerRank each.
+func (fs FileSystem) TransferTime(ranks int, bytesPerRank int) float64 {
+	if ranks < 1 || bytesPerRank <= 0 {
+		return fs.LatencySec
+	}
+	bw := fs.PerRankGBps
+	if share := fs.AggregateGBps / float64(ranks); share < bw {
+		bw = share
+	}
+	return fs.LatencySec + float64(bytesPerRank)/(bw*1e9)
+}
+
+// Codec is a compressor under test in the dump/load experiment.
+type Codec struct {
+	Name       string
+	Compress   func(data []float32) ([]byte, error)
+	Decompress func(comp []byte) ([]float32, error)
+}
+
+// Result is one dump+load simulation outcome, matching the stacked bars of
+// Fig. 16 (compression time + write time; read time + decompression time).
+type Result struct {
+	Codec           string
+	Ranks           int
+	CompressSec     float64
+	WriteSec        float64
+	ReadSec         float64
+	DecompressSec   float64
+	CompressedBytes int // per rank
+	OriginalBytes   int // per rank
+}
+
+// DumpSec is the modeled end-to-end dump time.
+func (r Result) DumpSec() float64 { return r.CompressSec + r.WriteSec }
+
+// LoadSec is the modeled end-to-end load time.
+func (r Result) LoadSec() float64 { return r.ReadSec + r.DecompressSec }
+
+// Ratio is the per-rank compression ratio.
+func (r Result) Ratio() float64 {
+	if r.CompressedBytes == 0 {
+		return 0
+	}
+	return float64(r.OriginalBytes) / float64(r.CompressedBytes)
+}
+
+// ErrEmptyRank is returned when the per-rank dataset is empty.
+var ErrEmptyRank = errors.New("pfs: per-rank data must be non-empty")
+
+// Simulate runs the dump/load experiment: it measures one rank's real
+// compression and decompression time on the host, models the PFS transfer
+// for the given rank count, and returns the combined result.
+func Simulate(fs FileSystem, ranks int, perRankData []float32, c Codec) (Result, error) {
+	if len(perRankData) == 0 {
+		return Result{}, ErrEmptyRank
+	}
+	res := Result{Codec: c.Name, Ranks: ranks, OriginalBytes: 4 * len(perRankData)}
+
+	start := time.Now()
+	comp, err := c.Compress(perRankData)
+	if err != nil {
+		return Result{}, err
+	}
+	res.CompressSec = time.Since(start).Seconds()
+	res.CompressedBytes = len(comp)
+	res.WriteSec = fs.TransferTime(ranks, len(comp))
+	res.ReadSec = res.WriteSec // symmetric model
+
+	start = time.Now()
+	dec, err := c.Decompress(comp)
+	if err != nil {
+		return Result{}, err
+	}
+	res.DecompressSec = time.Since(start).Seconds()
+	if len(dec) != len(perRankData) {
+		return Result{}, errors.New("pfs: codec round-trip length mismatch")
+	}
+	return res, nil
+}

@@ -1,0 +1,138 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTransferTimeContention(t *testing.T) {
+	fs := FileSystem{AggregateGBps: 100, PerRankGBps: 2, LatencySec: 0.001}
+	// Few ranks: per-rank cap dominates.
+	few := fs.TransferTime(4, 1<<30)
+	wantFew := 0.001 + float64(1<<30)/(2e9)
+	if math.Abs(few-wantFew)/wantFew > 1e-9 {
+		t.Errorf("few ranks: %g want %g", few, wantFew)
+	}
+	// Many ranks: aggregate share dominates (100/1000 = 0.1 GB/s each).
+	many := fs.TransferTime(1000, 1<<30)
+	wantMany := 0.001 + float64(1<<30)/(0.1e9)
+	if math.Abs(many-wantMany)/wantMany > 1e-9 {
+		t.Errorf("many ranks: %g want %g", many, wantMany)
+	}
+	if many <= few {
+		t.Error("contention did not slow transfers")
+	}
+	// Degenerate inputs fall back to latency.
+	if got := fs.TransferTime(0, 0); got != fs.LatencySec {
+		t.Errorf("degenerate: %g", got)
+	}
+}
+
+func TestTransferScalesWithSize(t *testing.T) {
+	fs := ThetaFS
+	small := fs.TransferTime(64, 1<<20)
+	big := fs.TransferTime(64, 1<<26)
+	if big <= small {
+		t.Error("more bytes should take longer")
+	}
+}
+
+func szxCodec() Codec {
+	return Codec{
+		Name: "SZx",
+		Compress: func(d []float32) ([]byte, error) {
+			return core.CompressFloat32(d, 1e-3, core.Options{})
+		},
+		Decompress: core.DecompressFloat32,
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	data := make([]float32, 200000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 500))
+	}
+	res, err := Simulate(ThetaFS, 256, data, szxCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CompressSec <= 0 || res.DecompressSec <= 0 {
+		t.Errorf("non-positive measured times: %+v", res)
+	}
+	if res.WriteSec <= 0 || res.ReadSec != res.WriteSec {
+		t.Errorf("transfer model: %+v", res)
+	}
+	if res.Ratio() <= 1 {
+		t.Errorf("ratio %.2f", res.Ratio())
+	}
+	if res.DumpSec() != res.CompressSec+res.WriteSec {
+		t.Error("DumpSec mismatch")
+	}
+	if res.LoadSec() != res.ReadSec+res.DecompressSec {
+		t.Error("LoadSec mismatch")
+	}
+}
+
+func TestSimulateEmpty(t *testing.T) {
+	if _, err := Simulate(ThetaFS, 64, nil, szxCodec()); err != ErrEmptyRank {
+		t.Errorf("got %v", err)
+	}
+}
+
+// Higher compression ratios buy shorter writes: verify the model rewards a
+// codec that halves the output, all else equal.
+func TestWriteTimeRewardsRatio(t *testing.T) {
+	a := ThetaFS.TransferTime(1024, 100<<20)
+	b := ThetaFS.TransferTime(1024, 50<<20)
+	if !(b < a) {
+		t.Error("smaller output should write faster")
+	}
+}
+
+func TestCheckpointModel(t *testing.T) {
+	data := make([]float32, 100000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 300))
+	}
+	p := CheckpointParams{Ranks: 512, MTBFSeconds: 3600}
+	codec := szxCodec()
+	raw, err := EvaluateCheckpoint(ThetaFS, p, data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	szx, err := EvaluateCheckpoint(ThetaFS, p, data, &codec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.Codec != "raw" || raw.Ratio != 1 || raw.CompressSec != 0 {
+		t.Errorf("raw: %+v", raw)
+	}
+	if szx.Ratio <= 1 {
+		t.Errorf("szx ratio %v", szx.Ratio)
+	}
+	// Young interval grows with cost; overhead positive and < 1 for sane MTBF.
+	for _, r := range []CheckpointResult{raw, szx} {
+		if r.IntervalSec <= 0 || r.OverheadFrac <= 0 || r.OverheadFrac > 1 {
+			t.Errorf("%s: %+v", r.Codec, r)
+		}
+		want := math.Sqrt(2 * r.CostSec * p.MTBFSeconds)
+		if math.Abs(r.IntervalSec-want) > 1e-9 {
+			t.Errorf("%s: interval %v want %v", r.Codec, r.IntervalSec, want)
+		}
+	}
+}
+
+func TestCheckpointParamValidation(t *testing.T) {
+	data := []float32{1, 2, 3}
+	if _, err := EvaluateCheckpoint(ThetaFS, CheckpointParams{Ranks: 0, MTBFSeconds: 10}, data, nil); err != ErrParams {
+		t.Errorf("ranks=0: %v", err)
+	}
+	if _, err := EvaluateCheckpoint(ThetaFS, CheckpointParams{Ranks: 1, MTBFSeconds: 0}, data, nil); err != ErrParams {
+		t.Errorf("mtbf=0: %v", err)
+	}
+	if _, err := EvaluateCheckpoint(ThetaFS, CheckpointParams{Ranks: 1, MTBFSeconds: 10}, nil, nil); err != ErrParams {
+		t.Errorf("empty: %v", err)
+	}
+}

@@ -1,0 +1,152 @@
+// Package render rasterizes 2-D slices of scientific fields to PGM/PPM
+// images, reproducing the visual artifacts of the paper: the smoothness
+// gallery of Fig. 1 and the original-vs-reconstructed comparisons of
+// Fig. 12. A diverging false-color map highlights compression artifacts
+// the way the paper's heat maps do.
+package render
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrBadShape is returned when the data does not match the given extent.
+var ErrBadShape = errors.New("render: data length does not match width*height")
+
+// Normalize maps data to [0,1] with optional robust percentile clipping
+// (clip=0.02 clips the top and bottom 2%, which is how sparse fields like
+// the Hurricane cloud data stay visible).
+func Normalize(data []float32, clip float64) []float64 {
+	out := make([]float64, len(data))
+	if len(data) == 0 {
+		return out
+	}
+	lo, hi := robustRange(data, clip)
+	scale := hi - lo
+	if scale == 0 {
+		scale = 1
+	}
+	for i, v := range data {
+		x := (float64(v) - lo) / scale
+		if x < 0 {
+			x = 0
+		}
+		if x > 1 {
+			x = 1
+		}
+		out[i] = x
+	}
+	return out
+}
+
+func robustRange(data []float32, clip float64) (lo, hi float64) {
+	if clip <= 0 {
+		lo, hi = float64(data[0]), float64(data[0])
+		for _, v := range data {
+			f := float64(v)
+			if f < lo {
+				lo = f
+			}
+			if f > hi {
+				hi = f
+			}
+		}
+		return lo, hi
+	}
+	s := make([]float64, len(data))
+	for i, v := range data {
+		s[i] = float64(v)
+	}
+	sort.Float64s(s)
+	i := int(clip * float64(len(s)))
+	j := len(s) - 1 - i
+	if j <= i {
+		return s[0], s[len(s)-1]
+	}
+	return s[i], s[j]
+}
+
+// PGM encodes an h×w grayscale image (values in [0,1]) as a binary PGM
+// (P5) file.
+func PGM(norm []float64, h, w int) ([]byte, error) {
+	if len(norm) != h*w || h < 1 || w < 1 {
+		return nil, ErrBadShape
+	}
+	hdr := fmt.Sprintf("P5\n%d %d\n255\n", w, h)
+	out := make([]byte, 0, len(hdr)+h*w)
+	out = append(out, hdr...)
+	for _, v := range norm {
+		out = append(out, byte(math.Round(v*255)))
+	}
+	return out, nil
+}
+
+// PPM encodes an h×w image as binary PPM (P6) using a blue-white-red
+// diverging palette (0 = deep blue, 0.5 = white, 1 = deep red), the
+// conventional map for signed scientific fields and error maps.
+func PPM(norm []float64, h, w int) ([]byte, error) {
+	if len(norm) != h*w || h < 1 || w < 1 {
+		return nil, ErrBadShape
+	}
+	hdr := fmt.Sprintf("P6\n%d %d\n255\n", w, h)
+	out := make([]byte, 0, len(hdr)+3*h*w)
+	out = append(out, hdr...)
+	for _, v := range norm {
+		r, g, b := Diverging(v)
+		out = append(out, r, g, b)
+	}
+	return out, nil
+}
+
+// Diverging maps t in [0,1] to a blue-white-red ramp.
+func Diverging(t float64) (r, g, b byte) {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	if t < 0.5 {
+		// blue -> white
+		u := t * 2
+		return byte(55 + 200*u), byte(75 + 180*u), 255
+	}
+	// white -> red
+	u := (t - 0.5) * 2
+	return 255, byte(255 - 195*u), byte(255 - 215*u)
+}
+
+// ErrorMap builds a diverging image of the signed reconstruction error
+// orig-rec scaled to ±bound (0.5 = zero error).
+func ErrorMap(orig, rec []float32, h, w int, bound float64) ([]byte, error) {
+	if len(orig) != len(rec) || len(orig) != h*w {
+		return nil, ErrBadShape
+	}
+	norm := make([]float64, h*w)
+	for i := range orig {
+		e := (float64(orig[i]) - float64(rec[i])) / bound // [-1, 1]
+		norm[i] = (e + 1) / 2
+	}
+	return PPM(norm, h, w)
+}
+
+// SideBySide concatenates two equally sized normalized images horizontally
+// with a 2-pixel separator, for original-vs-reconstructed panels.
+func SideBySide(a, b []float64, h, w int) ([]float64, int, int, error) {
+	if len(a) != h*w || len(b) != h*w {
+		return nil, 0, 0, ErrBadShape
+	}
+	const sep = 2
+	ow := 2*w + sep
+	out := make([]float64, h*ow)
+	for y := 0; y < h; y++ {
+		copy(out[y*ow:], a[y*w:(y+1)*w])
+		for x := 0; x < sep; x++ {
+			out[y*ow+w+x] = 1
+		}
+		copy(out[y*ow+w+sep:], b[y*w:(y+1)*w])
+	}
+	return out, h, ow, nil
+}

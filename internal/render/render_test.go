@@ -1,0 +1,126 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestNormalizeBasic(t *testing.T) {
+	n := Normalize([]float32{0, 5, 10}, 0)
+	if n[0] != 0 || n[2] != 1 || math.Abs(n[1]-0.5) > 1e-12 {
+		t.Errorf("got %v", n)
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	n := Normalize([]float32{3, 3, 3}, 0)
+	for _, v := range n {
+		if v != 0 {
+			t.Errorf("constant field normalized to %v", v)
+		}
+	}
+}
+
+func TestNormalizeClip(t *testing.T) {
+	data := make([]float32, 100)
+	for i := range data {
+		data[i] = float32(i)
+	}
+	data[99] = 1e9 // outlier
+	n := Normalize(data, 0.02)
+	// Without clipping, n[50] would be ~0; with it, midrange stays visible.
+	if n[50] < 0.3 {
+		t.Errorf("clipping ineffective: n[50]=%v", n[50])
+	}
+	if n[99] != 1 {
+		t.Errorf("outlier not saturated: %v", n[99])
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	if got := Normalize(nil, 0.1); len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestPGMFormat(t *testing.T) {
+	img, err := PGM([]float64{0, 0.5, 1, 0.25}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(img, []byte("P5\n2 2\n255\n")) {
+		t.Fatalf("bad header: %q", img[:12])
+	}
+	px := img[len(img)-4:]
+	if px[0] != 0 || px[2] != 255 {
+		t.Errorf("pixels % d", px)
+	}
+	if _, err := PGM([]float64{0}, 2, 2); err != ErrBadShape {
+		t.Errorf("shape check: %v", err)
+	}
+}
+
+func TestPPMFormat(t *testing.T) {
+	img, err := PPM([]float64{0, 0.5, 1}, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(img, []byte("P6\n3 1\n255\n")) {
+		t.Fatalf("bad header")
+	}
+	if len(img) != len("P6\n3 1\n255\n")+9 {
+		t.Fatalf("len %d", len(img))
+	}
+}
+
+func TestDivergingEndpoints(t *testing.T) {
+	r, g, b := Diverging(0)
+	if b != 255 || r > 100 {
+		t.Errorf("t=0: %d %d %d (want blue)", r, g, b)
+	}
+	r, g, b = Diverging(0.5)
+	if r != 255 || g != 255 || b != 255 {
+		t.Errorf("t=0.5: %d %d %d (want white)", r, g, b)
+	}
+	r, g, b = Diverging(1)
+	if r != 255 || b > 100 {
+		t.Errorf("t=1: %d %d %d (want red)", r, g, b)
+	}
+	// Out-of-range inputs clamp.
+	Diverging(-5)
+	Diverging(7)
+}
+
+func TestErrorMap(t *testing.T) {
+	orig := []float32{1, 2, 3, 4}
+	rec := []float32{1, 2.001, 2.999, 4}
+	img, err := ErrorMap(orig, rec, 2, 2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(img, []byte("P6\n")) {
+		t.Fatal("not a PPM")
+	}
+	if _, err := ErrorMap(orig, rec[:3], 2, 2, 0.001); err != ErrBadShape {
+		t.Errorf("shape check: %v", err)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1, 1, 1, 1}
+	out, h, w, err := SideBySide(a, b, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != 2 || w != 6 {
+		t.Fatalf("dims %dx%d", h, w)
+	}
+	if out[0] != 0 || out[5] != 1 || out[2] != 1 /* separator */ {
+		t.Errorf("layout %v", out)
+	}
+	if _, _, _, err := SideBySide(a, b[:2], 2, 2); err != ErrBadShape {
+		t.Errorf("shape check: %v", err)
+	}
+}

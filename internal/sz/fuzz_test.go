@@ -1,0 +1,14 @@
+package sz
+
+import "testing"
+
+func FuzzDecompress(f *testing.F) {
+	data := gen2D(20, 20, 1)
+	comp, _ := Compress(data, []int{20, 20}, 1e-3, Options{})
+	f.Add(comp)
+	f.Add([]byte{})
+	f.Add([]byte("SZ2G\x01\x02"))
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		_, _, _ = Decompress(comp)
+	})
+}

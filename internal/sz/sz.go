@@ -1,0 +1,322 @@
+// Package sz implements a prediction-based error-bounded lossy compressor
+// in the style of SZ 2.1 (Tao et al., IPDPS '17; Liang et al., BigData '18),
+// the primary baseline of the SZx paper.
+//
+// The pipeline is the one the paper describes when motivating SZx's design
+// constraints: a multidimensional Lorenzo predictor, linear-scale
+// quantization with a per-point division (quantization_bin =
+// prediction_error/(2*errorBound) + 1/2), canonical Huffman coding of the
+// quantization codes, and a final lossless pass (DEFLATE standing in for
+// the Zstd stage of SZ 2.1). These are precisely the "expensive operations"
+// — divisions, multiplications, Huffman coding — that SZx avoids, so this
+// baseline reproduces both the higher compression ratios and the lower
+// throughput the paper reports for SZ.
+package sz
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+
+	"repro/internal/huffman"
+)
+
+// DefaultCapacity is the quantization-code alphabet size (SZ's default).
+const DefaultCapacity = 65536
+
+// Stream constants.
+const (
+	magic      = "SZ2G"
+	headerBase = 4 + 1 + 1 + 8 + 4 // magic, version, ndims, errBound, capacity
+	version    = 1
+)
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic = errors.New("sz: not an SZ stream")
+	ErrCorrupt  = errors.New("sz: corrupt or truncated stream")
+	ErrErrBound = errors.New("sz: error bound must be a positive finite number")
+	ErrDims     = errors.New("sz: dims must be 1-4 positive values whose product is len(data)")
+)
+
+// Options configures compression.
+type Options struct {
+	// Capacity is the quantization alphabet size (0 = DefaultCapacity).
+	// Must be an even number ≥ 4.
+	Capacity int
+	// Predictor selects the prediction stage: the default global Lorenzo
+	// (SZ 1.4), blockwise regression, or SZ 2.1's per-block automatic
+	// choice between the two.
+	Predictor Predictor
+}
+
+func (o Options) capacity() (int, error) {
+	c := o.Capacity
+	if c == 0 {
+		c = DefaultCapacity
+	}
+	if c < 4 || c%2 != 0 || c > 1<<22 {
+		return 0, ErrCorrupt
+	}
+	return c, nil
+}
+
+// Compress compresses data (row-major, dims slowest-first) under the
+// absolute error bound errBound.
+func Compress(data []float32, dims []int, errBound float64, opts Options) ([]byte, error) {
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, ErrErrBound
+	}
+	capacity, err := opts.capacity()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDims(dims, len(data)); err != nil {
+		return nil, err
+	}
+	if opts.Predictor != PredLorenzo {
+		return compressRegression(data, dims, errBound, capacity, opts.Predictor == PredAuto)
+	}
+
+	radius := capacity / 2
+	codes := make([]int, len(data))
+	recon := make([]float32, len(data))
+	var unpred []float32
+
+	quantize := func(i int, pred float64) {
+		d := float64(data[i])
+		diff := d - pred
+		q := int(math.Floor(diff/(2*errBound) + 0.5))
+		if q > -radius+1 && q < radius {
+			rec := pred + float64(q)*2*errBound
+			if math.Abs(rec-d) <= errBound {
+				codes[i] = q + radius
+				recon[i] = float32(rec)
+				// The float32 rounding of the reconstruction must also
+				// respect the bound; otherwise fall through to unpredictable.
+				if math.Abs(float64(recon[i])-d) <= errBound {
+					return
+				}
+			}
+		}
+		codes[i] = 0 // unpredictable: stored verbatim
+		unpred = append(unpred, data[i])
+		recon[i] = data[i]
+	}
+
+	walk(dims, recon, quantize)
+
+	// Entropy-code the quantization codes, then a lossless DEFLATE pass
+	// (standing in for SZ 2.1's Zstd stage).
+	var huffBytes []byte
+	if len(codes) > 0 {
+		huffBytes, err = huffman.EncodeAll(codes, capacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var packed bytes.Buffer
+	fw, err := flate.NewWriter(&packed, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(huffBytes); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, headerBase+8*len(dims)+packed.Len()+4*len(unpred))
+	out = append(out, magic...)
+	out = append(out, version, byte(len(dims)))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(errBound))
+	out = append(out, b8[:]...)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(capacity))
+	out = append(out, b4[:]...)
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		out = append(out, b8[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(unpred)))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(packed.Len()))
+	out = append(out, b8[:]...)
+	out = append(out, packed.Bytes()...)
+	for _, u := range unpred {
+		binary.LittleEndian.PutUint32(b4[:], math.Float32bits(u))
+		out = append(out, b4[:]...)
+	}
+	return out, nil
+}
+
+// Decompress reconstructs the values and dimensions from a stream produced
+// by Compress, dispatching on the stream's predictor family.
+func Decompress(comp []byte) ([]float32, []int, error) {
+	if len(comp) >= 4 && string(comp[:4]) == magicReg {
+		return decompressRegression(comp)
+	}
+	if len(comp) < headerBase || string(comp[:4]) != magic {
+		return nil, nil, ErrBadMagic
+	}
+	if comp[4] != version {
+		return nil, nil, ErrCorrupt
+	}
+	ndims := int(comp[5])
+	if ndims < 1 || ndims > 4 {
+		return nil, nil, ErrCorrupt
+	}
+	errBound := math.Float64frombits(binary.LittleEndian.Uint64(comp[6:]))
+	capacity := int(binary.LittleEndian.Uint32(comp[14:]))
+	if !(errBound > 0) || capacity < 4 || capacity > 1<<22 {
+		return nil, nil, ErrCorrupt
+	}
+	pos := headerBase
+	if len(comp) < pos+8*ndims+16 {
+		return nil, nil, ErrCorrupt
+	}
+	dims := make([]int, ndims)
+	n := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(comp[pos:]))
+		pos += 8
+		if dims[i] < 1 || dims[i] > 1<<30 || n > 1<<31/dims[i] {
+			return nil, nil, ErrCorrupt
+		}
+		n *= dims[i]
+	}
+	nUnpred := int(binary.LittleEndian.Uint64(comp[pos:]))
+	packedLen := int(binary.LittleEndian.Uint64(comp[pos+8:]))
+	pos += 16
+	if nUnpred < 0 || nUnpred > n || packedLen < 0 || len(comp) < pos+packedLen+4*nUnpred {
+		return nil, nil, ErrCorrupt
+	}
+
+	fr := flate.NewReader(bytes.NewReader(comp[pos : pos+packedLen]))
+	huffBytes, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	pos += packedLen
+	var codes []int
+	if n > 0 {
+		codes, _, err = huffman.DecodeAll(huffBytes, n)
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	unpred := make([]float32, nUnpred)
+	for i := range unpred {
+		unpred[i] = math.Float32frombits(binary.LittleEndian.Uint32(comp[pos+4*i:]))
+	}
+
+	radius := capacity / 2
+	recon := make([]float32, n)
+	ui := 0
+	bad := false
+	dequant := func(i int, pred float64) {
+		c := codes[i]
+		if c == 0 {
+			if ui >= len(unpred) {
+				bad = true
+				return
+			}
+			recon[i] = unpred[ui]
+			ui++
+			return
+		}
+		q := c - radius
+		recon[i] = float32(pred + float64(q)*2*errBound)
+	}
+	walk(dims, recon, dequant)
+	if bad {
+		return nil, nil, ErrCorrupt
+	}
+	return recon, dims, nil
+}
+
+func checkDims(dims []int, n int) error {
+	if len(dims) < 1 || len(dims) > 4 {
+		return ErrDims
+	}
+	p := 1
+	for _, d := range dims {
+		if d < 1 {
+			return ErrDims
+		}
+		p *= d
+	}
+	if p != n {
+		return ErrDims
+	}
+	return nil
+}
+
+// walk visits every point in row-major order, handing the visitor the
+// linear index and the Lorenzo prediction computed from already-visited
+// (reconstructed) neighbours in recon. 4-D data is treated as a stack of
+// independent 3-D volumes, as in SZ.
+func walk(dims []int, recon []float32, visit func(i int, pred float64)) {
+	switch len(dims) {
+	case 1:
+		lorenzo1D(dims[0], 0, recon, visit)
+	case 2:
+		lorenzo2D(dims[0], dims[1], 0, recon, visit)
+	case 3:
+		lorenzo3D(dims[0], dims[1], dims[2], 0, recon, visit)
+	case 4:
+		vol := dims[1] * dims[2] * dims[3]
+		for s := 0; s < dims[0]; s++ {
+			lorenzo3D(dims[1], dims[2], dims[3], s*vol, recon, visit)
+		}
+	}
+}
+
+func lorenzo1D(n, base int, r []float32, visit func(int, float64)) {
+	for i := 0; i < n; i++ {
+		pred := 0.0
+		if i > 0 {
+			pred = float64(r[base+i-1])
+		}
+		visit(base+i, pred)
+	}
+}
+
+func lorenzo2D(h, w, base int, r []float32, visit func(int, float64)) {
+	at := func(y, x int) float64 {
+		if y < 0 || x < 0 {
+			return 0
+		}
+		return float64(r[base+y*w+x])
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			pred := at(y-1, x) + at(y, x-1) - at(y-1, x-1)
+			visit(base+y*w+x, pred)
+		}
+	}
+}
+
+func lorenzo3D(d, h, w, base int, r []float32, visit func(int, float64)) {
+	at := func(z, y, x int) float64 {
+		if z < 0 || y < 0 || x < 0 {
+			return 0
+		}
+		return float64(r[base+(z*h+y)*w+x])
+	}
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				pred := at(z-1, y, x) + at(z, y-1, x) + at(z, y, x-1) -
+					at(z-1, y-1, x) - at(z-1, y, x-1) - at(z, y-1, x-1) +
+					at(z-1, y-1, x-1)
+				visit(base+(z*h+y)*w+x, pred)
+			}
+		}
+	}
+}

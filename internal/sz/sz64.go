@@ -1,0 +1,234 @@
+package sz
+
+// Float64 variant of the SZ baseline. The paper's in-memory motivation
+// (quantum-circuit simulation) compresses double-precision state, so the
+// baseline supports it too. The pipeline is identical to the float32 path:
+// Lorenzo prediction, linear-scale quantization, Huffman, DEFLATE; only the
+// scalar type and the unpredictable-value encoding (8 bytes) differ.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"repro/internal/huffman"
+)
+
+const magic64 = "SZ2H"
+
+// CompressFloat64 compresses data (row-major, dims slowest-first) under the
+// absolute error bound errBound.
+func CompressFloat64(data []float64, dims []int, errBound float64, opts Options) ([]byte, error) {
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, ErrErrBound
+	}
+	capacity, err := opts.capacity()
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDims(dims, len(data)); err != nil {
+		return nil, err
+	}
+
+	radius := capacity / 2
+	codes := make([]int, len(data))
+	recon := make([]float64, len(data))
+	var unpred []float64
+
+	quantize := func(i int, pred float64) {
+		d := data[i]
+		diff := d - pred
+		q := int(math.Floor(diff/(2*errBound) + 0.5))
+		if q > -radius+1 && q < radius {
+			rec := pred + float64(q)*2*errBound
+			if math.Abs(rec-d) <= errBound {
+				codes[i] = q + radius
+				recon[i] = rec
+				return
+			}
+		}
+		codes[i] = 0
+		unpred = append(unpred, d)
+		recon[i] = d
+	}
+
+	walk64(dims, recon, quantize)
+
+	var huffBytes []byte
+	if len(codes) > 0 {
+		huffBytes, err = huffman.EncodeAll(codes, capacity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var packed bytes.Buffer
+	fw, err := flate.NewWriter(&packed, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(huffBytes); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+
+	out := make([]byte, 0, headerBase+8*len(dims)+packed.Len()+8*len(unpred))
+	out = append(out, magic64...)
+	out = append(out, version, byte(len(dims)))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(errBound))
+	out = append(out, b8[:]...)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(capacity))
+	out = append(out, b4[:]...)
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		out = append(out, b8[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(len(unpred)))
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], uint64(packed.Len()))
+	out = append(out, b8[:]...)
+	out = append(out, packed.Bytes()...)
+	for _, u := range unpred {
+		binary.LittleEndian.PutUint64(b8[:], math.Float64bits(u))
+		out = append(out, b8[:]...)
+	}
+	return out, nil
+}
+
+// DecompressFloat64 reverses CompressFloat64.
+func DecompressFloat64(comp []byte) ([]float64, []int, error) {
+	if len(comp) < headerBase || string(comp[:4]) != magic64 {
+		return nil, nil, ErrBadMagic
+	}
+	if comp[4] != version {
+		return nil, nil, ErrCorrupt
+	}
+	ndims := int(comp[5])
+	if ndims < 1 || ndims > 4 {
+		return nil, nil, ErrCorrupt
+	}
+	errBound := math.Float64frombits(binary.LittleEndian.Uint64(comp[6:]))
+	capacity := int(binary.LittleEndian.Uint32(comp[14:]))
+	if !(errBound > 0) || capacity < 4 || capacity > 1<<22 {
+		return nil, nil, ErrCorrupt
+	}
+	pos := headerBase
+	if len(comp) < pos+8*ndims+16 {
+		return nil, nil, ErrCorrupt
+	}
+	dims := make([]int, ndims)
+	n := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(comp[pos:]))
+		pos += 8
+		if dims[i] < 1 || dims[i] > 1<<30 || n > 1<<31/dims[i] {
+			return nil, nil, ErrCorrupt
+		}
+		n *= dims[i]
+	}
+	nUnpred := int(binary.LittleEndian.Uint64(comp[pos:]))
+	packedLen := int(binary.LittleEndian.Uint64(comp[pos+8:]))
+	pos += 16
+	if nUnpred < 0 || nUnpred > n || packedLen < 0 || len(comp) < pos+packedLen+8*nUnpred {
+		return nil, nil, ErrCorrupt
+	}
+
+	fr := flate.NewReader(bytes.NewReader(comp[pos : pos+packedLen]))
+	huffBytes, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, nil, ErrCorrupt
+	}
+	pos += packedLen
+	var codes []int
+	if n > 0 {
+		codes, _, err = huffman.DecodeAll(huffBytes, n)
+		if err != nil {
+			return nil, nil, ErrCorrupt
+		}
+	}
+	unpred := make([]float64, nUnpred)
+	for i := range unpred {
+		unpred[i] = math.Float64frombits(binary.LittleEndian.Uint64(comp[pos+8*i:]))
+	}
+
+	radius := capacity / 2
+	recon := make([]float64, n)
+	ui := 0
+	bad := false
+	dequant := func(i int, pred float64) {
+		c := codes[i]
+		if c == 0 {
+			if ui >= len(unpred) {
+				bad = true
+				return
+			}
+			recon[i] = unpred[ui]
+			ui++
+			return
+		}
+		recon[i] = pred + float64(c-radius)*2*errBound
+	}
+	walk64(dims, recon, dequant)
+	if bad {
+		return nil, nil, ErrCorrupt
+	}
+	return recon, dims, nil
+}
+
+// walk64 mirrors walk for float64 reconstruction arrays.
+func walk64(dims []int, recon []float64, visit func(i int, pred float64)) {
+	switch len(dims) {
+	case 1:
+		for i := 0; i < dims[0]; i++ {
+			pred := 0.0
+			if i > 0 {
+				pred = recon[i-1]
+			}
+			visit(i, pred)
+		}
+	case 2:
+		h, w := dims[0], dims[1]
+		at := func(y, x int) float64 {
+			if y < 0 || x < 0 {
+				return 0
+			}
+			return recon[y*w+x]
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				visit(y*w+x, at(y-1, x)+at(y, x-1)-at(y-1, x-1))
+			}
+		}
+	case 3:
+		lorenzo3D64(dims[0], dims[1], dims[2], 0, recon, visit)
+	case 4:
+		vol := dims[1] * dims[2] * dims[3]
+		for s := 0; s < dims[0]; s++ {
+			lorenzo3D64(dims[1], dims[2], dims[3], s*vol, recon, visit)
+		}
+	}
+}
+
+func lorenzo3D64(d, h, w, base int, r []float64, visit func(int, float64)) {
+	at := func(z, y, x int) float64 {
+		if z < 0 || y < 0 || x < 0 {
+			return 0
+		}
+		return r[base+(z*h+y)*w+x]
+	}
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				pred := at(z-1, y, x) + at(z, y-1, x) + at(z, y, x-1) -
+					at(z-1, y-1, x) - at(z-1, y, x-1) - at(z, y-1, x-1) +
+					at(z-1, y-1, x-1)
+				visit(base+(z*h+y)*w+x, pred)
+			}
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func gen3D64(d, h, w int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, d*h*w)
+	for i := range out {
+		out[i] = math.Sin(float64(i)/40)*7 + 0.01*rng.NormFloat64()
+	}
+	return out
+}
+
+func maxErr64(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestRoundTrip64(t *testing.T) {
+	data := gen3D64(12, 20, 25, 1)
+	for _, e := range []float64{1e-2, 1e-6, 1e-10} {
+		comp, err := CompressFloat64(data, []int{12, 20, 25}, e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, dims, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dims) != 3 || dims[2] != 25 {
+			t.Fatalf("dims %v", dims)
+		}
+		if got := maxErr64(data, dec); got > e {
+			t.Errorf("e=%g: max error %g", e, got)
+		}
+	}
+}
+
+func TestRoundTrip64AllDims(t *testing.T) {
+	data := gen3D64(2, 10, 12, 2)
+	for _, dims := range [][]int{{240}, {20, 12}, {2, 10, 12}, {2, 2, 5, 12}} {
+		comp, err := CompressFloat64(data, dims, 1e-5, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		dec, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if got := maxErr64(data, dec); got > 1e-5 {
+			t.Errorf("%v: max error %g", dims, got)
+		}
+	}
+}
+
+func TestCompress64CompressesSmooth(t *testing.T) {
+	data := gen3D64(16, 24, 24, 3)
+	comp, err := CompressFloat64(data, []int{16, 24, 24}, 1e-2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := float64(8*len(data)) / float64(len(comp)); cr < 10 {
+		t.Errorf("ratio %.1f low for smooth doubles", cr)
+	}
+}
+
+func TestCorrupt64(t *testing.T) {
+	data := gen3D64(4, 8, 8, 4)
+	comp, err := CompressFloat64(data, []int{4, 8, 8}, 1e-4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(comp[:10]); err == nil {
+		t.Error("short stream accepted")
+	}
+	// f32 stream is not an f64 stream.
+	data32 := make([]float32, 100)
+	c32, _ := Compress(data32, []int{100}, 1e-3, Options{})
+	if _, _, err := DecompressFloat64(c32); err != ErrBadMagic {
+		t.Errorf("cross-type: %v", err)
+	}
+	for i := 0; i < len(comp); i += 23 {
+		c := append([]byte(nil), comp...)
+		c[i] ^= 0xFF
+		_, _, _ = DecompressFloat64(c)
+	}
+}

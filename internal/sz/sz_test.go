@@ -1,0 +1,258 @@
+package sz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func gen2D(h, w int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out[y*w+x] = float32(math.Sin(float64(x)/20)*math.Cos(float64(y)/15)*10 +
+				0.05*rng.NormFloat64())
+		}
+	}
+	return out
+}
+
+func gen3D(d, h, w int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, d*h*w)
+	i := 0
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out[i] = float32(math.Sin(float64(x+y+z)/25)*5 + 0.02*rng.NormFloat64())
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func maxErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	data := make([]float32, 5000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 30))
+	}
+	for _, e := range []float64{1e-2, 1e-4, 1e-6} {
+		comp, err := Compress(data, []int{len(data)}, e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, dims, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dims) != 1 || dims[0] != len(data) {
+			t.Fatalf("dims %v", dims)
+		}
+		if got := maxErr(data, dec); got > e {
+			t.Errorf("e=%g: max error %g", e, got)
+		}
+		if e >= 1e-4 && len(comp) >= 4*len(data) {
+			t.Errorf("e=%g: no compression (%d bytes)", e, len(comp))
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	data := gen2D(100, 120, 1)
+	for _, e := range []float64{1e-2, 1e-3} {
+		comp, err := Compress(data, []int{100, 120}, e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxErr(data, dec); got > e {
+			t.Errorf("e=%g: max error %g", e, got)
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	data := gen3D(20, 30, 40, 2)
+	comp, err := Compress(data, []int{20, 30, 40}, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, dims, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 3 {
+		t.Fatalf("dims %v", dims)
+	}
+	if got := maxErr(data, dec); got > 1e-3 {
+		t.Errorf("max error %g", got)
+	}
+}
+
+func TestRoundTrip4D(t *testing.T) {
+	data := gen3D(6, 10, 12, 3) // reuse as 4D [2,3,10,12]
+	comp, err := Compress(data, []int{2, 3, 10, 12}, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, dec); got > 1e-3 {
+		t.Errorf("max error %g", got)
+	}
+}
+
+func TestHigherRatioThanNoCompression(t *testing.T) {
+	// Smooth data + modest bound should compress far below 4 B/value and
+	// beat a blockwise scheme's typical ratio (the paper's Table 3 SZ > SZx).
+	data := gen2D(200, 200, 4)
+	// Value range is ~20, so 2e-2 corresponds to the paper's REL 1e-3.
+	comp, err := Compress(data, []int{200, 200}, 2e-2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(4*len(data)) / float64(len(comp))
+	if cr < 8 {
+		t.Errorf("SZ ratio %.1f unexpectedly low for smooth data", cr)
+	}
+}
+
+func TestRoughDataStillBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]float32, 4096)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4)))
+	}
+	for _, e := range []float64{1e-1, 1e-5} {
+		comp, err := Compress(data, []int{4096}, e, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxErr(data, dec); got > e {
+			t.Errorf("e=%g: max error %g", e, got)
+		}
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	data := []float32{1, 2, 3}
+	if _, err := Compress(data, []int{3}, 0, Options{}); err != ErrErrBound {
+		t.Errorf("e=0: %v", err)
+	}
+	if _, err := Compress(data, []int{4}, 1e-3, Options{}); err != ErrDims {
+		t.Errorf("bad dims: %v", err)
+	}
+	if _, err := Compress(data, []int{1, 1, 1, 1, 3}, 1e-3, Options{}); err != ErrDims {
+		t.Errorf("5D: %v", err)
+	}
+	if _, err := Compress(data, nil, 1e-3, Options{}); err != ErrDims {
+		t.Errorf("nil dims: %v", err)
+	}
+	if _, err := Compress(data, []int{3}, 1e-3, Options{Capacity: 3}); err == nil {
+		t.Error("odd capacity accepted")
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	data := gen2D(40, 40, 6)
+	comp, err := Compress(data, []int{40, 40}, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(comp[:10]); err == nil {
+		t.Error("short stream accepted")
+	}
+	if _, _, err := Decompress([]byte("XXXXYYYY")); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	for i := 0; i < len(comp); i += 17 {
+		c := append([]byte(nil), comp...)
+		c[i] ^= 0xFF
+		_, _, _ = Decompress(c) // must not panic
+	}
+}
+
+func TestSmallCapacity(t *testing.T) {
+	data := gen2D(50, 50, 7)
+	comp, err := Compress(data, []int{50, 50}, 1e-4, Options{Capacity: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, dec); got > 1e-4 {
+		t.Errorf("max error %g", got)
+	}
+}
+
+// Property: the error bound holds for arbitrary data and bounds.
+func TestErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, eExp uint8) bool {
+		e := math.Pow(10, -float64(eExp%8))
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(800)
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(100*math.Sin(float64(i)/10) + rng.NormFloat64())
+		}
+		comp, err := Compress(data, []int{n}, e, Options{})
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxErr(data, dec) <= e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantField(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = 3.25
+	}
+	comp, err := Compress(data, []int{10, 100}, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(4*len(data)) / float64(len(comp))
+	if cr < 30 {
+		t.Errorf("constant field ratio %.1f too low", cr)
+	}
+	dec, _, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, dec); got > 1e-3 {
+		t.Errorf("max error %g", got)
+	}
+}

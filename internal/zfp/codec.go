@@ -1,0 +1,199 @@
+package zfp
+
+import (
+	"math"
+
+	"repro/internal/bitio"
+)
+
+const (
+	intPrec  = 32 // bit planes per coefficient (int32 backing)
+	ebits    = 9  // stored exponent width: emax+emaxBias in [0, 2^9)
+	emaxBias = 255
+)
+
+// int2negabinary converts two's complement to negabinary, so that small
+// magnitudes of either sign have their significant bits in the low planes.
+func int2negabinary(x int32) uint32 {
+	const mask = 0xaaaaaaaa
+	return (uint32(x) + mask) ^ mask
+}
+
+// negabinary2int inverts int2negabinary.
+func negabinary2int(u uint32) int32 {
+	const mask = 0xaaaaaaaa
+	return int32((u ^ mask) - mask)
+}
+
+// precision computes how many bit planes must be kept for a block with
+// maximum exponent emax so that the reconstruction error stays below
+// 2^minexp; the 2*(dims+1) slack absorbs the transform's range expansion
+// and the inverse transform's rounding (ZFP's accuracy-mode formula).
+func precision(emax, minexp, dims int) int {
+	p := emax - minexp + 2*(dims+1)
+	if p < 0 {
+		p = 0
+	}
+	if p > intPrec {
+		p = intPrec
+	}
+	return p
+}
+
+// blockEmax returns the exponent e with max|block| < 2^e, or minInt if the
+// block is all zeros or non-finite values were clamped to zero.
+func blockEmax(block []float32) (int, bool) {
+	m := float64(0)
+	for _, v := range block {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	if m == 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		return 0, false
+	}
+	_, e := math.Frexp(m) // m = f * 2^e, f in [0.5, 1)
+	return e, true
+}
+
+// encodeBlock writes one 4^dims block: a significance bit, the block
+// exponent, and the group-tested bit planes of the negabinary coefficients.
+func encodeBlock(w *bitio.Writer, block []float32, fblock []int32, dims, minexp int) {
+	size := 1 << uint(2*dims)
+	emax, ok := blockEmax(block[:size])
+	if !ok || precision(emax, minexp, dims) == 0 {
+		w.WriteBit(0) // insignificant block: decodes to all zeros
+		return
+	}
+	w.WriteBit(1)
+	w.WriteBitsLSB(uint64(emax+emaxBias), ebits)
+
+	// Block floating point: scale into 30-bit integers.
+	scale := math.Ldexp(1, intPrec-2-emax)
+	for i := 0; i < size; i++ {
+		fblock[i] = int32(float64(block[i]) * scale)
+	}
+	fwdXform(fblock, dims)
+
+	// Reorder by sequency and convert to negabinary.
+	pm := perm(dims)
+	var u [64]uint32
+	for i := 0; i < size; i++ {
+		u[i] = int2negabinary(fblock[pm[i]])
+	}
+
+	// Group-tested bit-plane coding (ZFP's encode_ints): for each plane,
+	// the bits of already-significant coefficients are written verbatim;
+	// the rest are run-length coded, with a group-test bit announcing
+	// whether any further coefficient becomes significant in this plane.
+	kmin := intPrec - precision(emax, minexp, dims)
+	n := 0
+	for k := intPrec - 1; k >= kmin; k-- {
+		// Extract bit plane k (bit i = coefficient i).
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= uint64((u[i]>>uint(k))&1) << uint(i)
+		}
+		// First n coefficients: verbatim.
+		w.WriteBitsLSB(x, uint(n))
+		x >>= uint(n)
+		// Group testing for newly significant coefficients. cur walks the
+		// remaining coefficients; n records one past the last 1 consumed,
+		// which is the verbatim count for the next plane.
+		for cur := n; cur < size; {
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for cur < size-1 {
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				cur++
+			}
+			// Consume the terminating coefficient: either its 1 bit was
+			// just written, or it is the last one and its 1 is implied.
+			x >>= 1
+			cur++
+			n = cur
+		}
+	}
+}
+
+// decodeBlock reads one block written by encodeBlock into block[:4^dims].
+func decodeBlock(r *bitio.Reader, block []float32, fblock []int32, dims, minexp int) error {
+	size := 1 << uint(2*dims)
+	sig, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if sig == 0 {
+		for i := 0; i < size; i++ {
+			block[i] = 0
+		}
+		return nil
+	}
+	ev, err := r.ReadBitsLSB(ebits)
+	if err != nil {
+		return err
+	}
+	emax := int(ev) - emaxBias
+
+	var u [64]uint32
+	for i := range u[:size] {
+		u[i] = 0
+	}
+	kmin := intPrec - precision(emax, minexp, dims)
+	n := 0
+	for k := intPrec - 1; k >= kmin; k-- {
+		// Verbatim bits of already-significant coefficients.
+		x, err := r.ReadBitsLSB(uint(n))
+		if err != nil {
+			return err
+		}
+		// Group testing, mirroring encodeBlock exactly.
+		for cur := n; cur < size; {
+			g, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			if g == 0 {
+				break
+			}
+			for cur < size-1 {
+				b, err := r.ReadBit()
+				if err != nil {
+					return err
+				}
+				if b != 0 {
+					break
+				}
+				cur++
+			}
+			x |= 1 << uint(cur)
+			cur++
+			n = cur
+		}
+		// Deposit plane k.
+		for i := 0; i < size; i++ {
+			u[i] |= uint32((x>>uint(i))&1) << uint(k)
+		}
+	}
+
+	pm := perm(dims)
+	for i := 0; i < size; i++ {
+		fblock[pm[i]] = negabinary2int(u[i])
+	}
+	invXform(fblock, dims)
+
+	scale := math.Ldexp(1, emax-(intPrec-2))
+	for i := 0; i < size; i++ {
+		block[i] = float32(float64(fblock[i]) * scale)
+	}
+	return nil
+}

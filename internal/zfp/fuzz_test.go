@@ -1,0 +1,14 @@
+package zfp
+
+import "testing"
+
+func FuzzDecompress(f *testing.F) {
+	data := gen3D(8, 8, 8, 1)
+	comp, _ := Compress(data, []int{8, 8, 8}, 1e-3)
+	f.Add(comp)
+	f.Add([]byte{})
+	f.Add([]byte("ZFPG\x01\x03"))
+	f.Fuzz(func(t *testing.T, comp []byte) {
+		_, _, _ = Decompress(comp)
+	})
+}

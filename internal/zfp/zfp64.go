@@ -1,0 +1,507 @@
+package zfp
+
+// Float64 variant of the ZFP baseline: int64 block-floating-point
+// coefficients, 64 bit planes, and a 12-bit block exponent, mirroring the
+// original's double-precision instantiation.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/bitio"
+)
+
+const (
+	intPrec64  = 64
+	ebits64    = 12
+	emaxBias64 = 2047
+	magic64    = "ZFPH"
+)
+
+// fwdLift64 / invLift64 are the int64 instantiations of the lifting step.
+func fwdLift64(p []int64, off, s int) {
+	x := p[off]
+	y := p[off+s]
+	z := p[off+2*s]
+	w := p[off+3*s]
+
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+
+	p[off] = x
+	p[off+s] = y
+	p[off+2*s] = z
+	p[off+3*s] = w
+}
+
+func invLift64(p []int64, off, s int) {
+	x := p[off]
+	y := p[off+s]
+	z := p[off+2*s]
+	w := p[off+3*s]
+
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+
+	p[off] = x
+	p[off+s] = y
+	p[off+2*s] = z
+	p[off+3*s] = w
+}
+
+func fwdXform64(block []int64, dims int) {
+	switch dims {
+	case 1:
+		fwdLift64(block, 0, 1)
+	case 2:
+		for y := 0; y < 4; y++ {
+			fwdLift64(block, 4*y, 1)
+		}
+		for x := 0; x < 4; x++ {
+			fwdLift64(block, x, 4)
+		}
+	case 3:
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				fwdLift64(block, 16*z+4*y, 1)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				fwdLift64(block, 16*z+x, 4)
+			}
+		}
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				fwdLift64(block, 4*y+x, 16)
+			}
+		}
+	}
+}
+
+func invXform64(block []int64, dims int) {
+	switch dims {
+	case 1:
+		invLift64(block, 0, 1)
+	case 2:
+		for x := 0; x < 4; x++ {
+			invLift64(block, x, 4)
+		}
+		for y := 0; y < 4; y++ {
+			invLift64(block, 4*y, 1)
+		}
+	case 3:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				invLift64(block, 4*y+x, 16)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for x := 0; x < 4; x++ {
+				invLift64(block, 16*z+x, 4)
+			}
+		}
+		for z := 0; z < 4; z++ {
+			for y := 0; y < 4; y++ {
+				invLift64(block, 16*z+4*y, 1)
+			}
+		}
+	}
+}
+
+func int2negabinary64(x int64) uint64 {
+	const mask = 0xaaaaaaaaaaaaaaaa
+	return (uint64(x) + mask) ^ mask
+}
+
+func negabinary2int64(u uint64) int64 {
+	const mask = 0xaaaaaaaaaaaaaaaa
+	return int64((u ^ mask) - mask)
+}
+
+func precision64(emax, minexp, dims int) int {
+	p := emax - minexp + 2*(dims+1)
+	if p < 0 {
+		p = 0
+	}
+	if p > intPrec64 {
+		p = intPrec64
+	}
+	return p
+}
+
+func blockEmax64(block []float64) (int, bool) {
+	m := 0.0
+	for _, v := range block {
+		a := math.Abs(v)
+		if a > m {
+			m = a
+		}
+	}
+	if m == 0 || math.IsInf(m, 0) || math.IsNaN(m) {
+		return 0, false
+	}
+	_, e := math.Frexp(m)
+	return e, true
+}
+
+func encodeBlock64(w *bitio.Writer, block []float64, fblock []int64, dims, minexp int) {
+	size := 1 << uint(2*dims)
+	emax, ok := blockEmax64(block[:size])
+	if !ok || precision64(emax, minexp, dims) == 0 {
+		w.WriteBit(0)
+		return
+	}
+	w.WriteBit(1)
+	w.WriteBitsLSB(uint64(emax+emaxBias64), ebits64)
+
+	scale := math.Ldexp(1, intPrec64-2-emax)
+	for i := 0; i < size; i++ {
+		fblock[i] = int64(block[i] * scale)
+	}
+	fwdXform64(fblock, dims)
+
+	pm := perm(dims)
+	var u [64]uint64
+	for i := 0; i < size; i++ {
+		u[i] = int2negabinary64(fblock[pm[i]])
+	}
+
+	kmin := intPrec64 - precision64(emax, minexp, dims)
+	n := 0
+	for k := intPrec64 - 1; k >= kmin; k-- {
+		var x uint64
+		for i := 0; i < size; i++ {
+			x |= ((u[i] >> uint(k)) & 1) << uint(i)
+		}
+		w.WriteBitsLSB(x, uint(n))
+		x >>= uint(n)
+		for cur := n; cur < size; {
+			if x == 0 {
+				w.WriteBit(0)
+				break
+			}
+			w.WriteBit(1)
+			for cur < size-1 {
+				b := uint(x & 1)
+				w.WriteBit(b)
+				if b != 0 {
+					break
+				}
+				x >>= 1
+				cur++
+			}
+			x >>= 1
+			cur++
+			n = cur
+		}
+	}
+}
+
+func decodeBlock64(r *bitio.Reader, block []float64, fblock []int64, dims, minexp int) error {
+	size := 1 << uint(2*dims)
+	sig, err := r.ReadBit()
+	if err != nil {
+		return err
+	}
+	if sig == 0 {
+		for i := 0; i < size; i++ {
+			block[i] = 0
+		}
+		return nil
+	}
+	ev, err := r.ReadBitsLSB(ebits64)
+	if err != nil {
+		return err
+	}
+	emax := int(ev) - emaxBias64
+
+	var u [64]uint64
+	for i := range u[:size] {
+		u[i] = 0
+	}
+	kmin := intPrec64 - precision64(emax, minexp, dims)
+	n := 0
+	for k := intPrec64 - 1; k >= kmin; k-- {
+		x, err := r.ReadBitsLSB(uint(n))
+		if err != nil {
+			return err
+		}
+		for cur := n; cur < size; {
+			g, err := r.ReadBit()
+			if err != nil {
+				return err
+			}
+			if g == 0 {
+				break
+			}
+			for cur < size-1 {
+				b, err := r.ReadBit()
+				if err != nil {
+					return err
+				}
+				if b != 0 {
+					break
+				}
+				cur++
+			}
+			x |= 1 << uint(cur)
+			cur++
+			n = cur
+		}
+		for i := 0; i < size; i++ {
+			u[i] |= ((x >> uint(i)) & 1) << uint(k)
+		}
+	}
+
+	pm := perm(dims)
+	for i := 0; i < size; i++ {
+		fblock[pm[i]] = negabinary2int64(u[i])
+	}
+	invXform64(fblock, dims)
+
+	scale := math.Ldexp(1, emax-(intPrec64-2))
+	for i := 0; i < size; i++ {
+		block[i] = float64(fblock[i]) * scale
+	}
+	return nil
+}
+
+// CompressFloat64 is the float64 fixed-accuracy compressor, the double
+// precision analogue of Compress.
+func CompressFloat64(data []float64, dims []int, tolerance float64) ([]byte, error) {
+	if !(tolerance > 0) || math.IsInf(tolerance, 0) {
+		return nil, ErrErrBound
+	}
+	if err := checkDims(dims, len(data)); err != nil {
+		return nil, err
+	}
+	_, minexp := math.Frexp(tolerance)
+	minexp--
+
+	w := bitio.NewWriter(2 * len(data))
+	var block [64]float64
+	var fblock [64]int64
+	forEachBlock64(data, dims, block[:], func(blk []float64, bdims int) {
+		encodeBlock64(w, blk, fblock[:], bdims, minexp)
+	})
+
+	payload := w.Bytes()
+	out := make([]byte, 0, 32+8*len(dims)+len(payload))
+	out = append(out, magic64...)
+	out = append(out, version, byte(len(dims)))
+	var b8 [8]byte
+	binary.LittleEndian.PutUint64(b8[:], math.Float64bits(tolerance))
+	out = append(out, b8[:]...)
+	for _, d := range dims {
+		binary.LittleEndian.PutUint64(b8[:], uint64(d))
+		out = append(out, b8[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], uint64(w.Len()))
+	out = append(out, b8[:]...)
+	out = append(out, payload...)
+	return out, nil
+}
+
+// DecompressFloat64 reverses CompressFloat64.
+func DecompressFloat64(comp []byte) ([]float64, []int, error) {
+	if len(comp) < 14 || string(comp[:4]) != magic64 {
+		return nil, nil, ErrBadMagic
+	}
+	if comp[4] != version {
+		return nil, nil, ErrCorrupt
+	}
+	ndims := int(comp[5])
+	if ndims < 1 || ndims > 4 {
+		return nil, nil, ErrCorrupt
+	}
+	tolerance := math.Float64frombits(binary.LittleEndian.Uint64(comp[6:]))
+	if !(tolerance > 0) || math.IsInf(tolerance, 0) {
+		return nil, nil, ErrCorrupt
+	}
+	pos := 14
+	if len(comp) < pos+8*ndims+8 {
+		return nil, nil, ErrCorrupt
+	}
+	dims := make([]int, ndims)
+	n := 1
+	for i := range dims {
+		dims[i] = int(binary.LittleEndian.Uint64(comp[pos:]))
+		pos += 8
+		if dims[i] < 1 || dims[i] > 1<<30 || n > 1<<31/dims[i] {
+			return nil, nil, ErrCorrupt
+		}
+		n *= dims[i]
+	}
+	bitLen := int(binary.LittleEndian.Uint64(comp[pos:]))
+	pos += 8
+	if bitLen < 0 || len(comp) < pos+(bitLen+7)/8 {
+		return nil, nil, ErrCorrupt
+	}
+	// Every 4^d block costs at least its significance bit, so a forged
+	// shape cannot force an allocation far beyond the actual payload.
+	nBlocks := 1
+	for _, d := range dims {
+		nBlocks *= (d + 3) / 4
+	}
+	if nBlocks > bitLen {
+		return nil, nil, ErrCorrupt
+	}
+	_, minexp := math.Frexp(tolerance)
+	minexp--
+
+	r := bitio.NewReader(comp[pos:])
+	out := make([]float64, n)
+	var block [64]float64
+	var fblock [64]int64
+	var derr error
+	forEachBlockScatter64(out, dims, block[:], func(blk []float64, bdims int) bool {
+		if err := decodeBlock64(r, blk, fblock[:], bdims, minexp); err != nil {
+			derr = err
+			return false
+		}
+		return true
+	})
+	if derr != nil {
+		return nil, nil, ErrCorrupt
+	}
+	return out, dims, nil
+}
+
+// forEachBlock64 / forEachBlockScatter64 mirror the float32 block walkers.
+func forEachBlock64(data []float64, dims []int, block []float64, visit func(blk []float64, bdims int)) {
+	switch len(dims) {
+	case 1:
+		n := dims[0]
+		for x0 := 0; x0 < n; x0 += 4 {
+			for i := 0; i < 4; i++ {
+				block[i] = data[clamp(x0+i, n)]
+			}
+			visit(block[:4], 1)
+		}
+	case 2:
+		h, wd := dims[0], dims[1]
+		for y0 := 0; y0 < h; y0 += 4 {
+			for x0 := 0; x0 < wd; x0 += 4 {
+				for j := 0; j < 4; j++ {
+					row := clamp(y0+j, h) * wd
+					for i := 0; i < 4; i++ {
+						block[4*j+i] = data[row+clamp(x0+i, wd)]
+					}
+				}
+				visit(block[:16], 2)
+			}
+		}
+	case 3:
+		d, h, wd := dims[0], dims[1], dims[2]
+		for z0 := 0; z0 < d; z0 += 4 {
+			for y0 := 0; y0 < h; y0 += 4 {
+				for x0 := 0; x0 < wd; x0 += 4 {
+					for k := 0; k < 4; k++ {
+						zi := clamp(z0+k, d) * h
+						for j := 0; j < 4; j++ {
+							row := (zi + clamp(y0+j, h)) * wd
+							for i := 0; i < 4; i++ {
+								block[16*k+4*j+i] = data[row+clamp(x0+i, wd)]
+							}
+						}
+					}
+					visit(block[:64], 3)
+				}
+			}
+		}
+	case 4:
+		vol := dims[1] * dims[2] * dims[3]
+		for s := 0; s < dims[0]; s++ {
+			forEachBlock64(data[s*vol:(s+1)*vol], dims[1:], block, visit)
+		}
+	}
+}
+
+func forEachBlockScatter64(out []float64, dims []int, block []float64, visit func(blk []float64, bdims int) bool) {
+	switch len(dims) {
+	case 1:
+		n := dims[0]
+		for x0 := 0; x0 < n; x0 += 4 {
+			if !visit(block[:4], 1) {
+				return
+			}
+			for i := 0; i < 4 && x0+i < n; i++ {
+				out[x0+i] = block[i]
+			}
+		}
+	case 2:
+		h, wd := dims[0], dims[1]
+		for y0 := 0; y0 < h; y0 += 4 {
+			for x0 := 0; x0 < wd; x0 += 4 {
+				if !visit(block[:16], 2) {
+					return
+				}
+				for j := 0; j < 4 && y0+j < h; j++ {
+					row := (y0 + j) * wd
+					for i := 0; i < 4 && x0+i < wd; i++ {
+						out[row+x0+i] = block[4*j+i]
+					}
+				}
+			}
+		}
+	case 3:
+		d, h, wd := dims[0], dims[1], dims[2]
+		for z0 := 0; z0 < d; z0 += 4 {
+			for y0 := 0; y0 < h; y0 += 4 {
+				for x0 := 0; x0 < wd; x0 += 4 {
+					if !visit(block[:64], 3) {
+						return
+					}
+					for k := 0; k < 4 && z0+k < d; k++ {
+						for j := 0; j < 4 && y0+j < h; j++ {
+							row := ((z0+k)*h + y0 + j) * wd
+							for i := 0; i < 4 && x0+i < wd; i++ {
+								out[row+x0+i] = block[16*k+4*j+i]
+							}
+						}
+					}
+				}
+			}
+		}
+	case 4:
+		vol := dims[1] * dims[2] * dims[3]
+		for s := 0; s < dims[0]; s++ {
+			done := false
+			forEachBlockScatter64(out[s*vol:(s+1)*vol], dims[1:], block, func(blk []float64, bd int) bool {
+				ok := visit(blk, bd)
+				if !ok {
+					done = true
+				}
+				return ok
+			})
+			if done {
+				return
+			}
+		}
+	}
+}

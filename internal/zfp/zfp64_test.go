@@ -1,0 +1,147 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func gen3D64(d, h, w int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, d*h*w)
+	i := 0
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out[i] = math.Sin(float64(x)/12)*math.Cos(float64(y)/9)*
+					math.Sin(float64(z)/6)*100 + 0.001*rng.NormFloat64()
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func maxErr64(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestRoundTrip64(t *testing.T) {
+	data := gen3D64(17, 22, 30, 1)
+	for _, tol := range []float64{1e-1, 1e-4, 1e-9} {
+		comp, err := CompressFloat64(data, []int{17, 22, 30}, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxErr64(data, dec); got > tol {
+			t.Errorf("tol=%g: max error %g", tol, got)
+		}
+	}
+}
+
+func TestRoundTrip64Dims(t *testing.T) {
+	data := gen3D64(2, 9, 13, 2)
+	for _, dims := range [][]int{{234}, {18, 13}, {2, 9, 13}, {2, 1, 9, 13}} {
+		comp, err := CompressFloat64(data, dims, 1e-6)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		dec, _, err := DecompressFloat64(comp)
+		if err != nil {
+			t.Fatalf("%v: %v", dims, err)
+		}
+		if got := maxErr64(data, dec); got > 1e-6 {
+			t.Errorf("%v: max error %g", dims, got)
+		}
+	}
+}
+
+func TestNegabinary64RoundTrip(t *testing.T) {
+	f := func(x int64) bool { return negabinary2int64(int2negabinary64(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLift64NearInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		var p, q [4]int64
+		for i := range p {
+			p[i] = rng.Int63n(1<<60) - 1<<59
+			q[i] = p[i]
+		}
+		fwdLift64(q[:], 0, 1)
+		invLift64(q[:], 0, 1)
+		for i := range p {
+			d := p[i] - q[i]
+			if d < -4 || d > 4 {
+				t.Fatalf("trial %d: not near-invertible", trial)
+			}
+		}
+	}
+}
+
+func TestZeros64(t *testing.T) {
+	data := make([]float64, 1024)
+	comp, err := CompressFloat64(data, []int{1024}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) > 128 {
+		t.Errorf("zero data stream %d bytes", len(comp))
+	}
+	dec, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range dec {
+		if v != 0 {
+			t.Fatal("nonzero output")
+		}
+	}
+}
+
+// Double precision can honor much tighter bounds than the float32 path.
+func TestTightBound64(t *testing.T) {
+	data := gen3D64(8, 8, 8, 5)
+	tol := 1e-12
+	comp, err := CompressFloat64(data, []int{8, 8, 8}, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr64(data, dec); got > tol {
+		t.Errorf("max error %g > %g", got, tol)
+	}
+}
+
+func TestCorrupt64(t *testing.T) {
+	data := gen3D64(4, 8, 8, 6)
+	comp, err := CompressFloat64(data, []int{4, 8, 8}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(comp[:6]); err == nil {
+		t.Error("short accepted")
+	}
+	for i := 0; i < len(comp); i += 29 {
+		c := append([]byte(nil), comp...)
+		c[i] ^= 0xF0
+		_, _, _ = DecompressFloat64(c)
+	}
+}

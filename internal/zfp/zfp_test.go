@@ -1,0 +1,323 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func maxErr(a, b []float32) float64 {
+	m := 0.0
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func gen3D(d, h, w int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, d*h*w)
+	i := 0
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				out[i] = float32(math.Sin(float64(x)/15)*math.Cos(float64(y)/10)*
+					math.Sin(float64(z)/8)*10 + 0.01*rng.NormFloat64())
+				i++
+			}
+		}
+	}
+	return out
+}
+
+func TestLiftRoundTripApprox(t *testing.T) {
+	// The lifting transform loses only low-order bits: inverse(forward(x))
+	// must match x within a few units.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		var p, q [4]int32
+		for i := range p {
+			p[i] = int32(rng.Intn(1<<28)) - 1<<27
+			q[i] = p[i]
+		}
+		fwdLift(q[:], 0, 1)
+		invLift(q[:], 0, 1)
+		for i := range p {
+			d := int64(p[i]) - int64(q[i])
+			if d < -4 || d > 4 {
+				t.Fatalf("trial %d: lift not near-invertible: %v vs %v", trial, p, q)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	cases := []int32{0, 1, -1, 2, -2, 1 << 30, -(1 << 30), math.MaxInt32, math.MinInt32}
+	for _, x := range cases {
+		if got := negabinary2int(int2negabinary(x)); got != x {
+			t.Errorf("negabinary(%d) -> %d", x, got)
+		}
+	}
+	f := func(x int32) bool { return negabinary2int(int2negabinary(x)) == x }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegabinarySmallMagnitude(t *testing.T) {
+	// Small magnitudes (either sign) must have only low-order bits set so
+	// bit-plane coding truncates gracefully.
+	for _, x := range []int32{-8, -1, 0, 1, 8} {
+		u := int2negabinary(x)
+		if u > 64 {
+			t.Errorf("negabinary(%d) = %#x has high bits", x, u)
+		}
+	}
+}
+
+func TestPermProperties(t *testing.T) {
+	for _, dims := range []int{1, 2, 3} {
+		p := perm(dims)
+		size := 1 << uint(2*dims)
+		if len(p) != size {
+			t.Fatalf("dims %d: perm len %d", dims, len(p))
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				t.Fatalf("dims %d: invalid perm %v", dims, p)
+			}
+			seen[v] = true
+		}
+		// Total degree must be non-decreasing.
+		deg := func(i int) int {
+			d := 0
+			for k := 0; k < dims; k++ {
+				d += (i >> uint(2*k)) & 3
+			}
+			return d
+		}
+		for i := 1; i < size; i++ {
+			if deg(p[i]) < deg(p[i-1]) {
+				t.Fatalf("dims %d: perm not degree-sorted", dims)
+			}
+		}
+		// DC coefficient first.
+		if p[0] != 0 {
+			t.Fatalf("dims %d: DC not first", dims)
+		}
+	}
+}
+
+func TestRoundTrip1D(t *testing.T) {
+	data := make([]float32, 1000)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 25))
+	}
+	for _, tol := range []float64{1e-1, 1e-3, 1e-6} {
+		comp, err := Compress(data, []int{1000}, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxErr(data, dec); got > tol {
+			t.Errorf("tol=%g: max error %g", tol, got)
+		}
+	}
+}
+
+func TestRoundTrip2D(t *testing.T) {
+	const h, w = 67, 93 // deliberately not multiples of 4
+	data := make([]float32, h*w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			data[y*w+x] = float32(math.Sin(float64(x)/9)*math.Cos(float64(y)/7)*5 + 100)
+		}
+	}
+	for _, tol := range []float64{1e-2, 1e-4} {
+		comp, err := Compress(data, []int{h, w}, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, dims, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dims[0] != h || dims[1] != w {
+			t.Fatalf("dims %v", dims)
+		}
+		if got := maxErr(data, dec); got > tol {
+			t.Errorf("tol=%g: max error %g", tol, got)
+		}
+	}
+}
+
+func TestRoundTrip3D(t *testing.T) {
+	data := gen3D(22, 30, 41, 2)
+	for _, tol := range []float64{1e-1, 1e-3} {
+		comp, err := Compress(data, []int{22, 30, 41}, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := maxErr(data, dec); got > tol {
+			t.Errorf("tol=%g: max error %g", tol, got)
+		}
+	}
+}
+
+func TestRoundTrip4D(t *testing.T) {
+	data := gen3D(8, 10, 12, 3)
+	comp, err := Compress(data, []int{2, 4, 10, 12}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, _, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := maxErr(data, dec); got > 1e-3 {
+		t.Errorf("max error %g", got)
+	}
+}
+
+func TestCompressesSmoothdata(t *testing.T) {
+	data := gen3D(32, 32, 32, 4)
+	comp, err := Compress(data, []int{32, 32, 32}, 2e-2) // ~REL 1e-3 of range 20
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := float64(4*len(data)) / float64(len(comp))
+	if cr < 4 {
+		t.Errorf("ZFP ratio %.2f too low for smooth 3D data", cr)
+	}
+}
+
+func TestAllZeroBlocks(t *testing.T) {
+	data := make([]float32, 4096)
+	comp, err := Compress(data, []int{16, 16, 16}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-insignificant blocks cost ~1 bit each: 64 blocks -> tiny stream.
+	if len(comp) > 128 {
+		t.Errorf("zero data stream %d bytes", len(comp))
+	}
+	dec, _, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("dec[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	data := []float32{1, 2, 3, 4}
+	if _, err := Compress(data, []int{4}, 0); err != ErrErrBound {
+		t.Errorf("tol=0: %v", err)
+	}
+	if _, err := Compress(data, []int{5}, 1e-3); err != ErrDims {
+		t.Errorf("bad dims: %v", err)
+	}
+	if _, err := Compress(data, []int{}, 1e-3); err != ErrDims {
+		t.Errorf("no dims: %v", err)
+	}
+}
+
+func TestCorrupt(t *testing.T) {
+	data := gen3D(10, 10, 10, 5)
+	comp, err := Compress(data, []int{10, 10, 10}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Decompress(comp[:8]); err == nil {
+		t.Error("short stream accepted")
+	}
+	if _, _, err := Decompress([]byte("AAAABBBBCCCCDDDD")); err != ErrBadMagic {
+		t.Errorf("bad magic: %v", err)
+	}
+	for i := 0; i < len(comp); i += 19 {
+		c := append([]byte(nil), comp...)
+		c[i] ^= 0x3C
+		_, _, _ = Decompress(c) // must not panic
+	}
+}
+
+// Property: the fixed-accuracy bound holds across magnitudes and bounds,
+// down to the float32 precision floor. Like the original ZFP, tolerances
+// below the int32 quantization ulp (~maxAbs * 2^-20 after transform slack)
+// cannot be honored; the effective bound is the max of the two.
+func TestAccuracyProperty(t *testing.T) {
+	f := func(seed int64, eExp uint8, scalePow int8) bool {
+		tol := math.Pow(10, -float64(eExp%7))
+		scale := math.Pow(2, float64(scalePow%30))
+		rng := rand.New(rand.NewSource(seed))
+		const h, w = 20, 20
+		data := make([]float32, h*w)
+		maxAbs := 0.0
+		for i := range data {
+			data[i] = float32(scale * (math.Sin(float64(i)/17) + 0.1*rng.NormFloat64()))
+			if a := math.Abs(float64(data[i])); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		comp, err := Compress(data, []int{h, w}, tol)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		allowed := tol
+		if floor := maxAbs * math.Pow(2, -20); floor > allowed {
+			allowed = floor
+		}
+		return maxErr(data, dec) <= allowed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random finite data of random shapes round-trips within bound.
+func TestShapeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dims := make([]int, 1+rng.Intn(3))
+		n := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(13)
+			n *= dims[i]
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * 100)
+		}
+		comp, err := Compress(data, dims, 1e-2)
+		if err != nil {
+			return false
+		}
+		dec, _, err := Decompress(comp)
+		if err != nil {
+			return false
+		}
+		return maxErr(data, dec) <= 1e-2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package szx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Streaming codec: an io.Writer/io.Reader pair that carries an unbounded
+// sequence of float32 values as independently compressed chunks. This is
+// the shape the paper's online instrument-data use case needs (LCLS-II,
+// §1): data arrives continuously, each chunk is compressed and flushed
+// with bounded latency and memory, and a crashed stream is readable up to
+// the last complete chunk.
+//
+// Wire format:
+//
+//	"SZXS" u8(version)
+//	repeat: u32 frameLen | SZx stream of one chunk
+//	u32(0) terminator
+//
+// With Mode == BoundRelative the bound is resolved against each chunk's
+// own value range (instruments rarely know the global range in advance);
+// use BoundAbsolute for a range-independent guarantee.
+
+const (
+	streamMagic   = "SZXS"
+	streamVersion = 1
+	// DefaultChunkValues is the streaming chunk size (values).
+	DefaultChunkValues = 1 << 18
+)
+
+// ErrStream reports a malformed streaming container.
+var ErrStream = errors.New("szx: malformed stream container")
+
+// Writer compresses a stream of float32 values chunk by chunk.
+type Writer struct {
+	w      io.Writer
+	opt    Options
+	chunk  int
+	buf    []float32
+	err    error
+	opened bool
+	closed bool
+}
+
+// NewWriter returns a streaming compressor writing to w. ChunkValues
+// controls the chunk granularity (0 = DefaultChunkValues).
+func NewWriter(w io.Writer, opt Options, chunkValues int) *Writer {
+	if chunkValues <= 0 {
+		chunkValues = DefaultChunkValues
+	}
+	return &Writer{w: w, opt: opt, chunk: chunkValues}
+}
+
+// Write buffers values, compressing and emitting full chunks. Large inputs
+// are chunked directly from the caller's slice without re-buffering.
+func (sw *Writer) Write(values []float32) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return errors.New("szx: write after Close")
+	}
+	for len(values) > 0 {
+		if len(sw.buf) == 0 && len(values) >= sw.chunk {
+			if err := sw.flushChunk(values[:sw.chunk]); err != nil {
+				return err
+			}
+			values = values[sw.chunk:]
+			continue
+		}
+		need := sw.chunk - len(sw.buf)
+		if need > len(values) {
+			need = len(values)
+		}
+		sw.buf = append(sw.buf, values[:need]...)
+		values = values[need:]
+		if len(sw.buf) == sw.chunk {
+			if err := sw.flushChunk(sw.buf); err != nil {
+				return err
+			}
+			sw.buf = sw.buf[:0]
+		}
+	}
+	return nil
+}
+
+func (sw *Writer) flushChunk(chunk []float32) error {
+	if !sw.opened {
+		if _, err := sw.w.Write(append([]byte(streamMagic), streamVersion)); err != nil {
+			sw.err = err
+			return err
+		}
+		sw.opened = true
+	}
+	comp, err := Compress(chunk, sw.opt)
+	if err != nil {
+		sw.err = err
+		return err
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
+	if _, err := sw.w.Write(hdr[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	if _, err := sw.w.Write(comp); err != nil {
+		sw.err = err
+		return err
+	}
+	return nil
+}
+
+// Close flushes any buffered tail chunk and writes the terminator.
+func (sw *Writer) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.closed {
+		return nil
+	}
+	if len(sw.buf) > 0 {
+		if err := sw.flushChunk(sw.buf); err != nil {
+			return err
+		}
+		sw.buf = sw.buf[:0]
+	}
+	if !sw.opened { // empty stream: still emit a valid container
+		if _, err := sw.w.Write(append([]byte(streamMagic), streamVersion)); err != nil {
+			sw.err = err
+			return err
+		}
+		sw.opened = true
+	}
+	var term [4]byte
+	if _, err := sw.w.Write(term[:]); err != nil {
+		sw.err = err
+		return err
+	}
+	sw.closed = true
+	return nil
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r      io.Reader
+	buf    []float32 // decoded values not yet delivered
+	pos    int
+	opened bool
+	done   bool
+	err    error
+}
+
+// NewReader returns a streaming decompressor reading from r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r}
+}
+
+// Read fills p with decompressed values, returning the count. It returns
+// io.EOF after the final chunk is exhausted.
+func (sr *Reader) Read(p []float32) (int, error) {
+	if sr.err != nil {
+		return 0, sr.err
+	}
+	total := 0
+	for total < len(p) {
+		if sr.pos == len(sr.buf) {
+			if err := sr.nextChunk(); err != nil {
+				if total > 0 && err == io.EOF {
+					return total, nil
+				}
+				return total, err
+			}
+		}
+		n := copy(p[total:], sr.buf[sr.pos:])
+		sr.pos += n
+		total += n
+	}
+	return total, nil
+}
+
+// ReadAll decompresses the remainder of the stream.
+func (sr *Reader) ReadAll() ([]float32, error) {
+	var out []float32
+	for {
+		if sr.pos < len(sr.buf) {
+			out = append(out, sr.buf[sr.pos:]...)
+			sr.pos = len(sr.buf)
+		}
+		if err := sr.nextChunk(); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+func (sr *Reader) nextChunk() error {
+	if sr.done {
+		return io.EOF
+	}
+	if !sr.opened {
+		var hdr [5]byte
+		if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+			sr.err = ErrStream
+			return sr.err
+		}
+		if string(hdr[:4]) != streamMagic || hdr[4] != streamVersion {
+			sr.err = ErrStream
+			return sr.err
+		}
+		sr.opened = true
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
+		sr.err = fmt.Errorf("%w: truncated frame header", ErrStream)
+		return sr.err
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen == 0 {
+		sr.done = true
+		return io.EOF
+	}
+	if frameLen > 1<<31 {
+		sr.err = ErrStream
+		return sr.err
+	}
+	// Read the frame incrementally so a forged header cannot force a huge
+	// up-front allocation: memory grows only as real bytes arrive.
+	frame := make([]byte, 0, min(int(frameLen), 1<<20))
+	remaining := int(frameLen)
+	chunk := make([]byte, 1<<20)
+	for remaining > 0 {
+		n := len(chunk)
+		if n > remaining {
+			n = remaining
+		}
+		got, err := io.ReadFull(sr.r, chunk[:n])
+		frame = append(frame, chunk[:got]...)
+		if err != nil {
+			sr.err = fmt.Errorf("%w: truncated frame", ErrStream)
+			return sr.err
+		}
+		remaining -= got
+	}
+	vals, err := Decompress(frame)
+	if err != nil {
+		sr.err = err
+		return err
+	}
+	sr.buf = vals
+	sr.pos = 0
+	return nil
+}
+
+// --- random access ---------------------------------------------------------
+
+// DecompressRange reconstructs values [lo, hi) from a (non-streaming)
+// compressed buffer, decoding only the blocks that overlap the range —
+// random access enabled by the embedded per-block size array.
+func DecompressRange(comp []byte, lo, hi int) ([]float32, error) {
+	return core.DecompressFloat32Range(comp, lo, hi)
+}
+
+// DecompressFloat64Range is the float64 analogue of DecompressRange.
+func DecompressFloat64Range(comp []byte, lo, hi int) ([]float64, error) {
+	return core.DecompressFloat64Range(comp, lo, hi)
+}

@@ -1,0 +1,261 @@
+package szx
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamRoundTrip(t *testing.T) {
+	data := testField(300000, 11)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 1<<16)
+	// Write in uneven pieces to exercise buffering.
+	for lo := 0; lo < len(data); {
+		hi := lo + 7000
+		if hi > len(data) {
+			hi = len(data)
+		}
+		if err := w.Write(data[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+		lo = hi
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() >= 4*len(data) {
+		t.Errorf("stream did not compress: %d bytes", buf.Len())
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("got %d values want %d", len(out), len(data))
+	}
+	for i := range data {
+		if math.Abs(float64(data[i])-float64(out[i])) > 1e-3 {
+			t.Fatalf("value %d exceeds bound", i)
+		}
+	}
+}
+
+func TestStreamReadChunked(t *testing.T) {
+	data := testField(100000, 12)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-4}, 1<<14)
+	if err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	var out []float32
+	p := make([]float32, 777)
+	for {
+		n, err := r.Read(p)
+		out = append(out, p[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(out) != len(data) {
+		t.Fatalf("got %d values want %d", len(out), len(data))
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	out, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d values", len(out))
+	}
+	// Read on the drained stream keeps returning EOF.
+	if _, err := r.Read(make([]float32, 4)); err != io.EOF {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write([]float32{1}); err == nil {
+		t.Fatal("write after close accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("second close should be a no-op")
+	}
+}
+
+func TestStreamTruncated(t *testing.T) {
+	data := testField(50000, 13)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 1<<14)
+	if err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Cutting anywhere must yield an error (or clean EOF at a frame edge),
+	// never a panic; data decoded before the cut must respect the bound.
+	for cut := 0; cut < len(full); cut += len(full)/40 + 1 {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		out, err := r.ReadAll()
+		if err == nil && cut < len(full)-4 && len(out) == len(data) {
+			t.Fatalf("cut=%d: full data recovered from truncated stream", cut)
+		}
+		for i := range out {
+			if math.Abs(float64(data[i])-float64(out[i])) > 1e-3 {
+				t.Fatalf("cut=%d: recovered value %d exceeds bound", cut, i)
+			}
+		}
+	}
+}
+
+func TestStreamGarbage(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("this is not a stream")))
+	if _, err := r.ReadAll(); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestStreamRelativeMode(t *testing.T) {
+	data := testField(80000, 14)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3, Mode: BoundRelative}, 1<<15)
+	if err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewReader(bytes.NewReader(buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatal("length mismatch")
+	}
+}
+
+func TestDecompressRange(t *testing.T) {
+	data := testField(100000, 15)
+	comp, err := Compress(data, Options{ErrorBound: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := [][2]int{
+		{0, 100}, {0, len(data)}, {12345, 12346}, {99990, 100000},
+		{128, 256}, {127, 129}, {50000, 50000},
+	}
+	for _, c := range cases {
+		part, err := DecompressRange(comp, c[0], c[1])
+		if err != nil {
+			t.Fatalf("range %v: %v", c, err)
+		}
+		if len(part) != c[1]-c[0] {
+			t.Fatalf("range %v: got %d values", c, len(part))
+		}
+		for i := range part {
+			if part[i] != full[c[0]+i] {
+				t.Fatalf("range %v: value %d differs from full decode", c, i)
+			}
+		}
+	}
+	// Out-of-range requests error.
+	if _, err := DecompressRange(comp, -1, 10); err == nil {
+		t.Error("negative lo accepted")
+	}
+	if _, err := DecompressRange(comp, 0, len(data)+1); err == nil {
+		t.Error("hi beyond N accepted")
+	}
+	if _, err := DecompressRange(comp, 10, 5); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestDecompressRangeFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/300) + 0.01*rng.NormFloat64()
+	}
+	comp, err := CompressFloat64(data, Options{ErrorBound: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := DecompressFloat64Range(comp, 1000, 9000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range part {
+		if part[i] != full[1000+i] {
+			t.Fatalf("value %d differs", i)
+		}
+	}
+}
+
+// Property: random range requests always agree with the full decode.
+func TestDecompressRangeProperty(t *testing.T) {
+	data := testField(20000, 17)
+	comp, err := Compress(data, Options{ErrorBound: 1e-3, BlockSize: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Decompress(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint16) bool {
+		lo := int(a) % len(data)
+		hi := lo + int(b)%(len(data)-lo) + 1
+		if hi > len(data) {
+			hi = len(data)
+		}
+		part, err := DecompressRange(comp, lo, hi)
+		if err != nil {
+			return false
+		}
+		for i := range part {
+			if part[i] != full[lo+i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
