@@ -55,17 +55,22 @@ func NewArchiveWriter(opt Options) *ArchiveWriter {
 // AddField compresses and stores one named float32 field. dims must
 // multiply to len(data); names must be unique and non-empty.
 func (aw *ArchiveWriter) AddField(name string, dims []int, data []float32) error {
-	return aw.add(name, dims, len(data), func() ([]byte, error) {
-		return Compress(data, aw.opt)
-	})
+	return AddArchiveField(aw, name, dims, data)
 }
 
 // AddFieldFloat64 compresses and stores one named float64 field. The
 // element type travels in the field's stream header; readers use
 // ReadFloat64 for such fields.
 func (aw *ArchiveWriter) AddFieldFloat64(name string, dims []int, data []float64) error {
+	return AddArchiveField(aw, name, dims, data)
+}
+
+// AddArchiveField compresses and stores one named field of either element
+// type. It is a free function because Go methods cannot take type
+// parameters; AddField and AddFieldFloat64 are its pinned instantiations.
+func AddArchiveField[T Float](aw *ArchiveWriter, name string, dims []int, data []T) error {
 	return aw.add(name, dims, len(data), func() ([]byte, error) {
-		return CompressFloat64(data, aw.opt)
+		return CompressInto[T](nil, data, aw.opt)
 	})
 }
 
@@ -232,29 +237,24 @@ func (a *Archive) Fields() []FieldInfo {
 
 // Read decompresses one field by name.
 func (a *Archive) Read(name string) ([]float32, []int, error) {
-	p, ok := a.payloads[name]
-	if !ok {
-		return nil, nil, ErrFieldNotFound
-	}
-	vals, err := Decompress(p)
-	if err != nil {
-		return nil, nil, err
-	}
-	for _, inf := range a.infos {
-		if inf.Name == name {
-			return vals, inf.Dims, nil
-		}
-	}
-	return vals, nil, nil
+	return ReadArchiveField[float32](a, name)
 }
 
 // ReadFloat64 decompresses one float64 field by name.
 func (a *Archive) ReadFloat64(name string) ([]float64, []int, error) {
+	return ReadArchiveField[float64](a, name)
+}
+
+// ReadArchiveField decompresses one field by name at either element type
+// (ErrWrongType if T does not match the field's stream header). It is a
+// free function because Go methods cannot take type parameters; Read and
+// ReadFloat64 are its pinned instantiations.
+func ReadArchiveField[T Float](a *Archive, name string) ([]T, []int, error) {
 	p, ok := a.payloads[name]
 	if !ok {
 		return nil, nil, ErrFieldNotFound
 	}
-	vals, err := DecompressFloat64(p)
+	vals, err := DecompressInto[T](nil, p)
 	if err != nil {
 		return nil, nil, err
 	}

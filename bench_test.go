@@ -505,6 +505,54 @@ func BenchmarkStreaming(b *testing.B) {
 	}
 }
 
+// BenchmarkReuse measures the zero-allocation Into API and the Codec
+// handle through the public package surface: the steady-state in-situ
+// loop (compress a frame, decompress a frame, same buffers every time).
+// After the first iteration warms the buffers the serial paths should
+// report ~0 allocs/op.
+func BenchmarkReuse(b *testing.B) {
+	data := appByName("Nyx").Fields[0].Data
+	opt := Options{ErrorBound: 1e-3}
+	comp, err := Compress(data, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("CompressInto", func(b *testing.B) {
+		var dst []byte
+		b.SetBytes(int64(4 * len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if dst, err = CompressInto(dst[:0], data, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("DecompressInto", func(b *testing.B) {
+		var dst []float32
+		b.SetBytes(int64(4 * len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if dst, err = DecompressInto(dst[:0], comp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Codec", func(b *testing.B) {
+		c := NewCodec[float32](opt)
+		b.SetBytes(int64(4 * len(data)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cc, err := c.Compress(data)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Decompress(cc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkRandomAccess measures block-granular range decodes against the
 // zsize index.
 func BenchmarkRandomAccess(b *testing.B) {

@@ -1,0 +1,101 @@
+package szx
+
+import (
+	"math"
+	"testing"
+)
+
+func testCodecRoundTrip[T Float](t *testing.T, opt Options, frames int) {
+	t.Helper()
+	c := NewCodec[T](opt)
+	if c.Options() != opt {
+		t.Fatalf("Options() = %+v, want %+v", c.Options(), opt)
+	}
+	data := make([]T, 3000)
+	for f := 0; f < frames; f++ {
+		for i := range data {
+			data[i] = T(math.Sin(float64(i)/30+float64(f))) * 5
+		}
+		comp, err := c.Compress(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The handle's buffer is only valid until the next call; keep a
+		// copy to verify against the pass-through Into methods.
+		kept := append([]byte(nil), comp...)
+		dec, err := c.Decompress(kept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(data) {
+			t.Fatalf("frame %d: got %d values, want %d", f, len(dec), len(data))
+		}
+		for i := range dec {
+			if d := math.Abs(float64(dec[i]) - float64(data[i])); !(d <= opt.ErrorBound) {
+				t.Fatalf("frame %d: value %d error %g exceeds %g", f, i, d, opt.ErrorBound)
+			}
+		}
+		// Pass-through Into methods must produce the identical stream and
+		// values with caller-owned buffers.
+		comp2, err := c.CompressInto(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(comp2) != string(kept) {
+			t.Fatalf("frame %d: CompressInto stream differs from Compress", f)
+		}
+		dec2, err := c.DecompressInto(nil, kept)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range dec2 {
+			if dec2[i] != dec[i] {
+				t.Fatalf("frame %d: DecompressInto value %d differs", f, i)
+			}
+		}
+	}
+}
+
+func TestCodecFloat32(t *testing.T) {
+	testCodecRoundTrip[float32](t, Options{ErrorBound: 1e-3}, 3)
+}
+
+func TestCodecFloat64(t *testing.T) {
+	testCodecRoundTrip[float64](t, Options{ErrorBound: 1e-7}, 3)
+}
+
+func TestCodecParallel(t *testing.T) {
+	testCodecRoundTrip[float32](t, Options{ErrorBound: 1e-3, Workers: 4}, 2)
+}
+
+// TestCodecBufferReuse pins the documented aliasing contract: the slices
+// returned by Compress and Decompress belong to the handle and are
+// overwritten by the next call of the same kind.
+func TestCodecBufferReuse(t *testing.T) {
+	c := NewCodec[float32](Options{ErrorBound: 1e-3})
+	data := testField(4000, 9)
+	comp1, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := &comp1[0]
+	comp2, err := c.Compress(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &comp2[0] != p1 {
+		t.Fatal("Compress did not reuse the handle's buffer")
+	}
+	dec1, err := c.Decompress(comp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := &dec1[0]
+	dec2, err := c.Decompress(comp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &dec2[0] != d1 {
+		t.Fatal("Decompress did not reuse the handle's buffer")
+	}
+}

@@ -2,6 +2,7 @@ package szx
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -41,5 +42,63 @@ func FuzzDecompressPublic(f *testing.F) {
 		_, _ = Decompress(blob)
 		_, _ = DecompressFloat64(blob)
 		_, _ = Info(blob)
+	})
+}
+
+// FuzzDecompressParallel drives the sharded decoders with arbitrary bytes.
+// The parallel path trusts the zsize prefix sum to slice payloads per
+// worker, so corrupted or truncated size tables are exactly where it could
+// over-read; it must instead fail cleanly and, on valid streams, agree
+// bitwise with the serial decoder.
+func FuzzDecompressParallel(f *testing.F) {
+	comp, _ := Compress(testField(1000, 4), Options{ErrorBound: 1e-3})
+	f.Add(comp, 4)
+	data64 := make([]float64, 700)
+	for i := range data64 {
+		data64[i] = float64(i%97) / 13
+	}
+	comp64, _ := CompressFloat64(data64, Options{ErrorBound: 1e-6})
+	f.Add(comp64, 3)
+	if len(comp) > 40 {
+		trunc := append([]byte(nil), comp[:len(comp)-7]...)
+		f.Add(trunc, 2)
+		bad := append([]byte(nil), comp...)
+		bad[30] ^= 0xFF // flip bits inside the zsize table
+		f.Add(bad, 8)
+	}
+	f.Add([]byte("SZX1\x01\x00\x00\x00\x80\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff"), 5)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, blob []byte, workers int) {
+		workers = workers%16 + 1
+		par, perr := DecompressParallel(blob, workers)
+		ser, serr := Decompress(blob)
+		if (perr == nil) != (serr == nil) {
+			t.Fatalf("f32 serial/parallel disagree on validity: serial=%v parallel=%v", serr, perr)
+		}
+		if perr == nil {
+			if len(par) != len(ser) {
+				t.Fatalf("f32 length mismatch: serial %d, parallel %d", len(ser), len(par))
+			}
+			for i := range ser {
+				if math.Float32bits(ser[i]) != math.Float32bits(par[i]) {
+					t.Fatalf("f32 value %d differs between serial and parallel", i)
+				}
+			}
+		}
+		par64, perr := DecompressFloat64Parallel(blob, workers)
+		ser64, serr := DecompressFloat64(blob)
+		if (perr == nil) != (serr == nil) {
+			t.Fatalf("f64 serial/parallel disagree on validity: serial=%v parallel=%v", serr, perr)
+		}
+		if perr == nil {
+			if len(par64) != len(ser64) {
+				t.Fatalf("f64 length mismatch: serial %d, parallel %d", len(ser64), len(par64))
+			}
+			for i := range ser64 {
+				if math.Float64bits(ser64[i]) != math.Float64bits(par64[i]) {
+					t.Fatalf("f64 value %d differs between serial and parallel", i)
+				}
+			}
+		}
 	})
 }

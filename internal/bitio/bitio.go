@@ -7,6 +7,7 @@ package bitio
 import (
 	"errors"
 	"math/bits"
+	"unsafe"
 )
 
 // ErrUnexpectedEOF is returned when a reader runs out of input mid-symbol.
@@ -259,4 +260,13 @@ func LeadingZeroBytes64(x uint64) int {
 		return 3
 	}
 	return lz
+}
+
+// LeadingZeroBytes is the width-generic LeadingZeroBytes32/LeadingZeroBytes64;
+// the width branch folds at instantiation time.
+func LeadingZeroBytes[B interface{ ~uint32 | ~uint64 }](x B) int {
+	if unsafe.Sizeof(x) == 4 {
+		return LeadingZeroBytes32(uint32(x))
+	}
+	return LeadingZeroBytes64(uint64(x))
 }

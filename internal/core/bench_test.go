@@ -66,3 +66,103 @@ func BenchmarkCoreDecompressF64(b *testing.B) {
 		}
 	}
 }
+
+// --- zero-allocation reuse (Into) variants ---------------------------------
+//
+// Each benchmark reuses its destination buffer across iterations, so after
+// the first iteration warms the capacity the codec should report ~0
+// allocs/op — the property the Into API exists to provide.
+
+func benchData64(n int) []float64 {
+	d32 := benchData(n)
+	data := make([]float64, len(d32))
+	for i, v := range d32 {
+		data[i] = float64(v)
+	}
+	return data
+}
+
+func BenchmarkCoreCompressIntoF32(b *testing.B) {
+	data := benchData(1 << 21)
+	var dst []byte
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = CompressInto(dst[:0], data, 1e-3, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressIntoF32(b *testing.B) {
+	data := benchData(1 << 21)
+	comp, _ := CompressFloat32(data, 1e-3, Options{})
+	var dst []float32
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = DecompressInto(dst[:0], comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreCompressIntoF64(b *testing.B) {
+	data := benchData64(1 << 20)
+	var dst []byte
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = CompressInto(dst[:0], data, 1e-6, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressIntoF64(b *testing.B) {
+	data := benchData64(1 << 20)
+	comp, _ := CompressFloat64(data, 1e-6, Options{})
+	var dst []float64
+	b.SetBytes(int64(8 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = DecompressInto(dst[:0], comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The parallel Into variants cannot be literally zero-alloc (goroutine
+// bookkeeping), but the pooled shard scratch keeps allocations flat in the
+// input size.
+
+func BenchmarkCoreCompressParallelIntoF32(b *testing.B) {
+	data := benchData(1 << 21)
+	var dst []byte
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = CompressParallelInto(dst[:0], data, 1e-3, Options{}, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoreDecompressParallelIntoF32(b *testing.B) {
+	data := benchData(1 << 21)
+	comp, _ := CompressFloat32(data, 1e-3, Options{})
+	var dst []float32
+	b.SetBytes(int64(4 * len(data)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if dst, err = DecompressParallelInto(dst[:0], comp, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"slices"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// This file holds the single generic block decoder; DecompressFloat32 /
+// DecompressFloat64 below are its pinned per-type instantiations.
+
+// appendDecompressed appends the reconstructed values onto dst. With
+// sufficient capacity in dst it performs no allocations: the per-block
+// payload offsets are walked cumulatively instead of materializing the
+// prefix-sum array.
+func appendDecompressed[T Float, B Word](dst []T, comp []byte) ([]T, error) {
+	si, err := ParseStream(comp)
+	if err != nil {
+		return nil, err
+	}
+	if si.Hdr.Type != dtypeOf[T]() {
+		return nil, ErrWrongType
+	}
+	base := len(dst)
+	dst = slices.Grow(dst, si.Hdr.N)[:base+si.Hdr.N]
+	if dst == nil {
+		dst = []T{} // empty stream into nil dst: succeed with a non-nil slice
+	}
+	out := dst[base:]
+	bs := si.Hdr.BlockSize
+	off := 0
+	for k := 0; k < si.Hdr.NumBlocks(); k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(out) {
+			hi = len(out)
+		}
+		end := off + si.BlockSizeBytes(k)
+		if end > len(si.Payload) {
+			return nil, ErrCorrupt
+		}
+		if err := decodeBlock[T, B](si.Payload[off:end], si.IsNonConstant(k), out[lo:hi]); err != nil {
+			return nil, err
+		}
+		off = end
+	}
+	return dst, nil
+}
+
+// decodeBlock reconstructs one block from its payload.
+func decodeBlock[T Float, B Word](p []byte, nonConstant bool, out []T) error {
+	es := ieee.Width[T]()
+	if !nonConstant {
+		if len(p) < es {
+			return ErrCorrupt
+		}
+		mu := ieee.FromBits[T](ieee.GetLE[B](p))
+		for i := range out {
+			out[i] = mu
+		}
+		return nil
+	}
+	n := len(out)
+	leadLen := bitio.PackedLen(n)
+	if len(p) < es+1+leadLen {
+		return ErrCorrupt
+	}
+	mu := ieee.FromBits[T](ieee.GetLE[B](p))
+	reqLen := int(p[es])
+	if reqLen < ieee.SignExpBits[T]() || reqLen > ieee.FullBits[T]() {
+		return ErrCorrupt
+	}
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	lead := p[es+1 : es+1+leadLen]
+	mid := p[es+1+leadLen:]
+	lossless := reqLen == ieee.FullBits[T]()
+	lowSh := uint(8 * (es - reqBytes)) // bit offset of the last stored byte
+
+	// masks[l] keeps the top l bytes of the previous word. Precomputed so
+	// the per-value splice is a table load instead of a variable shift
+	// (whose ≥-width guard would sit on the loop's dependency chain).
+	var masks [4]B
+	for l := 1; l < 4; l++ {
+		masks[l] = ^(^B(0) >> uint(8*l))
+	}
+
+	// Per value: splice the first l bytes of the previous word with the next
+	// (reqBytes-l) mid-bytes. The mid-bytes are loaded as one big-endian
+	// word on the fast path (shift counts ≥ width are defined as 0 in Go,
+	// so nm == 0 degenerates correctly).
+	var prev B
+	mi := 0
+	for i := 0; i < n; i++ {
+		l := int(lead[i>>2]>>uint(6-2*(i&3))) & 3
+		nm := reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		var chunk B
+		if mi+es <= len(mid) {
+			chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
+		} else {
+			if mi+nm > len(mid) {
+				return ErrCorrupt
+			}
+			for j := 0; j < nm; j++ {
+				chunk = chunk<<8 | B(mid[mi+j])
+			}
+		}
+		mi += nm
+		w := prev&masks[l] | chunk<<lowSh
+		prev = w
+		if lossless {
+			// Bit-exact path: μ is forced to zero for lossless blocks, and
+			// skipping the addition preserves NaN payloads and signed zeros.
+			out[i] = ieee.FromBits[T](w)
+		} else {
+			out[i] = ieee.FromBits[T](w<<s) + mu
+		}
+	}
+	return nil
+}
+
+// --- exported wrappers (historical per-type API) ---------------------------
+
+// DecompressFloat32 reconstructs the values from a stream produced by
+// CompressFloat32.
+func DecompressFloat32(comp []byte) ([]float32, error) {
+	return appendDecompressed[float32, uint32](nil, comp)
+}
+
+// DecompressFloat64 reconstructs the values from a stream produced by
+// CompressFloat64.
+func DecompressFloat64(comp []byte) ([]float64, error) {
+	return appendDecompressed[float64, uint64](nil, comp)
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+	"slices"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// This file holds the single generic block encoder. The float32 and float64
+// pipelines are instantiations of the same code; the exported CompressFloat32
+// / CompressFloat64 wrappers below pin the historical API.
+
+// appendCompressed appends one complete SZx stream for data onto dst and
+// returns the extended slice plus per-run statistics. With sufficient
+// capacity in dst it performs no allocations.
+func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, opts Options) ([]byte, Stats, error) {
+	bs, err := opts.blockSize()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	if !(errBound > 0) || math.IsInf(errBound, 0) {
+		return nil, Stats{}, ErrErrBound
+	}
+	es := ieee.Width[T]()
+	h := Header{Type: dtypeOf[T](), BlockSize: bs, N: len(data), ErrBound: errBound}
+	nb := h.NumBlocks()
+
+	// Size hint: header + index + a typical ~2x reduction of the payload.
+	dst = slices.Grow(dst, headerSize+(nb+7)/8+2*nb+es*len(data)/2+es)
+	dst = AppendHeader(dst, h)
+	bitmapOff := len(dst)
+	dst = appendZeros(dst, (nb+7)/8)
+	zsizeOff := len(dst)
+	dst = appendZeros(dst, 2*nb)
+
+	enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+	st := Stats{Blocks: nb, OriginalSize: es * len(data)}
+	for k := 0; k < nb; k++ {
+		lo := k * bs
+		hi := lo + bs
+		if hi > len(data) {
+			hi = len(data)
+		}
+		start := len(dst)
+		var constant bool
+		dst, constant = enc.encodeBlock(dst, data[lo:hi])
+		if !constant {
+			dst[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+		} else {
+			st.ConstantBlocks++
+		}
+		sz := len(dst) - start
+		if sz > math.MaxUint16 {
+			// Unreachable while maxBlockPayload(MaxBlockSize) fits uint16
+			// (enforced at compile time in format.go); kept as a hard stop
+			// so a future constant bump cannot silently corrupt the index.
+			return nil, Stats{}, ErrBlockSize
+		}
+		binary.LittleEndian.PutUint16(dst[zsizeOff+2*k:], uint16(sz))
+	}
+	st.LosslessBlocks = enc.lossless
+	st.GuardRetries = enc.retries
+	st.CompressedSize = len(dst)
+	return dst, st, nil
+}
+
+// blockEncoder carries per-run encoder state across blocks.
+type blockEncoder[T Float, B Word] struct {
+	errBound float64
+	eSafe    T
+	guarded  bool
+	lossless int
+	retries  int
+	// leadBuf stages per-value leading-byte codes before packing; kept in
+	// the encoder so it is not re-zeroed per block.
+	leadBuf [MaxBlockSize]byte
+}
+
+func newBlockEncoder[T Float, B Word](errBound float64, guarded bool) blockEncoder[T, B] {
+	// Fast-accept threshold for the guard: a native-width diff below this is
+	// safely within the bound even after its own rounding; marginal cases
+	// fall through to the exact float64 comparison.
+	eSafe := T(errBound * (1 - 1e-6))
+	if float64(eSafe) >= errBound {
+		// Tiny (subnormal-range) bounds can round eSafe up past the bound;
+		// force every value through the exact check instead.
+		eSafe = -1
+	}
+	return blockEncoder[T, B]{errBound: errBound, eSafe: eSafe, guarded: guarded}
+}
+
+// encodeBlock appends one block's payload to dst and reports whether the
+// block was constant. Nonconstant payload layout:
+//
+//	μ (4/8B LE) | reqLength (1B) | leading 2-bit array | mid-bytes
+func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
+	mu, radius, noNaN := blockStats(blk)
+	if radius <= enc.errBound && noNaN { // radius NaN also fails the test
+		var b [8]byte
+		ieee.PutLE(b[:], ieee.ToBits[B](mu))
+		return append(dst, b[:ieee.Width[T]()]...), true
+	}
+
+	radExpo := ieee.Exponent64(radius)
+	errExpo := ieee.Exponent64(enc.errBound)
+	reqLen, lossless := ieee.ReqLength[T](radExpo, errExpo)
+	start := len(dst)
+	for {
+		if lossless {
+			mu = 0
+			enc.lossless++
+		}
+		var ok bool
+		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless)
+		if ok {
+			return dst, false
+		}
+		// Guard tripped: widen the kept prefix and retry.
+		enc.retries++
+		dst = dst[:start]
+		reqLen += 8
+		if reqLen >= ieee.FullBits[T]() {
+			reqLen = ieee.FullBits[T]()
+			lossless = true
+		}
+	}
+}
+
+func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqLen int, lossless bool) ([]byte, bool) {
+	es := ieee.Width[T]()
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8 // 2..4 for float32, 2..8 for float64
+	n := len(blk)
+	leadLen := bitio.PackedLen(n)
+
+	// Grow once to the worst-case payload and write by index; the slice is
+	// truncated to the actual size at the end (this keeps the per-value
+	// loop free of append bookkeeping).
+	start := len(dst)
+	maxPayload := es + 1 + leadLen + reqBytes*n
+	dst = slices.Grow(dst, maxPayload)[:start+maxPayload]
+	ieee.PutLE(dst[start:], ieee.ToBits[B](mu))
+	dst[start+es] = byte(reqLen)
+	leadOff := start + es + 1
+	idx := leadOff + leadLen
+
+	// Mask of bits that survive truncation (top reqLen bits of the word);
+	// used only by the guard check.
+	keepMask := ^B(0)
+	if reqLen < 8*es {
+		keepMask <<= uint(8*es - reqLen)
+	}
+	lowSh := uint(8 * (es - reqBytes)) // bit offset of the last stored byte
+	guarded := enc.guarded && !lossless
+	e := enc.errBound
+	eSafe := enc.eSafe
+
+	leadBuf := &enc.leadBuf
+	var prev B
+	for i, d := range blk {
+		v := d - mu
+		bits := ieee.ToBits[B](v)
+		w := bits >> s
+
+		if guarded {
+			rec := ieee.FromBits[T](bits&keepMask) + mu
+			diff := rec - d
+			if diff < 0 {
+				diff = -diff
+			}
+			// Fast-accept requires diff <= eSafe; NaN diffs fail the
+			// comparison and take the exact path (which rejects them).
+			if !(diff <= eSafe) {
+				if !(math.Abs(float64(d)-float64(rec)) <= e) {
+					return dst[:start], false
+				}
+			}
+		}
+
+		lead := bitio.LeadingZeroBytes(w ^ prev)
+		if lead > reqBytes {
+			lead = reqBytes
+		}
+		leadBuf[i] = byte(lead)
+
+		// Commit bytes [lead, reqBytes) of the stored prefix (big-endian
+		// order: byte j of the word sits at bit offset 8*(es-1-j)); the
+		// last stored byte sits at lowSh.
+		sh := lowSh + uint(8*(reqBytes-lead))
+		for j := lead; j < reqBytes; j++ {
+			sh -= 8
+			dst[idx] = byte(w >> sh)
+			idx++
+		}
+		prev = w
+	}
+	// Pack the 2-bit leading codes, four per byte.
+	for i := 0; i < n; i += 4 {
+		b := leadBuf[i] << 6
+		if i+1 < n {
+			b |= leadBuf[i+1] << 4
+		}
+		if i+2 < n {
+			b |= leadBuf[i+2] << 2
+		}
+		if i+3 < n {
+			b |= leadBuf[i+3]
+		}
+		dst[leadOff+(i>>2)] = b
+	}
+	return dst[:idx], true
+}
+
+// --- exported wrappers (historical per-type API) ---------------------------
+
+// CompressFloat32 compresses data with the SZx algorithm under the absolute
+// error bound errBound. The returned stream decompresses with
+// DecompressFloat32 such that every value differs from the original by at
+// most errBound.
+func CompressFloat32(data []float32, errBound float64, opts Options) ([]byte, error) {
+	out, _, err := appendCompressed[float32, uint32](nil, data, errBound, opts)
+	return out, err
+}
+
+// CompressFloat32Stats is CompressFloat32 but also reports per-run statistics.
+func CompressFloat32Stats(data []float32, errBound float64, opts Options) ([]byte, Stats, error) {
+	return appendCompressed[float32, uint32](nil, data, errBound, opts)
+}
+
+// CompressFloat64 compresses data with the SZx algorithm under the absolute
+// error bound errBound.
+func CompressFloat64(data []float64, errBound float64, opts Options) ([]byte, error) {
+	out, _, err := appendCompressed[float64, uint64](nil, data, errBound, opts)
+	return out, err
+}
+
+// CompressFloat64Stats is CompressFloat64 but also reports per-run statistics.
+func CompressFloat64Stats(data []float64, errBound float64, opts Options) ([]byte, Stats, error) {
+	return appendCompressed[float64, uint64](nil, data, errBound, opts)
+}

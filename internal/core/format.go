@@ -28,6 +28,17 @@ const DefaultBlockSize = 128
 // block payload still fits the uint16 per-block size record.
 const MaxBlockSize = 4096
 
+// maxBlockPayload64 is the largest payload a single block can produce: a
+// lossless float64 block at MaxBlockSize stores μ (8B), reqLength (1B), the
+// packed 2-bit lead array, and all 8 mid-bytes of every value (the lead
+// codes can be zero for every value, so no delta saving).
+const maxBlockPayload64 = 8 + 1 + (MaxBlockSize+3)/4 + 8*MaxBlockSize
+
+// The zsize index records each block's payload length as uint16; this
+// conversion fails to compile if MaxBlockSize is ever raised past the point
+// where the worst-case payload no longer fits.
+const _ = uint16(maxBlockPayload64)
+
 // Stream layout constants.
 const (
 	headerSize = 28

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/bitio"
+)
+
+// TestShardBounds checks the shard splitter's invariants for a sweep of
+// (n, workers) shapes, including the degenerate and adversarial ones: the
+// boundaries must start at 0, end at n, be monotonically non-decreasing,
+// and differ by at most one item between the largest and smallest shard.
+func TestShardBounds(t *testing.T) {
+	cases := []struct{ n, workers int }{
+		{0, 1}, {0, 8}, {1, 1}, {1, 16}, {5, 2}, {7, 7}, {7, 8},
+		{100, 3}, {128, 4}, {129, 4}, {1 << 20, 7},
+		{math.MaxInt / 2, 64}, // would overflow the i*n/workers form
+		{math.MaxInt, 3},
+		{10, 0}, {10, -4}, // degenerate worker counts clamp to 1
+	}
+	for _, c := range cases {
+		b := shard(c.n, c.workers)
+		if b[0] != 0 || b[len(b)-1] != c.n {
+			t.Fatalf("shard(%d,%d): bounds [%d..%d], want [0..%d]", c.n, c.workers, b[0], b[len(b)-1], c.n)
+		}
+		if len(b)-1 > c.workers && c.workers >= 1 {
+			t.Fatalf("shard(%d,%d): %d shards exceeds workers", c.n, c.workers, len(b)-1)
+		}
+		mn, mx := math.MaxInt, 0
+		for i := 1; i < len(b); i++ {
+			sz := b[i] - b[i-1]
+			if sz < 0 {
+				t.Fatalf("shard(%d,%d): decreasing boundary at %d", c.n, c.workers, i)
+			}
+			if sz < mn {
+				mn = sz
+			}
+			if sz > mx {
+				mx = sz
+			}
+		}
+		if len(b) > 2 && mx-mn > 1 {
+			t.Fatalf("shard(%d,%d): imbalance %d vs %d", c.n, c.workers, mn, mx)
+		}
+	}
+}
+
+// TestZsizeGuard exercises the uint16 block-size side channel's guard rails:
+// the worst-case payload of a maximum-size block must fit in a uint16 (the
+// compile-time const assertion in format.go mirrors this), and the
+// compressor must reject block sizes whose worst case cannot.
+func TestZsizeGuard(t *testing.T) {
+	// Worst case: lossless float64 block, every lead code 0.
+	worst := 8 + 1 + bitio.PackedLen(MaxBlockSize) + 8*MaxBlockSize
+	if worst != maxBlockPayload64 {
+		t.Fatalf("maxBlockPayload64 = %d, want %d", maxBlockPayload64, worst)
+	}
+	if worst > math.MaxUint16 {
+		t.Fatalf("worst-case block payload %d does not fit uint16", worst)
+	}
+
+	// A stream of incompressible values at MaxBlockSize must round-trip:
+	// every block takes the lossless path and stresses the widest payloads
+	// the size channel can carry.
+	data := make([]float64, 2*MaxBlockSize+17)
+	v := 1.0
+	for i := range data {
+		v = v*1103515245.5 + 12345.25
+		if math.IsInf(v, 0) {
+			v = 1.0
+		}
+		data[i] = v
+	}
+	comp, err := CompressFloat64(data, 1e-300, Options{BlockSize: MaxBlockSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecompressFloat64(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Float64bits(dec[i]) != math.Float64bits(data[i]) {
+			t.Fatalf("lossless round-trip differs at %d", i)
+		}
+	}
+
+	// Oversized block sizes are rejected up front.
+	if _, err := CompressFloat64(data, 1e-3, Options{BlockSize: MaxBlockSize + 1}); err != ErrBlockSize {
+		t.Fatalf("BlockSize %d: got %v, want ErrBlockSize", MaxBlockSize+1, err)
+	}
+}

@@ -48,7 +48,7 @@ func CharacterizeShiftOverhead32(data []float32, errBound float64, blockSize int
 			hi = len(data)
 		}
 		blk := data[lo:hi]
-		mu, radius, noNaN := blockStats32(blk)
+		mu, radius, noNaN := blockStats(blk)
 		if radius <= errBound && noNaN {
 			continue
 		}
@@ -125,7 +125,7 @@ func CompressFloat32PackedBits(data []float32, errBound float64, opts Options) (
 			hi = len(data)
 		}
 		blk := data[lo:hi]
-		mu, radius, noNaN := blockStats32(blk)
+		mu, radius, noNaN := blockStats(blk)
 		if radius <= errBound && noNaN {
 			var b [4]byte
 			binary.LittleEndian.PutUint32(b[:], math.Float32bits(mu))

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"runtime"
+	"slices"
 	"sync"
 )
 
@@ -15,8 +16,11 @@ func Workers(n int) int {
 	return n
 }
 
-// shard splits n items into at most workers contiguous ranges of
-// near-equal size. It returns the range boundaries (len = shards+1).
+// shard splits n items into at most workers contiguous ranges of near-equal
+// size. It returns the range boundaries (len = shards+1). The split is
+// computed by accumulation — base items per shard plus one extra for the
+// first n%workers shards — so the arithmetic cannot overflow for any n,
+// unlike the textbook i*n/workers form.
 func shard(n, workers int) []int {
 	if workers > n {
 		workers = n
@@ -25,17 +29,84 @@ func shard(n, workers int) []int {
 		workers = 1
 	}
 	bounds := make([]int, workers+1)
-	for i := 0; i <= workers; i++ {
-		bounds[i] = i * n / workers
+	base, rem := n/workers, n%workers
+	off := 0
+	for i := 0; i < workers; i++ {
+		bounds[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
 	}
+	bounds[workers] = off
 	return bounds
 }
 
-// CompressFloat32Parallel is CompressFloat32 with block-parallel encoding
+// shardScratch is a worker's private compression output, pooled across calls
+// so that steady-state parallel compression reuses warm buffers instead of
+// allocating per shard.
+type shardScratch struct {
+	payload []byte
+	sizes   []uint16
+	bitmap  []bool
+}
+
+var shardPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+func getShardScratch(nblocks, payloadHint int) *shardScratch {
+	o := shardPool.Get().(*shardScratch)
+	o.payload = slices.Grow(o.payload[:0], payloadHint)
+	if cap(o.sizes) < nblocks {
+		o.sizes = make([]uint16, nblocks)
+	} else {
+		o.sizes = o.sizes[:nblocks]
+	}
+	if cap(o.bitmap) < nblocks {
+		o.bitmap = make([]bool, nblocks)
+	} else {
+		o.bitmap = o.bitmap[:nblocks]
+	}
+	return o
+}
+
+// offsPool recycles the block-offset prefix-sum arrays used by the parallel
+// and random-access decompressors.
+var offsPool = sync.Pool{New: func() any { return new([]int) }}
+
+// blockOffsetsPooled is Index.BlockOffsets backed by a pooled array; callers
+// must return the slice via putOffs when done.
+func blockOffsetsPooled(si Index) ([]int, error) {
+	nb := si.Hdr.NumBlocks()
+	p := offsPool.Get().(*[]int)
+	offs := *p
+	if cap(offs) < nb+1 {
+		offs = make([]int, nb+1)
+	} else {
+		offs = offs[:nb+1]
+	}
+	*p = offs
+	sum := 0
+	for k := 0; k < nb; k++ {
+		offs[k] = sum
+		sum += si.BlockSizeBytes(k)
+	}
+	offs[nb] = sum
+	if sum > len(si.Payload) {
+		putOffs(p)
+		return nil, ErrCorrupt
+	}
+	return offs, nil
+}
+
+func putOffs(p *[]int) { offsPool.Put(p) }
+
+// appendCompressedParallel is appendCompressed with block-parallel encoding
 // across a goroutine pool, the analogue of the paper's OpenMP compressor
 // (§6.1): blocks are independent, so each worker compresses a contiguous
-// run of blocks into a private buffer and the results are concatenated.
-func CompressFloat32Parallel(data []float32, errBound float64, opts Options, workers int) ([]byte, error) {
+// run of blocks into a pooled private buffer and the results are
+// concatenated in block order (the shard boundaries therefore never affect
+// the output bytes).
+func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound float64, opts Options, workers int) ([]byte, error) {
 	bs, err := opts.blockSize()
 	if err != nil {
 		return nil, err
@@ -43,33 +114,26 @@ func CompressFloat32Parallel(data []float32, errBound float64, opts Options, wor
 	if !(errBound > 0) || math.IsInf(errBound, 0) {
 		return nil, ErrErrBound
 	}
-	h := Header{Type: TypeFloat32, BlockSize: bs, N: len(data), ErrBound: errBound}
+	h := Header{Type: dtypeOf[T](), BlockSize: bs, N: len(data), ErrBound: errBound}
 	nb := h.NumBlocks()
 	w := Workers(workers)
 	if w == 1 || nb < 2 {
-		return CompressFloat32(data, errBound, opts)
+		out, _, err := appendCompressed[T, B](dst, data, errBound, opts)
+		return out, err
 	}
 
+	es := dtypeOf[T]().Size()
 	bounds := shard(nb, w)
 	nshards := len(bounds) - 1
-	type shardOut struct {
-		payload []byte
-		sizes   []uint16
-		bitmap  []bool
-	}
-	outs := make([]shardOut, nshards)
+	outs := make([]*shardScratch, nshards)
 	var wg sync.WaitGroup
 	for si := 0; si < nshards; si++ {
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
 			lo, hi := bounds[si], bounds[si+1]
-			enc := blockEncoder32{errBound: errBound, guarded: !opts.Unguarded}
-			o := shardOut{
-				payload: make([]byte, 0, (hi-lo)*bs*2),
-				sizes:   make([]uint16, hi-lo),
-				bitmap:  make([]bool, hi-lo),
-			}
+			enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+			o := getShardScratch(hi-lo, (hi-lo)*bs*es/2)
 			for k := lo; k < hi; k++ {
 				blo, bhi := k*bs, (k+1)*bs
 				if bhi > len(data) {
@@ -90,12 +154,12 @@ func CompressFloat32Parallel(data []float32, errBound float64, opts Options, wor
 	for _, o := range outs {
 		total += len(o.payload)
 	}
-	out := make([]byte, 0, total)
-	out = AppendHeader(out, h)
+	dst = slices.Grow(dst, total)
+	out := AppendHeader(dst, h)
 	bitmapOff := len(out)
-	out = append(out, make([]byte, (nb+7)/8)...)
+	out = appendZeros(out, (nb+7)/8)
 	zsizeOff := len(out)
-	out = append(out, make([]byte, 2*nb)...)
+	out = appendZeros(out, 2*nb)
 	for si, o := range outs {
 		lo := bounds[si]
 		for i, sz := range o.sizes {
@@ -106,31 +170,35 @@ func CompressFloat32Parallel(data []float32, errBound float64, opts Options, wor
 			}
 		}
 		out = append(out, o.payload...)
+		shardPool.Put(o)
 	}
 	return out, nil
 }
 
-// DecompressFloat32Parallel decompresses block-parallel: a prefix sum over
+// appendDecompressedParallel decompresses block-parallel: a prefix sum over
 // the embedded zsize array gives every worker the byte offset of its blocks
 // (the paper's prefix-sum step in Fig. 10).
-func DecompressFloat32Parallel(comp []byte, workers int) ([]float32, error) {
+func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers int) ([]T, error) {
 	si, err := ParseStream(comp)
 	if err != nil {
 		return nil, err
 	}
-	if si.Hdr.Type != TypeFloat32 {
+	if si.Hdr.Type != dtypeOf[T]() {
 		return nil, ErrWrongType
 	}
-	offs, err := si.BlockOffsets()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float32, si.Hdr.N)
 	nb := si.Hdr.NumBlocks()
 	w := Workers(workers)
 	if w == 1 || nb < 2 {
-		return DecompressFloat32(comp)
+		return appendDecompressed[T, B](dst, comp)
 	}
+	offs, err := blockOffsetsPooled(si)
+	if err != nil {
+		return nil, err
+	}
+	defer putOffs(&offs)
+	base := len(dst)
+	dst = slices.Grow(dst, si.Hdr.N)[:base+si.Hdr.N]
+	out := dst[base:]
 	bounds := shard(nb, w)
 	bs := si.Hdr.BlockSize
 	errs := make([]error, len(bounds)-1)
@@ -144,7 +212,7 @@ func DecompressFloat32Parallel(comp []byte, workers int) ([]float32, error) {
 				if hi > len(out) {
 					hi = len(out)
 				}
-				if err := decodeBlock32(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
+				if err := decodeBlock[T, B](si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
 					errs[s] = err
 					return
 				}
@@ -157,130 +225,28 @@ func DecompressFloat32Parallel(comp []byte, workers int) ([]float32, error) {
 			return nil, e
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// --- exported wrappers (historical per-type API) ---------------------------
+
+// CompressFloat32Parallel is CompressFloat32 with block-parallel encoding.
+func CompressFloat32Parallel(data []float32, errBound float64, opts Options, workers int) ([]byte, error) {
+	return appendCompressedParallel[float32, uint32](nil, data, errBound, opts, workers)
+}
+
+// DecompressFloat32Parallel is DecompressFloat32 with block-parallel decoding.
+func DecompressFloat32Parallel(comp []byte, workers int) ([]float32, error) {
+	return appendDecompressedParallel[float32, uint32](nil, comp, workers)
 }
 
 // CompressFloat64Parallel is the float64 analogue of CompressFloat32Parallel.
 func CompressFloat64Parallel(data []float64, errBound float64, opts Options, workers int) ([]byte, error) {
-	bs, err := opts.blockSize()
-	if err != nil {
-		return nil, err
-	}
-	if !(errBound > 0) || math.IsInf(errBound, 0) {
-		return nil, ErrErrBound
-	}
-	h := Header{Type: TypeFloat64, BlockSize: bs, N: len(data), ErrBound: errBound}
-	nb := h.NumBlocks()
-	w := Workers(workers)
-	if w == 1 || nb < 2 {
-		return CompressFloat64(data, errBound, opts)
-	}
-
-	bounds := shard(nb, w)
-	nshards := len(bounds) - 1
-	type shardOut struct {
-		payload []byte
-		sizes   []uint16
-		bitmap  []bool
-	}
-	outs := make([]shardOut, nshards)
-	var wg sync.WaitGroup
-	for si := 0; si < nshards; si++ {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			lo, hi := bounds[si], bounds[si+1]
-			enc := blockEncoder64{errBound: errBound, guarded: !opts.Unguarded}
-			o := shardOut{
-				payload: make([]byte, 0, (hi-lo)*bs*4),
-				sizes:   make([]uint16, hi-lo),
-				bitmap:  make([]bool, hi-lo),
-			}
-			for k := lo; k < hi; k++ {
-				blo, bhi := k*bs, (k+1)*bs
-				if bhi > len(data) {
-					bhi = len(data)
-				}
-				start := len(o.payload)
-				var constant bool
-				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi])
-				o.sizes[k-lo] = uint16(len(o.payload) - start)
-				o.bitmap[k-lo] = !constant
-			}
-			outs[si] = o
-		}(si)
-	}
-	wg.Wait()
-
-	total := headerSize + (nb+7)/8 + 2*nb
-	for _, o := range outs {
-		total += len(o.payload)
-	}
-	out := make([]byte, 0, total)
-	out = AppendHeader(out, h)
-	bitmapOff := len(out)
-	out = append(out, make([]byte, (nb+7)/8)...)
-	zsizeOff := len(out)
-	out = append(out, make([]byte, 2*nb)...)
-	for si, o := range outs {
-		lo := bounds[si]
-		for i, sz := range o.sizes {
-			k := lo + i
-			binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], sz)
-			if o.bitmap[i] {
-				out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
-			}
-		}
-		out = append(out, o.payload...)
-	}
-	return out, nil
+	return appendCompressedParallel[float64, uint64](nil, data, errBound, opts, workers)
 }
 
 // DecompressFloat64Parallel is the float64 analogue of
 // DecompressFloat32Parallel.
 func DecompressFloat64Parallel(comp []byte, workers int) ([]float64, error) {
-	si, err := ParseStream(comp)
-	if err != nil {
-		return nil, err
-	}
-	if si.Hdr.Type != TypeFloat64 {
-		return nil, ErrWrongType
-	}
-	offs, err := si.BlockOffsets()
-	if err != nil {
-		return nil, err
-	}
-	out := make([]float64, si.Hdr.N)
-	nb := si.Hdr.NumBlocks()
-	w := Workers(workers)
-	if w == 1 || nb < 2 {
-		return DecompressFloat64(comp)
-	}
-	bounds := shard(nb, w)
-	bs := si.Hdr.BlockSize
-	errs := make([]error, len(bounds)-1)
-	var wg sync.WaitGroup
-	for s := 0; s < len(bounds)-1; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for k := bounds[s]; k < bounds[s+1]; k++ {
-				lo, hi := k*bs, (k+1)*bs
-				if hi > len(out) {
-					hi = len(out)
-				}
-				if err := decodeBlock64(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
-					errs[s] = err
-					return
-				}
-			}
-		}(s)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return nil, e
-		}
-	}
-	return out, nil
+	return appendDecompressedParallel[float64, uint64](nil, comp, workers)
 }

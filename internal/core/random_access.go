@@ -7,103 +7,71 @@ package core
 // (full-state quantum-circuit simulation), where a simulation repeatedly
 // decompresses only the amplitude slabs it needs.
 
-// DecompressFloat32Range reconstructs values [lo, hi) from a float32
-// stream, decoding only the blocks that overlap the range. The cost is
-// O(numBlocks) for the offset prefix sum plus the overlapped blocks'
-// payloads.
-func DecompressFloat32Range(comp []byte, lo, hi int) ([]float32, error) {
+// decompressRange reconstructs values [lo, hi) from a stream, decoding only
+// the blocks that overlap the range. The cost is O(numBlocks) for the offset
+// prefix sum plus the overlapped blocks' payloads. Interior blocks decode
+// straight into the output; only the (at most two) partially-overlapped edge
+// blocks go through a scratch buffer.
+func decompressRange[T Float, B Word](comp []byte, lo, hi int) ([]T, error) {
 	si, err := ParseStream(comp)
 	if err != nil {
 		return nil, err
 	}
-	if si.Hdr.Type != TypeFloat32 {
+	if si.Hdr.Type != dtypeOf[T]() {
 		return nil, ErrWrongType
 	}
 	if lo < 0 || hi > si.Hdr.N || lo > hi {
 		return nil, ErrCorrupt
 	}
 	if lo == hi {
-		return []float32{}, nil
+		return []T{}, nil
 	}
-	offs, err := si.BlockOffsets()
+	offs, err := blockOffsetsPooled(si)
 	if err != nil {
 		return nil, err
 	}
+	defer putOffs(&offs)
 	bs := si.Hdr.BlockSize
 	firstBlk := lo / bs
 	lastBlk := (hi - 1) / bs
 
-	out := make([]float32, hi-lo)
-	scratch := make([]float32, bs)
+	out := make([]T, hi-lo)
+	var scratch []T
 	for k := firstBlk; k <= lastBlk; k++ {
 		blo := k * bs
 		bhi := blo + bs
 		if bhi > si.Hdr.N {
 			bhi = si.Hdr.N
 		}
-		blk := scratch[:bhi-blo]
-		if err := decodeBlock32(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), blk); err != nil {
+		interior := blo >= lo && bhi <= hi
+		var dst []T
+		if interior {
+			dst = out[blo-lo : bhi-lo]
+		} else {
+			// Edge block: decode into scratch, then copy the overlap.
+			if scratch == nil {
+				scratch = make([]T, bs)
+			}
+			dst = scratch[:bhi-blo]
+		}
+		if err := decodeBlock[T, B](si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), dst); err != nil {
 			return nil, err
 		}
-		// Copy the overlap into the output.
-		from := lo
-		if blo > from {
-			from = blo
+		if !interior {
+			from := max(lo, blo)
+			to := min(hi, bhi)
+			copy(out[from-lo:to-lo], dst[from-blo:to-blo])
 		}
-		to := hi
-		if bhi < to {
-			to = bhi
-		}
-		copy(out[from-lo:to-lo], blk[from-blo:to-blo])
 	}
 	return out, nil
 }
 
-// DecompressFloat64Range is the float64 analogue of
-// DecompressFloat32Range.
-func DecompressFloat64Range(comp []byte, lo, hi int) ([]float64, error) {
-	si, err := ParseStream(comp)
-	if err != nil {
-		return nil, err
-	}
-	if si.Hdr.Type != TypeFloat64 {
-		return nil, ErrWrongType
-	}
-	if lo < 0 || hi > si.Hdr.N || lo > hi {
-		return nil, ErrCorrupt
-	}
-	if lo == hi {
-		return []float64{}, nil
-	}
-	offs, err := si.BlockOffsets()
-	if err != nil {
-		return nil, err
-	}
-	bs := si.Hdr.BlockSize
-	firstBlk := lo / bs
-	lastBlk := (hi - 1) / bs
+// DecompressFloat32Range reconstructs values [lo, hi) from a float32 stream.
+func DecompressFloat32Range(comp []byte, lo, hi int) ([]float32, error) {
+	return decompressRange[float32, uint32](comp, lo, hi)
+}
 
-	out := make([]float64, hi-lo)
-	scratch := make([]float64, bs)
-	for k := firstBlk; k <= lastBlk; k++ {
-		blo := k * bs
-		bhi := blo + bs
-		if bhi > si.Hdr.N {
-			bhi = si.Hdr.N
-		}
-		blk := scratch[:bhi-blo]
-		if err := decodeBlock64(si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), blk); err != nil {
-			return nil, err
-		}
-		from := lo
-		if blo > from {
-			from = blo
-		}
-		to := hi
-		if bhi < to {
-			to = bhi
-		}
-		copy(out[from-lo:to-lo], blk[from-blo:to-blo])
-	}
-	return out, nil
+// DecompressFloat64Range is the float64 analogue of DecompressFloat32Range.
+func DecompressFloat64Range(comp []byte, lo, hi int) ([]float64, error) {
+	return decompressRange[float64, uint64](comp, lo, hi)
 }

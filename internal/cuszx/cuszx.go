@@ -17,9 +17,11 @@
 //     recursive-doubling index propagation of Fig. 11 (Solution 2 for the
 //     RAW hazard), one propagation per byte position.
 //
-// The streams produced and consumed are bit-identical to the serial CPU
-// codec in internal/core — verified by tests — so cuSZx "preserves the same
-// compression ratio as SZx" exactly as the paper states.
+// Both element types run the same generic kernel (the float64 path the
+// paper's quantum-simulation motivation needs is an instantiation, not a
+// copy). The streams produced and consumed are bit-identical to the serial
+// CPU codec in internal/core — verified by tests — so cuSZx "preserves the
+// same compression ratio as SZx" exactly as the paper states.
 package cuszx
 
 import (
@@ -42,11 +44,14 @@ var ErrBlockSize = errors.New("cuszx: block size must be a multiple of 32, ≤ 1
 // to keep every SM of the modeled devices busy.
 const DefaultGridDim = 216
 
-// Compress compresses data with the cuSZx kernel and returns the SZx
-// stream (bit-identical to core.CompressFloat32 with the same options)
-// plus the simulated-execution metrics. Data must be finite; NaN handling
-// is only defined for the CPU codec.
-func Compress(data []float32, errBound float64, opts core.Options, gridDim int) ([]byte, cusim.Metrics, error) {
+// compress is the generic cuSZx compression kernel. The returned stream is
+// bit-identical to the serial codec's for the same options.
+func compress[T ieee.Float, B ieee.Word](data []T, errBound float64, opts core.Options, gridDim int) ([]byte, cusim.Metrics, error) {
+	es := ieee.Width[T]()
+	dtype := core.TypeFloat32
+	if es == 8 {
+		dtype = core.TypeFloat64
+	}
 	bs := opts.BlockSize
 	if bs == 0 {
 		bs = core.DefaultBlockSize
@@ -60,7 +65,7 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 	if gridDim <= 0 {
 		gridDim = DefaultGridDim
 	}
-	h := core.Header{Type: core.TypeFloat32, BlockSize: bs, N: len(data), ErrBound: errBound}
+	h := core.Header{Type: dtype, BlockSize: bs, N: len(data), ErrBound: errBound}
 	nb := h.NumBlocks()
 	if nb == 0 {
 		out := core.AppendHeader(nil, h)
@@ -70,8 +75,7 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 		gridDim = nb
 	}
 
-	leadLen := bitio.PackedLen(bs)
-	maxPayload := 5 + leadLen + 4*bs
+	maxPayload := es + 1 + bitio.PackedLen(bs) + es*bs
 	scratch := make([]byte, nb*maxPayload)
 	sizes := make([]uint16, nb)
 	nonConst := make([]bool, nb)
@@ -86,10 +90,10 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 			if cnt > bs {
 				cnt = bs
 			}
-			var d float32
+			var d T
 			if tid < cnt {
 				d = data[lo+tid]
-				t.AddGlobalBytes(4)
+				t.AddGlobalBytes(es)
 			}
 
 			// --- μ and radius via warp + shared-memory reduction ---------
@@ -103,9 +107,15 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 			meta := t.SharedF64("meta", 2)
 			flags := t.SharedU64("flags", 2)
 			if tid == 0 {
-				// Same formula as the serial codec (blockStats32): μ is the
-				// float32 rounding of the float64 midpoint.
-				mu := float32((mn + mx) / 2)
+				// Same per-width μ formulas as the serial codec
+				// (core.blockStats): float32 rounds the float64 midpoint,
+				// float64 halves before adding.
+				var mu T
+				if es == 4 {
+					mu = T(float32((mn + mx) / 2))
+				} else {
+					mu = T(mn/2 + mx/2)
+				}
 				radius := mx - float64(mu)
 				if b := float64(mu) - mn; b > radius {
 					radius = b
@@ -117,7 +127,7 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 					constant = 1
 				}
 				flags[0] = constant
-				reqLen, lossless := ieee.ReqLength32(ieee.Exponent64(radius), errExpo)
+				reqLen, lossless := ieee.ReqLength[T](ieee.Exponent64(radius), errExpo)
 				lv := uint64(0)
 				if lossless {
 					lv = 1
@@ -129,10 +139,10 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 			base := k * maxPayload
 			if flags[0] == 1 {
 				if tid == 0 {
-					binary.LittleEndian.PutUint32(scratch[base:], math.Float32bits(float32(meta[0])))
-					sizes[k] = 4
+					ieee.PutLE(scratch[base:], ieee.ToBits[B](T(meta[0])))
+					sizes[k] = uint16(es)
 					nonConst[k] = false
-					t.AddGlobalBytes(4)
+					t.AddGlobalBytes(es)
 				}
 				t.SyncThreads() // shared meta stays readable until all pass
 				continue
@@ -141,7 +151,7 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 			// --- nonconstant path with the serial codec's guard retry ----
 			reqLen := int(flags[1] >> 1)
 			lossless := flags[1]&1 == 1
-			mu := float32(meta[0])
+			mu := T(meta[0])
 			viol := t.SharedU64("viol", 1)
 			for {
 				if lossless {
@@ -149,27 +159,27 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 				}
 				s := uint(ieee.ShiftBits(reqLen))
 				reqBytes := (reqLen + int(s)) / 8
-				keepMask := uint32(0xFFFFFFFF)
-				if reqLen < 32 {
-					keepMask <<= uint(32 - reqLen)
+				keepMask := ^B(0)
+				if reqLen < 8*es {
+					keepMask <<= uint(8*es - reqLen)
 				}
 
 				if tid == 0 {
 					viol[0] = 0
 				}
 				t.SyncThreads()
-				var w, prev uint32
+				var w, prev B
 				if tid < cnt {
 					v := d - mu
-					w = math.Float32bits(v) >> s
+					w = ieee.ToBits[B](v) >> s
 					if tid > 0 {
 						// Depth-1 dependency: read the preceding input
 						// point directly (Solution 2, compression side).
-						prev = math.Float32bits(data[lo+tid-1]-mu) >> s
-						t.AddGlobalBytes(4)
+						prev = ieee.ToBits[B](data[lo+tid-1]-mu) >> s
+						t.AddGlobalBytes(es)
 					}
 					if guarded && !lossless {
-						trunc := math.Float32frombits(math.Float32bits(v) & keepMask)
+						trunc := ieee.FromBits[T](ieee.ToBits[B](v) & keepMask)
 						rec := trunc + mu
 						if diff := math.Abs(float64(d) - float64(rec)); !(diff <= errBound) {
 							t.AtomicOrU64(viol, 0, 1)
@@ -180,8 +190,8 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 				t.SyncThreads()
 				if viol[0] == 1 {
 					reqLen += 8
-					if reqLen >= ieee.FullBits32 {
-						reqLen = ieee.FullBits32
+					if reqLen >= ieee.FullBits[T]() {
+						reqLen = ieee.FullBits[T]()
 						lossless = true
 					}
 					t.SyncThreads()
@@ -191,7 +201,7 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 				lead := 0
 				mid := 0
 				if tid < cnt {
-					lead = bitio.LeadingZeroBytes32(w ^ prev)
+					lead = bitio.LeadingZeroBytes(w ^ prev)
 					if lead > reqBytes {
 						lead = reqBytes
 					}
@@ -212,10 +222,11 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 				}
 				t.SyncThreads()
 
-				// Commit payload.
-				midBase := base + 5 + bitio.PackedLen(cnt)
+				// Commit payload (byte j of the word sits at bit offset
+				// 8*(es-1-j)).
+				midBase := base + es + 1 + bitio.PackedLen(cnt)
 				for j := lead; j < reqBytes && tid < cnt; j++ {
-					scratch[midBase+off+j-lead] = byte(w >> uint(8*(3-j)))
+					scratch[midBase+off+j-lead] = byte(w >> uint(8*(es-1-j)))
 				}
 				if tid < cnt {
 					t.AddGlobalBytes(mid)
@@ -229,15 +240,15 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 							b |= leads[i] << uint(6-2*q)
 						}
 					}
-					scratch[base+5+tid] = b
+					scratch[base+es+1+tid] = b
 					t.AddGlobalBytes(1)
 				}
 				if tid == 0 {
-					binary.LittleEndian.PutUint32(scratch[base:], math.Float32bits(mu))
-					scratch[base+4] = byte(reqLen)
-					sizes[k] = uint16(5 + bitio.PackedLen(cnt) + int(total[0]))
+					ieee.PutLE(scratch[base:], ieee.ToBits[B](mu))
+					scratch[base+es] = byte(reqLen)
+					sizes[k] = uint16(es + 1 + bitio.PackedLen(cnt) + int(total[0]))
 					nonConst[k] = true
-					t.AddGlobalBytes(7)
+					t.AddGlobalBytes(es + 3)
 				}
 				t.SyncThreads()
 				break
@@ -267,15 +278,19 @@ func Compress(data []float32, errBound float64, opts core.Options, gridDim int) 
 	return out, m, nil
 }
 
-// Decompress reconstructs values from an SZx float32 stream with the cuSZx
-// decompression kernel, returning simulated-execution metrics. The output
-// is bit-identical to core.DecompressFloat32.
-func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
+// decompress is the generic cuSZx decompression kernel; its output is
+// bit-identical to the serial decoder's.
+func decompress[T ieee.Float, B ieee.Word](comp []byte, gridDim int) ([]T, cusim.Metrics, error) {
+	es := ieee.Width[T]()
+	dtype := core.TypeFloat32
+	if es == 8 {
+		dtype = core.TypeFloat64
+	}
 	si, err := core.ParseStream(comp)
 	if err != nil {
 		return nil, cusim.Metrics{}, err
 	}
-	if si.Hdr.Type != core.TypeFloat32 {
+	if si.Hdr.Type != dtype {
 		return nil, cusim.Metrics{}, core.ErrWrongType
 	}
 	bs := si.Hdr.BlockSize
@@ -289,7 +304,7 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 		return nil, scanM, err
 	}
 	nb := si.Hdr.NumBlocks()
-	out := make([]float32, si.Hdr.N)
+	out := make([]T, si.Hdr.N)
 	if nb == 0 {
 		return out, cusim.Metrics{}, nil
 	}
@@ -311,32 +326,32 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 			}
 			p := si.Payload[offs[k]:offs[k+1]]
 			if !si.IsNonConstant(k) {
-				if len(p) < 4 {
+				if len(p) < es {
 					derrs[t.BlockIdx] = core.ErrCorrupt
 					return
 				}
-				mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
+				mu := ieee.FromBits[T](ieee.GetLE[B](p))
 				if tid < cnt {
 					out[lo+tid] = mu
-					t.AddGlobalBytes(4)
+					t.AddGlobalBytes(es)
 				}
 				continue
 			}
 			leadLen := bitio.PackedLen(cnt)
-			if len(p) < 5+leadLen {
+			if len(p) < es+1+leadLen {
 				derrs[t.BlockIdx] = core.ErrCorrupt
 				return
 			}
-			mu := math.Float32frombits(binary.LittleEndian.Uint32(p))
-			reqLen := int(p[4])
-			if reqLen < ieee.SignExpBits32 || reqLen > ieee.FullBits32 {
+			mu := ieee.FromBits[T](ieee.GetLE[B](p))
+			reqLen := int(p[es])
+			if reqLen < ieee.SignExpBits[T]() || reqLen > ieee.FullBits[T]() {
 				derrs[t.BlockIdx] = core.ErrCorrupt
 				return
 			}
 			s := uint(ieee.ShiftBits(reqLen))
 			reqBytes := (reqLen + int(s)) / 8
-			lossless := reqLen == ieee.FullBits32
-			mids := p[5+leadLen:]
+			lossless := reqLen == ieee.FullBits[T]()
+			mids := p[es+1+leadLen:]
 
 			// Step 1: read this thread's lead code. Corruption is detected
 			// per thread but resolved block-cooperatively so no thread
@@ -344,7 +359,7 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 			bad := false
 			lead := reqBytes // inert for tail threads
 			if tid < cnt {
-				lead = int(p[5+(tid>>2)]>>uint(6-2*(tid&3))) & 3
+				lead = int(p[es+1+(tid>>2)]>>uint(6-2*(tid&3))) & 3
 				if lead > reqBytes {
 					bad = true
 					lead = reqBytes
@@ -374,22 +389,26 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 				return
 			}
 
-			// Step 3: fetch own mid-bytes into a partial word.
-			words := t.SharedU32("words", bs)
+			// Step 3: fetch own mid-bytes into a partial word. (The shared
+			// word array is 64-bit for either element width; the top half
+			// simply stays zero for float32.)
+			words := t.SharedU64("words", bs)
 			leadsSh := t.SharedBytes("dleads", bs)
-			var w uint32
+			var w B
 			if tid < cnt {
 				for j := lead; j < reqBytes; j++ {
-					w |= uint32(mids[off+j-lead]) << uint(8*(3-j))
+					w |= B(mids[off+j-lead]) << uint(8*(es-1-j))
 				}
 				t.AddGlobalBytes(mid)
 			}
-			words[tid] = w
+			words[tid] = uint64(w)
 			leadsSh[tid] = byte(lead)
 			t.SyncThreads()
 
 			// Step 4 (Solution 2, Fig. 11): per byte position, resolve the
 			// dependence chain by recursive-doubling index propagation.
+			// Only the first 3 positions can be leading bytes (2-bit code),
+			// but chains are resolved generically per position.
 			for j := 0; j < reqBytes; j++ {
 				own := 0
 				if tid < cnt && j >= int(leadsSh[tid]) {
@@ -399,9 +418,9 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 				if tid < cnt && j < int(leadsSh[tid]) {
 					var b byte
 					if src > 0 {
-						b = byte(words[src-1] >> uint(8*(3-j)))
+						b = byte(words[src-1] >> uint(8*(es-1-j)))
 					}
-					w |= uint32(b) << uint(8*(3-j))
+					w |= B(b) << uint(8*(es-1-j))
 				}
 				t.AddOps(3)
 			}
@@ -409,11 +428,11 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 			// Step 5: undo the right shift and denormalize.
 			if tid < cnt {
 				if lossless {
-					out[lo+tid] = math.Float32frombits(w)
+					out[lo+tid] = ieee.FromBits[T](w)
 				} else {
-					out[lo+tid] = math.Float32frombits(w<<s) + mu
+					out[lo+tid] = ieee.FromBits[T](w<<s) + mu
 				}
-				t.AddGlobalBytes(4)
+				t.AddGlobalBytes(es)
 				t.AddOps(3)
 			}
 			t.SyncThreads() // words/leads stay valid until all threads pass
@@ -426,6 +445,37 @@ func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
 		}
 	}
 	return out, m, nil
+}
+
+// --- exported wrappers (historical per-type API) ---------------------------
+
+// Compress compresses data with the cuSZx kernel and returns the SZx
+// stream (bit-identical to core.CompressFloat32 with the same options)
+// plus the simulated-execution metrics. Data must be finite; NaN handling
+// is only defined for the CPU codec.
+func Compress(data []float32, errBound float64, opts core.Options, gridDim int) ([]byte, cusim.Metrics, error) {
+	return compress[float32, uint32](data, errBound, opts, gridDim)
+}
+
+// Decompress reconstructs values from an SZx float32 stream with the cuSZx
+// decompression kernel, returning simulated-execution metrics. The output
+// is bit-identical to core.DecompressFloat32.
+func Decompress(comp []byte, gridDim int) ([]float32, cusim.Metrics, error) {
+	return decompress[float32, uint32](comp, gridDim)
+}
+
+// CompressFloat64 compresses data with the float64 instantiation of the
+// kernel, returning a stream bit-identical to core.CompressFloat64. The
+// paper's in-memory motivation (full-state quantum-circuit simulation, §1)
+// operates on double-precision state vectors.
+func CompressFloat64(data []float64, errBound float64, opts core.Options, gridDim int) ([]byte, cusim.Metrics, error) {
+	return compress[float64, uint64](data, errBound, opts, gridDim)
+}
+
+// DecompressFloat64 reconstructs values from an SZx float64 stream,
+// bit-identical to core.DecompressFloat64.
+func DecompressFloat64(comp []byte, gridDim int) ([]float64, cusim.Metrics, error) {
+	return decompress[float64, uint64](comp, gridDim)
 }
 
 // blockMinMax reduces (mn, mx) across the thread block: warp-level shuffle
@@ -507,7 +557,8 @@ func blockExclusiveScan(t *cusim.Thread, v int) int {
 
 // blockInclusiveMaxScan computes the inclusive prefix maximum of v across
 // the block (recursive doubling, Fig. 11's index propagation). slot keys
-// the shared scratch so per-byte-position calls do not collide.
+// the shared scratch so per-byte-position calls do not collide; scratch is
+// sized for the float64 worst case of 8 byte positions.
 func blockInclusiveMaxScan(t *cusim.Thread, v int, slot int) int {
 	m := uint64(v)
 	for d := 1; d < cusim.WarpSize; d <<= 1 {
@@ -518,7 +569,7 @@ func blockInclusiveMaxScan(t *cusim.Thread, v int, slot int) int {
 		t.AddOps(1)
 	}
 	nw := (t.BlockDim + cusim.WarpSize - 1) / cusim.WarpSize
-	wmaxs := t.SharedU64("maxscan_wtot", nw*4)
+	wmaxs := t.SharedU64("maxscan_wtot", nw*8)
 	base := slot * nw
 	if t.Lane() == t.WarpLanes()-1 {
 		wmaxs[base+t.Warp()] = m

@@ -1,0 +1,97 @@
+package ieee
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// The generic trait layer: one set of type-parameterized helpers that
+// resolve to the float32 or float64 bit-level primitives at instantiation
+// time. float32 and float64 have distinct GC shapes, so the compiler
+// stencils a separate instantiation per width and the width branches below
+// fold to straight-line code — the generic codec pays no dispatch cost in
+// its per-value loops.
+
+// Float constrains the element types the SZx codec supports.
+type Float interface{ ~float32 | ~float64 }
+
+// Word is the unsigned carrier of a Float's IEEE-754 bit pattern. Every
+// generic codec function pairs a Float with the Word of the same width
+// (float32↔uint32, float64↔uint64); the dispatch wrappers in
+// internal/core guarantee the pairing.
+type Word interface{ ~uint32 | ~uint64 }
+
+// Width returns the element size in bytes (4 or 8) of T.
+func Width[T Float]() int {
+	var v T
+	return int(unsafe.Sizeof(v))
+}
+
+// ToBits returns the IEEE-754 bit pattern of v in a word of matching width.
+func ToBits[B Word, T Float](v T) B {
+	if unsafe.Sizeof(v) == 4 {
+		return B(math.Float32bits(float32(v)))
+	}
+	return B(math.Float64bits(float64(v)))
+}
+
+// FromBits reconstructs the float whose IEEE-754 bit pattern is w.
+func FromBits[T Float, B Word](w B) T {
+	if unsafe.Sizeof(w) == 4 {
+		return T(math.Float32frombits(uint32(w)))
+	}
+	return T(math.Float64frombits(uint64(w)))
+}
+
+// FullBits returns the total number of bits in T's IEEE-754 word.
+func FullBits[T Float]() int {
+	if Width[T]() == 4 {
+		return FullBits32
+	}
+	return FullBits64
+}
+
+// SignExpBits returns the number of sign+exponent bits in T's word.
+func SignExpBits[T Float]() int {
+	if Width[T]() == 4 {
+		return SignExpBits32
+	}
+	return SignExpBits64
+}
+
+// ReqLength is the width-generic ReqLength32/ReqLength64 (Formula 4).
+func ReqLength[T Float](radExpo, errExpo int) (reqLength int, lossless bool) {
+	if Width[T]() == 4 {
+		return ReqLength32(radExpo, errExpo)
+	}
+	return ReqLength64(radExpo, errExpo)
+}
+
+// PutLE stores w little-endian into p (which must hold the word's width).
+func PutLE[B Word](p []byte, w B) {
+	if unsafe.Sizeof(w) == 4 {
+		binary.LittleEndian.PutUint32(p, uint32(w))
+	} else {
+		binary.LittleEndian.PutUint64(p, uint64(w))
+	}
+}
+
+// GetLE loads a little-endian word from p (which must hold the width).
+func GetLE[B Word](p []byte) B {
+	var w B
+	if unsafe.Sizeof(w) == 4 {
+		return B(binary.LittleEndian.Uint32(p))
+	}
+	return B(binary.LittleEndian.Uint64(p))
+}
+
+// GetBE loads a full-width big-endian word from p (which must hold the
+// width). Used by the decoder's fast mid-byte path.
+func GetBE[B Word](p []byte) B {
+	var w B
+	if unsafe.Sizeof(w) == 4 {
+		return B(binary.BigEndian.Uint32(p))
+	}
+	return B(binary.BigEndian.Uint64(p))
+}

@@ -42,6 +42,7 @@ type Writer struct {
 	opt    Options
 	chunk  int
 	buf    []float32
+	comp   []byte // reused compressed-chunk buffer
 	err    error
 	opened bool
 	closed bool
@@ -97,11 +98,12 @@ func (sw *Writer) flushChunk(chunk []float32) error {
 		}
 		sw.opened = true
 	}
-	comp, err := Compress(chunk, sw.opt)
+	comp, err := CompressInto(sw.comp[:0], chunk, sw.opt)
 	if err != nil {
 		sw.err = err
 		return err
 	}
+	sw.comp = comp
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
 	if _, err := sw.w.Write(hdr[:]); err != nil {
@@ -147,12 +149,14 @@ func (sw *Writer) Close() error {
 
 // Reader decompresses a stream produced by Writer.
 type Reader struct {
-	r      io.Reader
-	buf    []float32 // decoded values not yet delivered
-	pos    int
-	opened bool
-	done   bool
-	err    error
+	r       io.Reader
+	buf     []float32 // decoded values not yet delivered (reused per chunk)
+	frame   []byte    // reused compressed-frame buffer
+	scratch []byte    // reused frame-read staging buffer
+	pos     int
+	opened  bool
+	done    bool
+	err     error
 }
 
 // NewReader returns a streaming decompressor reading from r.
@@ -231,10 +235,17 @@ func (sr *Reader) nextChunk() error {
 		return sr.err
 	}
 	// Read the frame incrementally so a forged header cannot force a huge
-	// up-front allocation: memory grows only as real bytes arrive.
-	frame := make([]byte, 0, min(int(frameLen), 1<<20))
+	// up-front allocation: memory grows only as real bytes arrive. The
+	// frame and staging buffers are reused across chunks.
+	if cap(sr.frame) < min(int(frameLen), 1<<20) {
+		sr.frame = make([]byte, 0, min(int(frameLen), 1<<20))
+	}
+	frame := sr.frame[:0]
 	remaining := int(frameLen)
-	chunk := make([]byte, 1<<20)
+	if sr.scratch == nil {
+		sr.scratch = make([]byte, 1<<20)
+	}
+	chunk := sr.scratch
 	for remaining > 0 {
 		n := len(chunk)
 		if n > remaining {
@@ -248,7 +259,8 @@ func (sr *Reader) nextChunk() error {
 		}
 		remaining -= got
 	}
-	vals, err := Decompress(frame)
+	sr.frame = frame
+	vals, err := DecompressInto(sr.buf[:0], frame)
 	if err != nil {
 		sr.err = err
 		return err

@@ -24,6 +24,17 @@
 // number of goroutines to use (WorkersAuto selects GOMAXPROCS). The
 // parallel paths produce bit-identical streams and values to the serial
 // ones.
+//
+// # Generic API and buffer reuse
+//
+// The codec core is implemented once, generically, over both element types.
+// The [Float]-constrained functions ([CompressInto], [DecompressInto],
+// [CompressParallelInto], [DecompressParallelInto]) append to
+// caller-supplied buffers and perform no allocations once those buffers are
+// warm; the per-type helpers (Compress, CompressFloat64, ...) are thin
+// wrappers over them. For repeated compression of similar payloads — the
+// in-memory-compression service pattern — use a [Codec], which keeps the
+// reuse buffers internally.
 package szx
 
 import (
@@ -32,6 +43,9 @@ import (
 
 	"repro/internal/core"
 )
+
+// Float constrains the element types SZx supports.
+type Float interface{ ~float32 | ~float64 }
 
 // Mode selects how Options.ErrorBound is interpreted.
 type Mode int
@@ -123,8 +137,10 @@ const (
 	TypeFloat64 = core.TypeFloat64
 )
 
-// resolveBound32 converts a relative bound into an absolute one.
-func resolveBound32(data []float32, o Options) (float64, error) {
+// resolveBound converts a relative bound into the absolute bound embedded in
+// the stream. (The range is accumulated in float64 for both element types;
+// for float64 inputs the conversions are identities.)
+func resolveBound[T Float](data []T, o Options) (float64, error) {
 	if o.Mode != BoundRelative {
 		return o.ErrorBound, nil
 	}
@@ -150,108 +166,106 @@ func resolveBound32(data []float32, o Options) (float64, error) {
 	return o.ErrorBound * r, nil
 }
 
-func resolveBound64(data []float64, o Options) (float64, error) {
-	if o.Mode != BoundRelative {
-		return o.ErrorBound, nil
+// CompressInto compresses data under opt, appending the stream onto dst and
+// returning the extended slice. It allocates nothing when dst has enough
+// spare capacity, making it the building block for zero-allocation reuse
+// (see Codec). Opt.Workers selects the serial or block-parallel path; both
+// produce identical bytes.
+func CompressInto[T Float](dst []byte, data []T, opt Options) ([]byte, error) {
+	e, err := resolveBound(data, opt)
+	if err != nil {
+		return nil, err
 	}
-	if !(o.ErrorBound > 0) || math.IsInf(o.ErrorBound, 0) {
-		return 0, ErrErrBound
+	if w := opt.workers(); w > 1 {
+		return core.CompressParallelInto(dst, data, e, opt.coreOpts(), w)
 	}
-	if len(data) == 0 {
-		return 0, ErrDegenerateRange
+	return core.CompressInto(dst, data, e, opt.coreOpts())
+}
+
+// CompressIntoStats is CompressInto with per-run statistics (serial path).
+func CompressIntoStats[T Float](dst []byte, data []T, opt Options) ([]byte, Stats, error) {
+	e, err := resolveBound(data, opt)
+	if err != nil {
+		return nil, Stats{}, err
 	}
-	mn, mx := data[0], data[0]
-	for _, v := range data[1:] {
-		if v < mn {
-			mn = v
-		}
-		if v > mx {
-			mx = v
-		}
+	return core.CompressIntoStats(dst, data, e, opt.coreOpts())
+}
+
+// DecompressInto decompresses comp, appending the values onto dst and
+// returning the extended slice. The stream's element type must match T
+// (ErrWrongType otherwise). It allocates nothing when dst has enough spare
+// capacity.
+func DecompressInto[T Float](dst []T, comp []byte) ([]T, error) {
+	return core.DecompressInto(dst, comp)
+}
+
+// CompressParallelInto is CompressInto with an explicit worker count
+// (overriding opt.Workers; WorkersAuto selects GOMAXPROCS).
+func CompressParallelInto[T Float](dst []byte, data []T, opt Options, workers int) ([]byte, error) {
+	e, err := resolveBound(data, opt)
+	if err != nil {
+		return nil, err
 	}
-	r := mx - mn
-	if !(r > 0) || math.IsInf(r, 0) {
-		return 0, ErrDegenerateRange
+	if workers == WorkersAuto {
+		workers = core.Workers(0)
 	}
-	return o.ErrorBound * r, nil
+	return core.CompressParallelInto(dst, data, e, opt.coreOpts(), workers)
+}
+
+// DecompressParallelInto is DecompressInto with block-parallel decoding
+// (WorkersAuto selects GOMAXPROCS).
+func DecompressParallelInto[T Float](dst []T, comp []byte, workers int) ([]T, error) {
+	if workers == WorkersAuto {
+		workers = core.Workers(0)
+	}
+	if workers > 1 {
+		return core.DecompressParallelInto(dst, comp, workers)
+	}
+	return core.DecompressInto(dst, comp)
 }
 
 // Compress compresses float32 data under opt. The resulting stream embeds
 // everything needed for decompression (including the resolved absolute
 // error bound, element type, and block size).
 func Compress(data []float32, opt Options) ([]byte, error) {
-	e, err := resolveBound32(data, opt)
-	if err != nil {
-		return nil, err
-	}
-	if w := opt.workers(); w > 1 {
-		return core.CompressFloat32Parallel(data, e, opt.coreOpts(), w)
-	}
-	return core.CompressFloat32(data, e, opt.coreOpts())
+	return CompressInto[float32](nil, data, opt)
 }
 
 // CompressStats is Compress with per-run statistics (serial path).
 func CompressStats(data []float32, opt Options) ([]byte, Stats, error) {
-	e, err := resolveBound32(data, opt)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return core.CompressFloat32Stats(data, e, opt.coreOpts())
+	return CompressIntoStats[float32](nil, data, opt)
 }
 
 // Decompress reconstructs float32 values from a stream produced by Compress.
 func Decompress(comp []byte) ([]float32, error) {
-	return core.DecompressFloat32(comp)
+	return core.DecompressInto[float32](nil, comp)
 }
 
 // DecompressParallel is Decompress with block-parallel decoding across the
 // given number of workers (WorkersAuto for GOMAXPROCS).
 func DecompressParallel(comp []byte, workers int) ([]float32, error) {
-	if workers == WorkersAuto {
-		workers = core.Workers(0)
-	}
-	if workers > 1 {
-		return core.DecompressFloat32Parallel(comp, workers)
-	}
-	return core.DecompressFloat32(comp)
+	return DecompressParallelInto[float32](nil, comp, workers)
 }
 
 // CompressFloat64 compresses float64 data under opt.
 func CompressFloat64(data []float64, opt Options) ([]byte, error) {
-	e, err := resolveBound64(data, opt)
-	if err != nil {
-		return nil, err
-	}
-	if w := opt.workers(); w > 1 {
-		return core.CompressFloat64Parallel(data, e, opt.coreOpts(), w)
-	}
-	return core.CompressFloat64(data, e, opt.coreOpts())
+	return CompressInto[float64](nil, data, opt)
 }
 
 // CompressFloat64Stats is CompressFloat64 with per-run statistics.
 func CompressFloat64Stats(data []float64, opt Options) ([]byte, Stats, error) {
-	e, err := resolveBound64(data, opt)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return core.CompressFloat64Stats(data, e, opt.coreOpts())
+	return CompressIntoStats[float64](nil, data, opt)
 }
 
 // DecompressFloat64 reconstructs float64 values.
 func DecompressFloat64(comp []byte) ([]float64, error) {
-	return core.DecompressFloat64(comp)
+	return core.DecompressInto[float64](nil, comp)
 }
 
 // DecompressFloat64Parallel is DecompressFloat64 with block-parallel
 // decoding.
 func DecompressFloat64Parallel(comp []byte, workers int) ([]float64, error) {
-	if workers == WorkersAuto {
-		workers = core.Workers(0)
-	}
-	if workers > 1 {
-		return core.DecompressFloat64Parallel(comp, workers)
-	}
-	return core.DecompressFloat64(comp)
+	return DecompressParallelInto[float64](nil, comp, workers)
 }
 
 // Info parses and validates the header of a compressed stream without

@@ -24,9 +24,12 @@ var ErrFrameShape = errors.New("szx: frame length differs from the stream's")
 
 // TimeCompressor compresses a sequence of equal-length frames.
 type TimeCompressor struct {
-	opt  Options
-	prev []float32 // previous reconstructed frame
-	n    int
+	opt      Options
+	prev     []float32 // previous reconstructed frame
+	spare    []float32 // retired reference frame, recycled for the next one
+	resid    []float32 // reused residual buffer
+	residRec []float32 // reused reconstructed-residual buffer
+	n        int
 }
 
 // NewTimeCompressor returns a temporal compressor. opt.Mode must be
@@ -59,7 +62,10 @@ func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 	if len(frame) != tc.n {
 		return nil, ErrFrameShape
 	}
-	resid := make([]float32, tc.n)
+	if cap(tc.resid) < tc.n {
+		tc.resid = make([]float32, tc.n)
+	}
+	resid := tc.resid[:tc.n]
 	for i := range frame {
 		// Exact in float32's field: both operands are float32s whose
 		// difference we immediately re-round; the guard in the codec
@@ -70,12 +76,19 @@ func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Advance the reference to the decoder's view of this frame.
-	residRec, err := Decompress(comp)
+	// Advance the reference to the decoder's view of this frame. The new
+	// reference reuses the buffer retired two frames ago (prev/spare
+	// ping-pong), and the reconstructed residual reuses its own scratch.
+	residRec, err := DecompressInto(tc.residRec[:0], comp)
 	if err != nil {
 		return nil, err
 	}
-	next := make([]float32, tc.n)
+	tc.residRec = residRec
+	next := tc.spare
+	if cap(next) < tc.n {
+		next = make([]float32, tc.n)
+	}
+	next = next[:tc.n]
 	maxErr := 0.0
 	for i := range next {
 		next[i] = tc.prev[i] + residRec[i]
@@ -94,14 +107,16 @@ func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		next, err = Decompress(comp)
+		next, err = DecompressInto(next[:0], comp)
 		if err != nil {
 			return nil, err
 		}
 		comp = append([]byte{frameKey}, comp...)
+		tc.spare = tc.prev
 		tc.prev = next
 		return comp, nil
 	}
+	tc.spare = tc.prev
 	tc.prev = next
 	return append([]byte{frameDelta}, comp...), nil
 }
@@ -115,7 +130,8 @@ const (
 // TimeDecompressor reconstructs a frame sequence produced by
 // TimeCompressor.
 type TimeDecompressor struct {
-	prev []float32
+	prev  []float32
+	resid []float32 // reused residual buffer
 }
 
 // NewTimeDecompressor returns a temporal decompressor.
@@ -143,10 +159,11 @@ func (td *TimeDecompressor) DecompressFrame(comp []byte) ([]float32, error) {
 		td.prev = frame
 		return append([]float32(nil), frame...), nil
 	case frameDelta:
-		resid, err := Decompress(comp[1:])
+		resid, err := DecompressInto(td.resid[:0], comp[1:])
 		if err != nil {
 			return nil, err
 		}
+		td.resid = resid
 		if len(resid) != len(td.prev) {
 			return nil, ErrFrameShape
 		}
