@@ -13,6 +13,8 @@ package szx
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"os"
 	"testing"
 
 	"repro/internal/core"
@@ -504,6 +506,51 @@ func BenchmarkStreaming(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamWriter isolates the Writer's I/O shape. The DevNull case
+// pushes every frame through a real file descriptor, so each underlying
+// Write is a syscall and the coalesced single-Write-per-chunk path shows up
+// directly in ns/op; writes/chunk is reported so the coalescing is visible
+// regardless of sink cost (it was 2 per chunk before frames were staged).
+func BenchmarkStreamWriter(b *testing.B) {
+	data := appByName("Nyx").Fields[2].Data
+	const chunk = 1 << 14
+	chunks := (len(data) + chunk - 1) / chunk
+	run := func(b *testing.B, sink io.Writer) {
+		b.SetBytes(int64(4 * len(data)))
+		var writes int
+		for i := 0; i < b.N; i++ {
+			writes = 0
+			w := NewWriter(writerFunc(func(p []byte) (int, error) {
+				writes++
+				return sink.Write(p)
+			}), Options{ErrorBound: 1e-3, Mode: BoundRelative}, chunk)
+			if err := w.Write(data); err != nil {
+				b.Fatal(err)
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Exclude the one terminator Write so the metric is exactly the
+		// per-chunk cost (2.0 before coalescing, 1.0 after).
+		b.ReportMetric(float64(writes-1)/float64(chunks), "writes/chunk")
+	}
+	b.Run("Discard", func(b *testing.B) { run(b, io.Discard) })
+	b.Run("DevNull", func(b *testing.B) {
+		f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			b.Skip(err)
+		}
+		defer f.Close()
+		run(b, f)
+	})
+}
+
+// writerFunc adapts a function to io.Writer.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
 
 // BenchmarkReuse measures the zero-allocation Into API and the Codec
 // handle through the public package surface: the steady-state in-situ

@@ -1,0 +1,219 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Hot-path A/B mode: rerun the codec's core throughput benchmarks through
+// testing.Benchmark and emit a machine-readable snapshot in the same shape
+// as BENCH_REUSE.json, so successive snapshots (and scripts/bench_ab.sh)
+// can be diffed mechanically. The workloads mirror internal/core's
+// BenchmarkCore* exactly — same generator, sizes, and bounds — so numbers
+// are comparable against both the in-tree benches and older snapshots.
+
+type hotpathBench struct {
+	Name     string  `json:"name"`
+	NsOp     int64   `json:"ns_op"`
+	MBs      float64 `json:"mb_s"`
+	AllocsOp *int64  `json:"allocs_op,omitempty"`
+}
+
+type hotpathReport struct {
+	Date         string         `json:"date"`
+	Goos         string         `json:"goos"`
+	Goarch       string         `json:"goarch"`
+	CPU          string         `json:"cpu"`
+	Note         string         `json:"note"`
+	Commands     []string       `json:"commands"`
+	Benchmarks   []hotpathBench `json:"benchmarks"`
+	SeedBaseline []hotpathBench `json:"seed_baseline"`
+}
+
+// hotpathData mirrors benchData in internal/core/bench_test.go: a smooth
+// random walk plus a sinusoid, mostly nonconstant blocks at 1e-3.
+func hotpathData(n int) []float32 {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]float32, n)
+	v := 5.0
+	for i := range out {
+		v += 0.1 * (rng.Float64() - 0.5)
+		out[i] = float32(v + 2*math.Sin(float64(i)/40))
+	}
+	return out
+}
+
+func hotpathData64(n int) []float64 {
+	d32 := hotpathData(n)
+	out := make([]float64, n)
+	for i, v := range d32 {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+func runHotpath(outPath string, benchtime time.Duration) error {
+	f32 := hotpathData(1 << 21)
+	f64 := hotpathData64(1 << 20)
+	comp32, err := core.CompressFloat32(f32, 1e-3, core.Options{})
+	if err != nil {
+		return err
+	}
+	comp64, err := core.CompressFloat64(f64, 1e-6, core.Options{})
+	if err != nil {
+		return err
+	}
+
+	type spec struct {
+		name  string
+		bytes int64
+		fn    func(b *testing.B)
+	}
+	specs := []spec{
+		{"BenchmarkCoreCompressIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.CompressInto(dst[:0], f32, 1e-3, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkCoreDecompressIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []float32
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.DecompressInto(dst[:0], comp32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkCoreCompressIntoF64", int64(8 * len(f64)), func(b *testing.B) {
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.CompressInto(dst[:0], f64, 1e-6, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkCoreDecompressIntoF64", int64(8 * len(f64)), func(b *testing.B) {
+			var dst []float64
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.DecompressInto(dst[:0], comp64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkCoreCompressParallelIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.CompressParallelInto(dst[:0], f32, 1e-3, core.Options{}, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"BenchmarkCoreDecompressParallelIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []float32
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.DecompressParallelInto(dst[:0], comp32, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+
+	rep := hotpathReport{
+		Date:   time.Now().Format("2006-01-02"),
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Note: fmt.Sprintf("Hot-path snapshot: wide-store encoder, 4-way lead decode, and the "+
+			"work-stealing parallel engine. Workloads mirror internal/core BenchmarkCore* "+
+			"(same generator, sizes, bounds). Parallel entries use 4 requested workers; on "+
+			"this host GOMAXPROCS=%d, and on a single-P process the adaptive engine "+
+			"intentionally falls back to the serial kernel (parallel ~= serial, no "+
+			"scheduling overhead). Regenerate with the command below or compare two refs "+
+			"interleaved with scripts/bench_ab.sh.", runtime.GOMAXPROCS(0)),
+		Commands: []string{
+			fmt.Sprintf("go run ./cmd/szxbench -hotpath BENCH_HOTPATH.json -benchtime %s", benchtime),
+			"scripts/bench_ab.sh <baseline-ref>",
+		},
+	}
+	// testing.Benchmark targets ~1s per call; approximate -benchtime by
+	// running that many rounds and keeping the fastest (least-noise) round.
+	rounds := int(benchtime / time.Second)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, s := range specs {
+		fmt.Fprintf(os.Stderr, "hotpath: %s...\n", s.name)
+		bench := func(b *testing.B) {
+			b.SetBytes(s.bytes)
+			b.ReportAllocs()
+			s.fn(b)
+		}
+		r := testing.Benchmark(bench)
+		for i := 1; i < rounds; i++ {
+			if r2 := testing.Benchmark(bench); r2.NsPerOp() < r.NsPerOp() {
+				r = r2
+			}
+		}
+		nsOp := r.NsPerOp()
+		mbs := float64(s.bytes) / (float64(nsOp) / 1e9) / 1e6
+		allocs := r.AllocsPerOp()
+		rep.Benchmarks = append(rep.Benchmarks, hotpathBench{
+			Name:     s.name,
+			NsOp:     nsOp,
+			MBs:      math.Round(mbs*100) / 100,
+			AllocsOp: &allocs,
+		})
+	}
+
+	// Carry forward the previous snapshot's numbers as the comparison
+	// baseline, the way BENCH_REUSE.json carried the seed's.
+	if prev, err := os.ReadFile("BENCH_REUSE.json"); err == nil {
+		var old hotpathReport
+		if json.Unmarshal(prev, &old) == nil {
+			for _, b := range old.Benchmarks {
+				for _, s := range specs {
+					if b.Name == s.name {
+						rep.SeedBaseline = append(rep.SeedBaseline,
+							hotpathBench{Name: b.Name, NsOp: b.NsOp, MBs: b.MBs})
+					}
+				}
+			}
+		}
+	}
+
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if outPath == "-" {
+		fmt.Print(sb.String())
+		return nil
+	}
+	return os.WriteFile(outPath, []byte(sb.String()), 0o644)
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}

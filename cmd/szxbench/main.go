@@ -28,8 +28,19 @@ func main() {
 		quick   = flag.Bool("quick", false, "trimmed sweeps (CI mode)")
 		only    = flag.String("only", "", "comma-separated artifact ID prefixes to run")
 		mdPath  = flag.String("md", "", "also write a markdown report to this file")
+
+		hotpath   = flag.String("hotpath", "", "run hot-path A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
+		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath mode")
 	)
 	flag.Parse()
+
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers, Quick: *quick}
 	var filters []string

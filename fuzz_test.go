@@ -2,8 +2,12 @@ package szx
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
+	"runtime"
 	"testing"
+
+	"repro/internal/core"
 )
 
 func FuzzOpenArchive(f *testing.F) {
@@ -42,6 +46,71 @@ func FuzzDecompressPublic(f *testing.F) {
 		_, _ = Decompress(blob)
 		_, _ = DecompressFloat64(blob)
 		_, _ = Info(blob)
+	})
+}
+
+// FuzzCompressParallel cross-checks the work-stealing parallel compressor
+// against the serial encoder: on any input the two must emit byte-identical
+// streams at every worker count. The raw fuzz bytes are reinterpreted as
+// float32 and float64 values (so the mutator reaches NaN payloads, signed
+// zeros, subnormals, and adversarial exponent patterns for free), and the
+// engine's adaptive size gate is lowered so fuzz-sized inputs actually
+// exercise the chunked stealing and gather phases.
+func FuzzCompressParallel(f *testing.F) {
+	seed := make([]byte, 4*300)
+	for i := 0; i < 300; i++ {
+		binary.LittleEndian.PutUint32(seed[4*i:], math.Float32bits(float32(i%97)/13))
+	}
+	f.Add(seed, uint8(0))
+	f.Add(seed[:4*130+2], uint8(1)) // ragged tail bytes
+	f.Add([]byte{}, uint8(2))
+	weird := make([]byte, 4*64)
+	for i := range weird {
+		weird[i] = byte(i * 37)
+	}
+	f.Add(weird, uint8(3))
+	bounds := []float64{1e-2, 1e-4, 1e-7, 0.5}
+
+	f.Fuzz(func(t *testing.T, raw []byte, sel uint8) {
+		oldMin := core.ParallelMinBytes
+		core.ParallelMinBytes = 0
+		defer func() { core.ParallelMinBytes = oldMin }()
+
+		opt := Options{ErrorBound: bounds[int(sel)%len(bounds)]}
+		if sel&0x10 != 0 {
+			opt.BlockSize = 64
+		}
+		workerCounts := []int{2, 3, runtime.GOMAXPROCS(0)}
+
+		f32 := make([]float32, len(raw)/4)
+		for i := range f32 {
+			f32[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		ser, serr := CompressInto[float32](nil, f32, opt)
+		for _, w := range workerCounts {
+			par, perr := CompressParallelInto[float32](nil, f32, opt, w)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("f32 w=%d: serial/parallel disagree on validity: %v vs %v", w, serr, perr)
+			}
+			if serr == nil && !bytes.Equal(ser, par) {
+				t.Fatalf("f32 w=%d: parallel stream differs from serial (%d vs %d bytes)", w, len(ser), len(par))
+			}
+		}
+
+		f64 := make([]float64, len(raw)/8)
+		for i := range f64 {
+			f64[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		ser64, serr := CompressFloat64(f64, opt)
+		for _, w := range workerCounts {
+			par64, perr := core.CompressParallelInto[float64](nil, f64, opt.ErrorBound, core.Options{BlockSize: opt.BlockSize}, w)
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("f64 w=%d: serial/parallel disagree on validity: %v vs %v", w, serr, perr)
+			}
+			if serr == nil && !bytes.Equal(ser64, par64) {
+				t.Fatalf("f64 w=%d: parallel stream differs from serial (%d vs %d bytes)", w, len(ser64), len(par64))
+			}
+		}
 	})
 }
 

@@ -56,8 +56,13 @@ func decodeBlock[T Float, B Word](p []byte, nonConstant bool, out []T) error {
 			return ErrCorrupt
 		}
 		mu := ieee.FromBits[T](ieee.GetLE[B](p))
-		for i := range out {
-			out[i] = mu
+		// Doubling fill: each copy is a wide memmove over an exponentially
+		// growing prefix, instead of one store per element.
+		if len(out) > 0 {
+			out[0] = mu
+			for f := 1; f < len(out); f *= 2 {
+				copy(out[f:], out[:f])
+			}
 		}
 		return nil
 	}
@@ -90,9 +95,74 @@ func decodeBlock[T Float, B Word](p []byte, nonConstant bool, out []T) error {
 	// (reqBytes-l) mid-bytes. The mid-bytes are loaded as one big-endian
 	// word on the fast path (shift counts ≥ width are defined as 0 in Go,
 	// so nm == 0 degenerates correctly).
+	//
+	// The main loop decodes the packed 2-bit lead codes four at a time: one
+	// byte load yields all four codes with fixed shifts, instead of
+	// re-extracting with a value-dependent variable shift per element, and
+	// a single up-front bound (four values consume at most 4*reqBytes
+	// mid-bytes, each wide load reads es bytes from its start) hoists the
+	// per-value length checks out of the group.
 	var prev B
 	mi := 0
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+4 <= n && mi+3*reqBytes+es <= len(mid); i += 4 {
+		lb := lead[i>>2]
+
+		l := int(lb >> 6)
+		nm := reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		chunk := ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
+		mi += nm
+		w := prev&masks[l] | chunk<<lowSh
+
+		l = int(lb>>4) & 3
+		nm = reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
+		mi += nm
+		w2 := w&masks[l] | chunk<<lowSh
+
+		l = int(lb>>2) & 3
+		nm = reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
+		mi += nm
+		w3 := w2&masks[l] | chunk<<lowSh
+
+		l = int(lb) & 3
+		nm = reqBytes - l
+		if nm < 0 {
+			return ErrCorrupt
+		}
+		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
+		mi += nm
+		w4 := w3&masks[l] | chunk<<lowSh
+
+		prev = w4
+		if lossless {
+			// Bit-exact path: μ is forced to zero for lossless blocks, and
+			// skipping the addition preserves NaN payloads and signed
+			// zeros.
+			out[i] = ieee.FromBits[T](w)
+			out[i+1] = ieee.FromBits[T](w2)
+			out[i+2] = ieee.FromBits[T](w3)
+			out[i+3] = ieee.FromBits[T](w4)
+		} else {
+			out[i] = ieee.FromBits[T](w<<s) + mu
+			out[i+1] = ieee.FromBits[T](w2<<s) + mu
+			out[i+2] = ieee.FromBits[T](w3<<s) + mu
+			out[i+3] = ieee.FromBits[T](w4<<s) + mu
+		}
+	}
+	// Tail: the last <4 values and any group whose mid-bytes run too close
+	// to the end of the payload for unconditional wide loads.
+	for ; i < n; i++ {
 		l := int(lead[i>>2]>>uint(6-2*(i&3))) & 3
 		nm := reqBytes - l
 		if nm < 0 {
@@ -113,8 +183,6 @@ func decodeBlock[T Float, B Word](p []byte, nonConstant bool, out []T) error {
 		w := prev&masks[l] | chunk<<lowSh
 		prev = w
 		if lossless {
-			// Bit-exact path: μ is forced to zero for lossless blocks, and
-			// skipping the addition preserves NaN payloads and signed zeros.
 			out[i] = ieee.FromBits[T](w)
 		} else {
 			out[i] = ieee.FromBits[T](w<<s) + mu

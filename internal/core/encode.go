@@ -136,11 +136,13 @@ func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqL
 	n := len(blk)
 	leadLen := bitio.PackedLen(n)
 
-	// Grow once to the worst-case payload and write by index; the slice is
-	// truncated to the actual size at the end (this keeps the per-value
-	// loop free of append bookkeeping).
+	// Grow once to the worst-case payload plus one word of slack, and write
+	// by index. The slack makes the wide store below unconditionally
+	// in-bounds even when only one byte of the word is kept, so the
+	// per-value loop carries no append bookkeeping and no byte-copy tail;
+	// the slice is truncated to the actual size at the end.
 	start := len(dst)
-	maxPayload := es + 1 + leadLen + reqBytes*n
+	maxPayload := es + 1 + leadLen + reqBytes*n + es
 	dst = slices.Grow(dst, maxPayload)[:start+maxPayload]
 	ieee.PutLE(dst[start:], ieee.ToBits[B](mu))
 	dst[start+es] = byte(reqLen)
@@ -153,10 +155,10 @@ func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqL
 	if reqLen < 8*es {
 		keepMask <<= uint(8*es - reqLen)
 	}
-	lowSh := uint(8 * (es - reqBytes)) // bit offset of the last stored byte
 	guarded := enc.guarded && !lossless
 	e := enc.errBound
 	eSafe := enc.eSafe
+	negESafe := -eSafe
 
 	leadBuf := &enc.leadBuf
 	var prev B
@@ -168,12 +170,11 @@ func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqL
 		if guarded {
 			rec := ieee.FromBits[T](bits&keepMask) + mu
 			diff := rec - d
-			if diff < 0 {
-				diff = -diff
-			}
-			// Fast-accept requires diff <= eSafe; NaN diffs fail the
-			// comparison and take the exact path (which rejects them).
-			if !(diff <= eSafe) {
+			// Fast-accept is the two-sided native-width compare
+			// -eSafe ≤ diff ≤ eSafe (no abs, no float64 conversion); NaN
+			// diffs fail both sides and take the exact path (which rejects
+			// them), as does the eSafe < 0 sentinel.
+			if !(diff <= eSafe && diff >= negESafe) {
 				if !(math.Abs(float64(d)-float64(rec)) <= e) {
 					return dst[:start], false
 				}
@@ -186,15 +187,14 @@ func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqL
 		}
 		leadBuf[i] = byte(lead)
 
-		// Commit bytes [lead, reqBytes) of the stored prefix (big-endian
-		// order: byte j of the word sits at bit offset 8*(es-1-j)); the
-		// last stored byte sits at lowSh.
-		sh := lowSh + uint(8*(reqBytes-lead))
-		for j := lead; j < reqBytes; j++ {
-			sh -= 8
-			dst[idx] = byte(w >> sh)
-			idx++
-		}
+		// Commit bytes [lead, reqBytes) of the stored prefix with a single
+		// full-width big-endian store (byte j of the word sits at bit offset
+		// 8*(es-1-j), so shifting left by 8*lead aligns byte `lead` with the
+		// store's first byte). The bytes written past reqBytes-lead are
+		// slack: the next value's store overwrites them, and the final
+		// truncation cuts off whatever the last value leaves behind.
+		ieee.PutBE(dst[idx:], w<<uint(8*lead))
+		idx += reqBytes - lead
 		prev = w
 	}
 	// Pack the 2-bit leading codes, four per byte.

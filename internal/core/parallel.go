@@ -6,7 +6,35 @@ import (
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/ieee"
 )
+
+// ParallelMinBytes is the adaptive engine's serial-fallback threshold: inputs
+// (for compression) or outputs (for decompression) smaller than this many
+// bytes are always processed on the calling goroutine, because below it the
+// fixed cost of scheduling workers exceeds the codec work itself. It is keyed
+// on bytes rather than block count so the decision tracks actual work: a
+// two-block stream is tiny, but so is a 256-block stream of one-value blocks.
+//
+// The default (64 KiB) was chosen empirically; it is exported as a tunable
+// for benchmark harnesses and tests. Setting it to 0 disables the adaptive
+// fallbacks entirely — every eligible call takes the work-stealing engine,
+// even on inputs or machines where that is known to be slower (tests and
+// fuzzers use this to force the engine on small inputs). It must only be
+// changed while no compressions are in flight.
+var ParallelMinBytes = 64 << 10
+
+// serialFaster reports whether the adaptive policy predicts the calling
+// goroutine will beat the work-stealing engine on work bytes: either the
+// input is too small to amortize scheduling, or there is only one P, which
+// makes the engine's two-phase scratch-then-gather copy pure overhead (no
+// second core ever overlaps it). ParallelMinBytes == 0 disables the policy.
+func serialFaster(workBytes int) bool {
+	return ParallelMinBytes > 0 &&
+		(workBytes < ParallelMinBytes || runtime.GOMAXPROCS(0) == 1)
+}
 
 // Workers resolves a worker-count request: 0 means GOMAXPROCS.
 func Workers(n int) int {
@@ -20,7 +48,9 @@ func Workers(n int) int {
 // size. It returns the range boundaries (len = shards+1). The split is
 // computed by accumulation — base items per shard plus one extra for the
 // first n%workers shards — so the arithmetic cannot overflow for any n,
-// unlike the textbook i*n/workers form.
+// unlike the textbook i*n/workers form. (The codec hot paths now use the
+// dynamic chunk engine below; shard remains for callers that want a static
+// partition, e.g. the timeseries fan-out.)
 func shard(n, workers int) []int {
 	if workers > n {
 		workers = n
@@ -42,9 +72,54 @@ func shard(n, workers int) []int {
 	return bounds
 }
 
-// shardScratch is a worker's private compression output, pooled across calls
-// so that steady-state parallel compression reuses warm buffers instead of
-// allocating per shard.
+// --- persistent worker pool ------------------------------------------------
+
+// workerPool is a fixed set of goroutines, started once and reused by every
+// parallel codec call in the process, so steady-state calls pay a channel
+// handoff per participant instead of a goroutine spawn. Tasks submitted to
+// the pool must be self-terminating (the codec submits work-stealing loops
+// that exit when the shared cursor runs out), so running them on fewer
+// goroutines than submitted is always safe — it only reduces concurrency.
+type workerPool struct {
+	once  sync.Once
+	tasks chan func()
+}
+
+var encPool workerPool
+
+func (p *workerPool) start() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	p.tasks = make(chan func(), 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+}
+
+// submit schedules f on the pool. If the pool's queue is full (caller asked
+// for far more participants than the machine has cores), f runs on a fresh
+// goroutine rather than blocking the caller.
+func (p *workerPool) submit(f func()) {
+	p.once.Do(p.start)
+	select {
+	case p.tasks <- f:
+	default:
+		go f()
+	}
+}
+
+// --- pooled scratch --------------------------------------------------------
+
+// shardScratch is one participant's private compression output, pooled
+// across calls so that steady-state parallel compression reuses warm buffers
+// instead of allocating per call. payload/sizes/bitmap are appended to as
+// the participant claims chunks; chunkMeta records where each chunk landed.
 type shardScratch struct {
 	payload []byte
 	sizes   []uint16
@@ -56,17 +131,66 @@ var shardPool = sync.Pool{New: func() any { return new(shardScratch) }}
 func getShardScratch(nblocks, payloadHint int) *shardScratch {
 	o := shardPool.Get().(*shardScratch)
 	o.payload = slices.Grow(o.payload[:0], payloadHint)
-	if cap(o.sizes) < nblocks {
-		o.sizes = make([]uint16, nblocks)
-	} else {
-		o.sizes = o.sizes[:nblocks]
-	}
-	if cap(o.bitmap) < nblocks {
-		o.bitmap = make([]bool, nblocks)
-	} else {
-		o.bitmap = o.bitmap[:nblocks]
-	}
+	o.sizes = slices.Grow(o.sizes[:0], nblocks)
+	o.bitmap = slices.Grow(o.bitmap[:0], nblocks)
 	return o
+}
+
+// chunkMeta records where one chunk's encoded output lives before the
+// parallel gather copies it to its final offset.
+type chunkMeta struct {
+	scratch  int // index of the participant scratch holding the bytes
+	off      int // chunk payload offset within that scratch's payload
+	size     int // chunk payload length in bytes
+	sizesOff int // index of the chunk's first block in sizes/bitmap
+	dstOff   int // final offset within the output payload section
+}
+
+// parJob holds the per-call bookkeeping of the work-stealing engine, pooled
+// so the parallel paths allocate only the participant closures per call.
+type parJob struct {
+	metas  []chunkMeta
+	outs   []*shardScratch
+	errs   []error
+	encode atomic.Int64 // phase-1 chunk cursor
+	gather atomic.Int64 // phase-2 chunk cursor
+	wg     sync.WaitGroup
+}
+
+var parJobPool = sync.Pool{New: func() any { return new(parJob) }}
+
+func getParJob(nchunks, participants int) *parJob {
+	j := parJobPool.Get().(*parJob)
+	j.metas = slices.Grow(j.metas[:0], nchunks)[:nchunks]
+	j.outs = slices.Grow(j.outs[:0], participants)[:participants]
+	j.errs = slices.Grow(j.errs[:0], participants)[:participants]
+	for i := range j.errs {
+		j.errs[i] = nil
+	}
+	j.encode.Store(0)
+	j.gather.Store(0)
+	return j
+}
+
+func putParJob(j *parJob) {
+	for i := range j.outs {
+		j.outs[i] = nil
+	}
+	parJobPool.Put(j)
+}
+
+// chunkBlocks picks the work-stealing granularity: a multiple of 8 blocks
+// (so a chunk's bitmap bytes are private to it and the gather phase writes
+// the bitmap without atomics), at least 8 blocks per chunk to amortize the
+// cursor increment, and aimed at ≥4 chunks per worker so guard-retry or
+// constant-block skew rebalances instead of tail-latencying a static shard.
+func chunkBlocks(nb, workers int) int {
+	c := nb / (4 * workers)
+	c &^= 7
+	if c < 8 {
+		c = 8
+	}
+	return c
 }
 
 // offsPool recycles the block-offset prefix-sum arrays used by the parallel
@@ -100,12 +224,22 @@ func blockOffsetsPooled(si Index) ([]int, error) {
 
 func putOffs(p *[]int) { offsPool.Put(p) }
 
-// appendCompressedParallel is appendCompressed with block-parallel encoding
-// across a goroutine pool, the analogue of the paper's OpenMP compressor
-// (§6.1): blocks are independent, so each worker compresses a contiguous
-// run of blocks into a pooled private buffer and the results are
-// concatenated in block order (the shard boundaries therefore never affect
-// the output bytes).
+// appendCompressedParallel is appendCompressed with block-parallel encoding,
+// the analogue of the paper's OpenMP compressor (§6.1): blocks are
+// independent, so workers compress them into private buffers and the results
+// are stitched in block order (the scheduling therefore never affects the
+// output bytes).
+//
+// The engine is adaptive and two-phase. Inputs below ParallelMinBytes are
+// encoded serially on the caller. Above it, the block range is cut into
+// chunks (a multiple of 8 blocks) claimed from an atomic cursor — dynamic
+// work-stealing, so a run of guard-retried or constant blocks slows only the
+// worker that hits it. After a barrier, the chunk offsets are prefix-summed
+// and the same workers gather: each copies its claimed chunks' payload into
+// the final buffer at its exact offset and fills that chunk's bitmap and
+// zsize entries, replacing the old serial concatenation memcpy with parallel
+// disjoint copies. Participants run on the persistent process-wide pool, not
+// freshly spawned goroutines.
 func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound float64, opts Options, workers int) ([]byte, error) {
 	bs, err := opts.blockSize()
 	if err != nil {
@@ -114,26 +248,43 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	if !(errBound > 0) || math.IsInf(errBound, 0) {
 		return nil, ErrErrBound
 	}
+	es := ieee.Width[T]()
 	h := Header{Type: dtypeOf[T](), BlockSize: bs, N: len(data), ErrBound: errBound}
 	nb := h.NumBlocks()
 	w := Workers(workers)
-	if w == 1 || nb < 2 {
+	chunk := chunkBlocks(nb, w)
+	nchunks := (nb + chunk - 1) / chunk
+	if w == 1 || nchunks < 2 || serialFaster(es*len(data)) {
 		out, _, err := appendCompressed[T, B](dst, data, errBound, opts)
 		return out, err
 	}
+	participants := w
+	if participants > nchunks {
+		participants = nchunks
+	}
 
-	es := dtypeOf[T]().Size()
-	bounds := shard(nb, w)
-	nshards := len(bounds) - 1
-	outs := make([]*shardScratch, nshards)
-	var wg sync.WaitGroup
-	for si := 0; si < nshards; si++ {
-		wg.Add(1)
-		go func(si int) {
-			defer wg.Done()
-			lo, hi := bounds[si], bounds[si+1]
-			enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
-			o := getShardScratch(hi-lo, (hi-lo)*bs*es/2)
+	j := getParJob(nchunks, participants)
+	payloadHint := es * len(data) / (2 * participants)
+
+	// Phase 1: encode. Each participant steals chunks off the cursor and
+	// appends their payload to its private scratch.
+	encodeWorker := func(id int) {
+		enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+		o := getShardScratch(nb/participants+chunk, payloadHint)
+		j.outs[id] = o
+		for {
+			c := int(j.encode.Add(1) - 1)
+			if c >= nchunks {
+				break
+			}
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > nb {
+				hi = nb
+			}
+			m := &j.metas[c]
+			m.scratch = id
+			m.off = len(o.payload)
+			m.sizesOff = len(o.sizes)
 			for k := lo; k < hi; k++ {
 				blo, bhi := k*bs, (k+1)*bs
 				if bhi > len(data) {
@@ -142,42 +293,83 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 				start := len(o.payload)
 				var constant bool
 				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi])
-				o.sizes[k-lo] = uint16(len(o.payload) - start)
-				o.bitmap[k-lo] = !constant
+				o.sizes = append(o.sizes, uint16(len(o.payload)-start))
+				o.bitmap = append(o.bitmap, !constant)
 			}
-			outs[si] = o
-		}(si)
+			m.size = len(o.payload) - m.off
+		}
+		j.wg.Done()
 	}
-	wg.Wait()
+	j.wg.Add(participants)
+	for id := 1; id < participants; id++ {
+		id := id
+		encPool.submit(func() { encodeWorker(id) })
+	}
+	encodeWorker(0)
+	j.wg.Wait()
 
-	total := headerSize + (nb+7)/8 + 2*nb
-	for _, o := range outs {
-		total += len(o.payload)
+	// Prefix-sum the chunk offsets and lay out the container.
+	total := 0
+	for c := range j.metas {
+		j.metas[c].dstOff = total
+		total += j.metas[c].size
 	}
-	dst = slices.Grow(dst, total)
+	dst = slices.Grow(dst, headerSize+(nb+7)/8+2*nb+total)
 	out := AppendHeader(dst, h)
 	bitmapOff := len(out)
 	out = appendZeros(out, (nb+7)/8)
 	zsizeOff := len(out)
 	out = appendZeros(out, 2*nb)
-	for si, o := range outs {
-		lo := bounds[si]
-		for i, sz := range o.sizes {
-			k := lo + i
-			binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], sz)
-			if o.bitmap[i] {
-				out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+	payloadOff := len(out)
+	out = out[:payloadOff+total]
+
+	// Phase 2: gather. The same participants steal chunks again and copy
+	// each chunk's payload to its final offset, filling its zsize entries
+	// and bitmap bytes (disjoint per chunk: chunk is a multiple of 8
+	// blocks, so no two chunks share a bitmap byte).
+	gatherWorker := func(id int) {
+		for {
+			c := int(j.gather.Add(1) - 1)
+			if c >= nchunks {
+				break
+			}
+			m := &j.metas[c]
+			o := j.outs[m.scratch]
+			copy(out[payloadOff+m.dstOff:], o.payload[m.off:m.off+m.size])
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > nb {
+				hi = nb
+			}
+			for k := lo; k < hi; k++ {
+				i := m.sizesOff + (k - lo)
+				binary.LittleEndian.PutUint16(out[zsizeOff+2*k:], o.sizes[i])
+				if o.bitmap[i] {
+					out[bitmapOff+(k>>3)] |= 1 << uint(k&7)
+				}
 			}
 		}
-		out = append(out, o.payload...)
+		j.wg.Done()
+	}
+	j.wg.Add(participants)
+	for id := 1; id < participants; id++ {
+		id := id
+		encPool.submit(func() { gatherWorker(id) })
+	}
+	gatherWorker(0)
+	j.wg.Wait()
+
+	for _, o := range j.outs {
 		shardPool.Put(o)
 	}
+	putParJob(j)
 	return out, nil
 }
 
 // appendDecompressedParallel decompresses block-parallel: a prefix sum over
 // the embedded zsize array gives every worker the byte offset of its blocks
-// (the paper's prefix-sum step in Fig. 10).
+// (the paper's prefix-sum step in Fig. 10). Work distribution uses the same
+// adaptive chunked work-stealing as the compressor, on the same persistent
+// pool; outputs below ParallelMinBytes decode serially.
 func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers int) ([]T, error) {
 	si, err := ParseStream(comp)
 	if err != nil {
@@ -187,9 +379,16 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 		return nil, ErrWrongType
 	}
 	nb := si.Hdr.NumBlocks()
+	es := ieee.Width[T]()
 	w := Workers(workers)
-	if w == 1 || nb < 2 {
+	chunk := chunkBlocks(nb, w)
+	nchunks := (nb + chunk - 1) / chunk
+	if w == 1 || nchunks < 2 || serialFaster(es*si.Hdr.N) {
 		return appendDecompressed[T, B](dst, comp)
+	}
+	participants := w
+	if participants > nchunks {
+		participants = nchunks
 	}
 	offs, err := blockOffsetsPooled(si)
 	if err != nil {
@@ -199,32 +398,46 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 	base := len(dst)
 	dst = slices.Grow(dst, si.Hdr.N)[:base+si.Hdr.N]
 	out := dst[base:]
-	bounds := shard(nb, w)
 	bs := si.Hdr.BlockSize
-	errs := make([]error, len(bounds)-1)
-	var wg sync.WaitGroup
-	for s := 0; s < len(bounds)-1; s++ {
-		wg.Add(1)
-		go func(s int) {
-			defer wg.Done()
-			for k := bounds[s]; k < bounds[s+1]; k++ {
-				lo, hi := k*bs, (k+1)*bs
-				if hi > len(out) {
-					hi = len(out)
+
+	j := getParJob(nchunks, participants)
+	decodeWorker := func(id int) {
+		for {
+			c := int(j.encode.Add(1) - 1)
+			if c >= nchunks {
+				break
+			}
+			lo, hi := c*chunk, (c+1)*chunk
+			if hi > nb {
+				hi = nb
+			}
+			for k := lo; k < hi; k++ {
+				blo, bhi := k*bs, (k+1)*bs
+				if bhi > len(out) {
+					bhi = len(out)
 				}
-				if err := decodeBlock[T, B](si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[lo:hi]); err != nil {
-					errs[s] = err
-					return
+				if err := decodeBlock[T, B](si.Payload[offs[k]:offs[k+1]], si.IsNonConstant(k), out[blo:bhi]); err != nil {
+					j.errs[id] = err
+					break
 				}
 			}
-		}(s)
+		}
+		j.wg.Done()
 	}
-	wg.Wait()
-	for _, e := range errs {
+	j.wg.Add(participants)
+	for id := 1; id < participants; id++ {
+		id := id
+		encPool.submit(func() { decodeWorker(id) })
+	}
+	decodeWorker(0)
+	j.wg.Wait()
+	for _, e := range j.errs {
 		if e != nil {
+			putParJob(j)
 			return nil, e
 		}
 	}
+	putParJob(j)
 	return dst, nil
 }
 

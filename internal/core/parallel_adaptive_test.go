@@ -1,0 +1,192 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestParallelThresholdByteIdentity pins the adaptive engine's contract at
+// the serial-fallback boundary: for input sizes straddling ParallelMinBytes
+// (so some sizes take the serial fallback and some engage the work-stealing
+// engine), the parallel entry points must produce exactly the serial bytes
+// at every worker count.
+func TestParallelThresholdByteIdentity(t *testing.T) {
+	// ParallelMinBytes is 64 KiB: 16384 float32 values or 8192 float64
+	// values sit exactly on it. Straddle it from well below to well above,
+	// including off-by-one on both sides of the exact boundary.
+	sizes32 := []int{16383, 16384, 16385, 8191, 32768, 16384 - 128, 16384 + 128}
+	sizes64 := []int{8191, 8192, 8193, 4095, 16384}
+	workerCounts := []int{2, 3, 4, runtime.GOMAXPROCS(0)}
+
+	// Each size runs under the default adaptive policy (which may pick the
+	// serial fallback, depending on size and core count) and with the policy
+	// disabled (ParallelMinBytes = 0 forces the engine even on one core), so
+	// the engine itself is exercised at these sizes on every host.
+	for _, forced := range []bool{false, true} {
+		if forced {
+			old := ParallelMinBytes
+			ParallelMinBytes = 0
+			defer func() { ParallelMinBytes = old }()
+		}
+		for _, n := range sizes32 {
+			data := goldenData32(n, int64(n))
+			want, err := CompressInto[float32](nil, data, 1e-3, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				got, err := CompressParallelInto[float32](nil, data, 1e-3, Options{}, w)
+				if err != nil {
+					t.Fatalf("f32 n=%d w=%d forced=%v: %v", n, w, forced, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("f32 n=%d w=%d forced=%v: parallel stream differs from serial", n, w, forced)
+				}
+				dec, err := DecompressParallelInto[float32](nil, want, w)
+				if err != nil {
+					t.Fatalf("f32 n=%d w=%d forced=%v decompress: %v", n, w, forced, err)
+				}
+				ser, err := DecompressInto[float32](nil, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if valuesHash(dec) != valuesHash(ser) {
+					t.Errorf("f32 n=%d w=%d forced=%v: parallel decode differs from serial", n, w, forced)
+				}
+			}
+		}
+		for _, n := range sizes64 {
+			data := goldenData64(n, int64(n))
+			want, err := CompressInto[float64](nil, data, 1e-6, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				got, err := CompressParallelInto[float64](nil, data, 1e-6, Options{}, w)
+				if err != nil {
+					t.Fatalf("f64 n=%d w=%d forced=%v: %v", n, w, forced, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("f64 n=%d w=%d forced=%v: parallel stream differs from serial", n, w, forced)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEngineForcedSmall forces the work-stealing engine onto inputs
+// that would normally take the serial fallback, so chunk scheduling, the
+// gather phase, and the bitmap/zsize stitching are exercised on ragged
+// shapes (tail blocks, single-value blocks, constant runs) regardless of
+// the host's core count.
+func TestParallelEngineForcedSmall(t *testing.T) {
+	old := ParallelMinBytes
+	ParallelMinBytes = 0
+	defer func() { ParallelMinBytes = old }()
+
+	cases := []struct {
+		n  int
+		bs int
+		e  float64
+	}{
+		{129, 128, 1e-3},
+		{12345, 128, 1e-4},
+		{12345, 64, 1e-3},
+		{1000, 1, 1e-3},   // single-value blocks, many chunks
+		{4097, 100, 1e-2}, // constant-heavy at loose bounds
+		{257, 8, 1e-5},
+	}
+	for _, c := range cases {
+		data := goldenData32(c.n, int64(c.n))
+		want, err := CompressInto[float32](nil, data, c.e, Options{BlockSize: c.bs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 3, 5, 16} {
+			got, err := CompressParallelInto[float32](nil, data, c.e, Options{BlockSize: c.bs}, w)
+			if err != nil {
+				t.Fatalf("n=%d bs=%d w=%d: %v", c.n, c.bs, w, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("n=%d bs=%d w=%d: forced parallel stream differs from serial", c.n, c.bs, w)
+			}
+			dec, err := DecompressParallelInto[float32](nil, want, w)
+			if err != nil {
+				t.Fatalf("n=%d bs=%d w=%d decompress: %v", c.n, c.bs, w, err)
+			}
+			ser, _ := DecompressInto[float32](nil, want)
+			if valuesHash(dec) != valuesHash(ser) {
+				t.Errorf("n=%d bs=%d w=%d: forced parallel decode differs", c.n, c.bs, w)
+			}
+		}
+	}
+}
+
+// TestChunkBlocksInvariants pins the stealing granularity's contract: always
+// a positive multiple of 8 (bitmap-byte privacy in the gather phase).
+func TestChunkBlocksInvariants(t *testing.T) {
+	for _, nb := range []int{1, 2, 7, 8, 9, 97, 128, 1000, 16384, 1 << 20} {
+		for _, w := range []int{1, 2, 3, 4, 8, 64} {
+			c := chunkBlocks(nb, w)
+			if c < 8 || c%8 != 0 {
+				t.Fatalf("chunkBlocks(%d,%d) = %d; want positive multiple of 8", nb, w, c)
+			}
+		}
+	}
+}
+
+// TestParallelCorruptStream checks the work-stealing decompressor still
+// fails cleanly (no panic, error reported from whichever worker hits it)
+// when the payload is truncated mid-stream.
+func TestParallelCorruptStream(t *testing.T) {
+	old := ParallelMinBytes
+	ParallelMinBytes = 0
+	defer func() { ParallelMinBytes = old }()
+
+	data := goldenData32(12345, 5)
+	comp, err := CompressInto[float32](nil, data, 1e-4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{1, 7, len(comp) / 2} {
+		trunc := comp[:len(comp)-cut]
+		for _, w := range []int{2, 4} {
+			if _, err := DecompressParallelInto[float32](nil, trunc, w); err == nil {
+				t.Errorf("cut=%d w=%d: truncated stream decoded without error", cut, w)
+			}
+		}
+	}
+
+	// Consistent zsize but corrupt block content: the prefix sum passes, so
+	// the error must be detected and reported by a stealing worker.
+	si, err := ParseStream(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < si.Hdr.NumBlocks(); k++ {
+		if si.IsNonConstant(k) {
+			offs, err := si.BlockOffsets()
+			if err != nil {
+				t.Fatal(err)
+			}
+			bad := append([]byte(nil), comp...)
+			pstart := len(comp) - len(si.Payload)
+			bad[pstart+offs[k]+4] = 0xFF // reqLen byte: out of range
+			for _, w := range []int{2, 4} {
+				if _, err := DecompressParallelInto[float32](nil, bad, w); err == nil {
+					t.Errorf("w=%d: corrupt reqLen in block %d decoded without error", w, k)
+				}
+			}
+			break
+		}
+	}
+}
+
+func init() {
+	// Guard against accidentally committing a test-tuned threshold.
+	if ParallelMinBytes != 64<<10 {
+		panic(fmt.Sprintf("unexpected ParallelMinBytes default: %d", ParallelMinBytes))
+	}
+}

@@ -39,16 +39,51 @@ func dtypeOf[T Float]() DType {
 // the constant path may only be taken when noNaN holds (NaN blocks fall
 // through to the nonconstant path, whose guard escalates them to lossless).
 func blockStats[T Float](blk []T) (mu T, radius float64, noNaN bool) {
+	// Two-accumulator unrolled scan: the running min/max of the even and odd
+	// positions are tracked independently so the two compare/select chains
+	// overlap instead of serializing on one accumulator, and merged at the
+	// end. min/max are order-independent for non-NaN values and both
+	// accumulators skip NaN the same way the sequential scan did (NaN
+	// compares false), so the results are identical to the single-chain
+	// form. The NaN-detecting sum deliberately stays a single chain in the
+	// original order: splitting it could change where an intermediate
+	// overflow to ±Inf cancels, flipping noNaN on extreme-magnitude data.
 	mn, mx := blk[0], blk[0]
+	mn2, mx2 := mn, mx
 	var sum T
-	for _, v := range blk[1:] {
+	i := 1
+	for ; i+2 <= len(blk); i += 2 {
+		a, b := blk[i], blk[i+1]
+		sum += a
+		sum += b
+		if a < mn {
+			mn = a
+		}
+		if a > mx {
+			mx = a
+		}
+		if b < mn2 {
+			mn2 = b
+		}
+		if b > mx2 {
+			mx2 = b
+		}
+	}
+	if i < len(blk) {
+		v := blk[i]
+		sum += v
 		if v < mn {
 			mn = v
 		}
 		if v > mx {
 			mx = v
 		}
-		sum += v
+	}
+	if mn2 < mn {
+		mn = mn2
+	}
+	if mx2 > mx {
+		mx = mx2
 	}
 	if ieee.Width[T]() == 4 {
 		mu = T(float32((float64(mn) + float64(mx)) / 2))

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/ieee"
+)
+
+// Adversarial-shape regression suite for the wide-store encoder. The hashes
+// below were captured from the byte-at-a-time encoder that predates the wide
+// big-endian store kernel (set SZX_CAPTURE_ADV=1 to reprint the table), so
+// they pin the new kernel to the historical stream bytes on exactly the
+// shapes where an unconditional wide store could go wrong: ragged tails with
+// n%4 != 0 (partial lead-code bytes), reqBytes == es lossless blocks (the
+// widest stores, zero slack between values), single-value blocks, and
+// all-identical-lead blocks (maximal delta elision, minimal mid-byte
+// output).
+
+// advRamp returns a strictly linear ramp: consecutive deltas are identical,
+// so after truncation every XOR shares the same leading-byte count.
+func advRamp32(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = 1000 + float32(i)*0.25
+	}
+	return out
+}
+
+func advRamp64(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1000 + float64(i)*0.25
+	}
+	return out
+}
+
+// advAlternate flips between two far-apart values so blocks are nonconstant
+// while every XOR of consecutive truncated words is the same pattern.
+func advAlternate32(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		if i&1 == 0 {
+			out[i] = 1.0
+		} else {
+			out[i] = 2.0
+		}
+	}
+	return out
+}
+
+// advIncompressible fills every mantissa bit with noise over a wide spread
+// of normal finite exponents; under a tiny error bound every block escalates
+// to the lossless regime (reqBytes == es).
+func advIncompressible32(n int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float32, n)
+	for i := range out {
+		u := rng.Uint32()
+		exp := 1 + (u>>23)%0xFD // normal, finite
+		out[i] = math.Float32frombits(exp<<23 | u&0x007FFFFF)
+	}
+	return out
+}
+
+func advIncompressible64(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		u := rng.Uint64()
+		exp := 1 + (u>>52)%0x7FD // normal, finite
+		out[i] = math.Float64frombits(exp<<52 | u&0x000FFFFFFFFFFFFF)
+	}
+	return out
+}
+
+type advCase struct {
+	name string
+	bs   int
+	e    float64
+	d32  []float32
+	d64  []float64
+}
+
+func advCases() []advCase {
+	return []advCase{
+		// Ragged tails: n % blockSize leaves a tail block whose value count is
+		// not a multiple of 4, so the packed 2-bit lead array ends mid-byte.
+		{name: "tail-1", bs: 128, e: 1e-3, d32: goldenData32(129, 9), d64: goldenData64(129, 9)},
+		{name: "tail-2", bs: 128, e: 1e-3, d32: goldenData32(130, 9), d64: goldenData64(130, 9)},
+		{name: "tail-3", bs: 128, e: 1e-3, d32: goldenData32(131, 9), d64: goldenData64(131, 9)},
+		{name: "tail-5", bs: 8, e: 1e-4, d32: goldenData32(13, 5), d64: goldenData64(13, 5)},
+		// Lossless: reqBytes == es, the widest store with no inter-value slack.
+		{name: "lossless", bs: 128, e: 1e-40, d32: advIncompressible32(1000, 3), d64: nil},
+		{name: "lossless64", bs: 128, e: 1e-300, d32: nil, d64: advIncompressible64(1000, 4)},
+		{name: "lossless-tail", bs: 128, e: 1e-40, d32: advIncompressible32(257, 5), d64: advIncompressible64(257, 6)},
+		// Single-value blocks: every block holds exactly one value.
+		{name: "bs1", bs: 1, e: 1e-3, d32: goldenRough32(97, 8), d64: goldenRough64(97, 8)},
+		{name: "single", bs: 128, e: 1e-6, d32: goldenRough32(1, 2), d64: goldenRough64(1, 2)},
+		// All-identical-lead blocks: ramps and alternating pairs.
+		{name: "ramp", bs: 128, e: 1e-3, d32: advRamp32(1024), d64: advRamp64(1024)},
+		{name: "ramp-tail", bs: 100, e: 1e-5, d32: advRamp32(513), d64: advRamp64(513)},
+		{name: "alternate", bs: 64, e: 1e-4, d32: advAlternate32(509), d64: nil},
+	}
+}
+
+// advGolden pins stream and decode hashes per case; "" entries are cases
+// that do not apply to that element type.
+var advGolden = map[string][4]string{
+	// name -> {stream32, decode32, stream64, decode64}
+	"tail-1":        {"e0459cafeab8d680", "c9f806129d31fcdf", "29710524d9cd33d8", "075b3888c4f37f22"},
+	"tail-2":        {"2755284666cbb5ec", "b76824d2798fd099", "b9a280d2f4e6e322", "716673c01947d739"},
+	"tail-3":        {"02caa2343c698e88", "4c88f58f0170a208", "916174467d0c7312", "26bc460761bd655c"},
+	"tail-5":        {"460389000e2ac334", "d4d747ed7aabd76c", "34d25d2272e95837", "d2585037aed84658"},
+	"lossless":      {"c4c0f46dc8780e2d", "ffda5f2b35055688", "", ""},
+	"lossless64":    {"", "", "db24118db84145a5", "f0cf017b3117a6fd"},
+	"lossless-tail": {"f85ec732d07f41c7", "77109fc5798ad0c7", "5f54f4312ae80078", "cfb0de6c2d40e92a"},
+	"bs1":           {"fadf9cbb210316d0", "aa1b5a96ab0706e8", "60c38fcfcc1013e4", "8a1be3fa59251cd5"},
+	"single":        {"a683226dd95aa019", "3321d6890cbcf256", "eb476f3e61282a36", "b7543f61e3811544"},
+	"ramp":          {"8bc8fb572144df08", "1ec7125e0b26a3ee", "bb46ed89a131e4f9", "4552f74c490caa2a"},
+	"ramp-tail":     {"d51263d31ce1f785", "c15806bd7597c59f", "0393cd6b1abcbbab", "2579e2fe141554b4"},
+	"alternate":     {"760403ecfe55ade4", "9bd5921eaebbaed1", "", ""},
+}
+
+func checkAdv[T Float](t *testing.T, name string, data []T, e float64, bs int, wantStream, wantDecode string) {
+	t.Helper()
+	opts := Options{BlockSize: bs}
+	comp, err := CompressInto[T](nil, data, e, opts)
+	if err != nil {
+		t.Fatalf("%s: compress: %v", name, err)
+	}
+	if got := streamHash(comp); got != wantStream {
+		t.Errorf("%s: stream hash = %s, want %s", name, got, wantStream)
+	}
+	dec, err := DecompressInto[T](nil, comp)
+	if err != nil {
+		t.Fatalf("%s: decompress: %v", name, err)
+	}
+	if got := valuesHash(dec); got != wantDecode {
+		t.Errorf("%s: decode hash = %s, want %s", name, got, wantDecode)
+	}
+	// Error bound must hold on every value (lossless cases are exact).
+	for i := range data {
+		if diff := math.Abs(float64(data[i]) - float64(dec[i])); !(diff <= e) {
+			t.Fatalf("%s: |d-d'| = %g exceeds bound %g at %d", name, diff, e, i)
+		}
+	}
+	// Parallel and serial streams must agree on these shapes too.
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		pcomp, err := CompressParallelInto[T](nil, data, e, opts, w)
+		if err != nil {
+			t.Fatalf("%s: parallel(%d): %v", name, w, err)
+		}
+		if !bytes.Equal(pcomp, comp) {
+			t.Errorf("%s: parallel(%d) stream differs from serial", name, w)
+		}
+	}
+}
+
+func TestWideStoreAdversarialShapes(t *testing.T) {
+	if os.Getenv("SZX_CAPTURE_ADV") != "" {
+		for _, c := range advCases() {
+			row := [4]string{}
+			if c.d32 != nil {
+				comp, err := CompressInto[float32](nil, c.d32, c.e, Options{BlockSize: c.bs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := DecompressInto[float32](nil, comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row[0], row[1] = streamHash(comp), valuesHash(dec)
+			}
+			if c.d64 != nil {
+				comp, err := CompressInto[float64](nil, c.d64, c.e, Options{BlockSize: c.bs})
+				if err != nil {
+					t.Fatal(err)
+				}
+				dec, err := DecompressInto[float64](nil, comp)
+				if err != nil {
+					t.Fatal(err)
+				}
+				row[2], row[3] = streamHash(comp), valuesHash(dec)
+			}
+			fmt.Printf("\t%q: {%q, %q, %q, %q},\n", c.name, row[0], row[1], row[2], row[3])
+		}
+		return
+	}
+	for _, c := range advCases() {
+		g, ok := advGolden[c.name]
+		if !ok {
+			t.Fatalf("no golden entry for %q", c.name)
+		}
+		if c.d32 != nil {
+			checkAdv(t, "f32/"+c.name, c.d32, c.e, c.bs, g[0], g[1])
+		}
+		if c.d64 != nil {
+			checkAdv(t, "f64/"+c.name, c.d64, c.e, c.bs, g[2], g[3])
+		}
+	}
+}
+
+// TestWideStoreSlackTruncation checks that the encoder's es-byte wide-store
+// slack never leaks into the stream: the compressed length must exactly
+// match the per-block sizes recorded in the zsize index.
+func TestWideStoreSlackTruncation(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 63, 64, 65, 127, 128, 129, 1000} {
+		data := goldenRough32(n, int64(n))
+		comp, err := CompressFloat32(data, 1e-5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		si, err := ParseStream(comp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0
+		for k := 0; k < si.Hdr.NumBlocks(); k++ {
+			sum += si.BlockSizeBytes(k)
+		}
+		if sum != len(si.Payload) {
+			t.Fatalf("n=%d: zsize sum %d != payload length %d", n, sum, len(si.Payload))
+		}
+	}
+}
+
+// TestPutBERoundTrip pins the wide-store primitive itself.
+func TestPutBERoundTrip(t *testing.T) {
+	var buf [8]byte
+	ieee.PutBE(buf[:], uint32(0x01020304))
+	if got := ieee.GetBE[uint32](buf[:]); got != 0x01020304 {
+		t.Fatalf("PutBE/GetBE uint32 = %08x", got)
+	}
+	ieee.PutBE(buf[:], uint64(0x0102030405060708))
+	if got := ieee.GetBE[uint64](buf[:]); got != 0x0102030405060708 {
+		t.Fatalf("PutBE/GetBE uint64 = %016x", got)
+	}
+}

@@ -95,3 +95,15 @@ func GetBE[B Word](p []byte) B {
 	}
 	return B(binary.BigEndian.Uint64(p))
 }
+
+// PutBE stores w big-endian into p (which must hold the word's width). It is
+// the encoder's mirror of GetBE: the mid-byte commit writes one full-width
+// word per value and advances by the number of bytes actually kept, relying
+// on the caller to over-allocate a word of slack past the last value.
+func PutBE[B Word](p []byte, w B) {
+	if unsafe.Sizeof(w) == 4 {
+		binary.BigEndian.PutUint32(p, uint32(w))
+	} else {
+		binary.BigEndian.PutUint64(p, uint64(w))
+	}
+}

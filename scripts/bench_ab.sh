@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# bench_ab.sh — interleaved A/B of the codec hot-path benchmarks between the
+# working tree (B) and a baseline git ref (A).
+#
+# Usage:
+#   scripts/bench_ab.sh [baseline-ref] [rounds] [benchtime]
+#
+# Defaults: baseline-ref=HEAD~1, rounds=5, benchtime=1s.
+#
+# The baseline is materialized in a temporary git worktree so the working
+# tree (including uncommitted changes) is never touched. Rounds alternate
+# A,B,A,B,... rather than running all of A then all of B, so slow drift in
+# machine load (thermal, background daemons) hits both sides equally.
+#
+# Results go through benchstat when it is on PATH; otherwise a small awk
+# comparator prints per-benchmark means and the B/A throughput ratio.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REF="${1:-HEAD~1}"
+ROUNDS="${2:-5}"
+BENCHTIME="${3:-1s}"
+PATTERN="${BENCH_PATTERN:-BenchmarkCore(Compress|Decompress)(Parallel)?Into}"
+
+if ! git rev-parse --verify --quiet "$REF^{commit}" >/dev/null; then
+    echo "bench_ab: baseline ref '$REF' does not resolve to a commit" >&2
+    exit 1
+fi
+
+work="$(mktemp -d)"
+trap 'git worktree remove --force "$work/base" 2>/dev/null || true; rm -rf "$work"' EXIT
+git worktree add --quiet --detach "$work/base" "$REF"
+
+A="$work/a.txt" # baseline
+B="$work/b.txt" # working tree
+: >"$A"
+: >"$B"
+
+echo "bench_ab: baseline=$(git rev-parse --short "$REF") rounds=$ROUNDS benchtime=$BENCHTIME" >&2
+for ((i = 1; i <= ROUNDS; i++)); do
+    echo "bench_ab: round $i/$ROUNDS (A: baseline)" >&2
+    (cd "$work/base" && go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" ./internal/core) >>"$A"
+    echo "bench_ab: round $i/$ROUNDS (B: working tree)" >&2
+    go test -run '^$' -bench "$PATTERN" -benchtime "$BENCHTIME" ./internal/core >>"$B"
+done
+
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "old=$A" "new=$B"
+else
+    echo "bench_ab: benchstat not found; falling back to mean comparison" >&2
+    awk '
+        FNR == 1 { file++ }
+        /^Benchmark/ {
+            for (i = 3; i <= NF; i++) {
+                if ($i == "MB/s") {
+                    name = $1
+                    mbs = $(i - 1)
+                    if (file == 1) { asum[name] += mbs; an[name]++ }
+                    else           { bsum[name] += mbs; bn[name]++ }
+                    seen[name] = 1
+                    break
+                }
+            }
+        }
+        END {
+            printf "%-45s %12s %12s %8s\n", "benchmark", "old MB/s", "new MB/s", "ratio"
+            for (name in seen) {
+                if (an[name] && bn[name]) {
+                    a = asum[name] / an[name]
+                    b = bsum[name] / bn[name]
+                    printf "%-45s %12.2f %12.2f %7.2fx\n", name, a, b, b / a
+                }
+            }
+        }
+    ' "$A" "$B" | sort
+fi

@@ -91,29 +91,31 @@ func (sw *Writer) Write(values []float32) error {
 }
 
 func (sw *Writer) flushChunk(chunk []float32) error {
+	// Stage the whole frame — container magic (first chunk only), the u32
+	// frame length, and the compressed payload — in one reused buffer and
+	// emit it with a single Write. The instrument-streaming path calls this
+	// per chunk, so coalescing turns three syscalls (or three bufio copies)
+	// into one; the length is backfilled after compression since it is not
+	// known up front.
+	buf := sw.comp[:0]
 	if !sw.opened {
-		if _, err := sw.w.Write(append([]byte(streamMagic), streamVersion)); err != nil {
-			sw.err = err
-			return err
-		}
-		sw.opened = true
+		buf = append(buf, streamMagic...)
+		buf = append(buf, streamVersion)
 	}
-	comp, err := CompressInto(sw.comp[:0], chunk, sw.opt)
+	hdrOff := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := CompressInto(buf, chunk, sw.opt)
 	if err != nil {
 		sw.err = err
 		return err
 	}
-	sw.comp = comp
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(comp)))
-	if _, err := sw.w.Write(hdr[:]); err != nil {
+	binary.LittleEndian.PutUint32(buf[hdrOff:], uint32(len(buf)-hdrOff-4))
+	sw.comp = buf
+	if _, err := sw.w.Write(buf); err != nil {
 		sw.err = err
 		return err
 	}
-	if _, err := sw.w.Write(comp); err != nil {
-		sw.err = err
-		return err
-	}
+	sw.opened = true
 	return nil
 }
 
@@ -131,18 +133,20 @@ func (sw *Writer) Close() error {
 		}
 		sw.buf = sw.buf[:0]
 	}
-	if !sw.opened { // empty stream: still emit a valid container
-		if _, err := sw.w.Write(append([]byte(streamMagic), streamVersion)); err != nil {
-			sw.err = err
-			return err
-		}
-		sw.opened = true
+	// Terminator, prefixed by the container magic when no chunk was ever
+	// flushed (empty stream), emitted as one Write.
+	tail := sw.comp[:0]
+	if !sw.opened {
+		tail = append(tail, streamMagic...)
+		tail = append(tail, streamVersion)
 	}
-	var term [4]byte
-	if _, err := sw.w.Write(term[:]); err != nil {
+	tail = append(tail, 0, 0, 0, 0)
+	sw.comp = tail
+	if _, err := sw.w.Write(tail); err != nil {
 		sw.err = err
 		return err
 	}
+	sw.opened = true
 	sw.closed = true
 	return nil
 }

@@ -95,6 +95,67 @@ func TestStreamEmpty(t *testing.T) {
 	}
 }
 
+// countingWriter records each underlying Write so tests can pin the
+// syscall-per-chunk contract of the staged writer.
+type countingWriter struct {
+	writes int
+	bytes  int
+	buf    bytes.Buffer
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	cw.writes++
+	cw.bytes += len(p)
+	return cw.buf.Write(p)
+}
+
+// TestStreamWriteCoalescing pins the Writer's I/O shape: every chunk is
+// emitted as exactly one underlying Write (the first carrying the container
+// magic), plus one final Write for the terminator — the unbuffered
+// instrument path must not pay separate header and payload syscalls.
+func TestStreamWriteCoalescing(t *testing.T) {
+	data := testField(50000, 17)
+	var cw countingWriter
+	const chunk = 1 << 14
+	w := NewWriter(&cw, Options{ErrorBound: 1e-3}, chunk)
+	if err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	chunks := (len(data) + chunk - 1) / chunk
+	if want := chunks + 1; cw.writes != want {
+		t.Fatalf("got %d underlying writes for %d chunks, want %d (one per chunk + terminator)", cw.writes, chunks, want)
+	}
+	if cw.bytes != cw.buf.Len() {
+		t.Fatalf("byte accounting mismatch: %d vs %d", cw.bytes, cw.buf.Len())
+	}
+	// The coalesced frames must decode identically to the original contract.
+	out, err := NewReader(bytes.NewReader(cw.buf.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(data) {
+		t.Fatalf("round trip length %d, want %d", len(out), len(data))
+	}
+	for i := range out {
+		if math.Abs(float64(out[i])-float64(data[i])) > 1e-3 {
+			t.Fatalf("value %d out of bound", i)
+		}
+	}
+
+	// Empty stream: magic + terminator coalesce into a single Write.
+	var cw2 countingWriter
+	w2 := NewWriter(&cw2, Options{ErrorBound: 1e-3}, 0)
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if cw2.writes != 1 {
+		t.Fatalf("empty stream used %d writes, want 1", cw2.writes)
+	}
+}
+
 func TestStreamWriteAfterClose(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 0)
