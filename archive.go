@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/telemetry"
 )
 
 // Archive support: a simulation snapshot is usually a set of named fields
@@ -101,6 +103,9 @@ func (aw *ArchiveWriter) add(name string, dims []int, n int, compress func() ([]
 		dims:    append([]int(nil), dims...),
 		payload: comp,
 	})
+	if telemetry.Enabled() {
+		telemetry.ArchiveFieldsWritten.Inc()
+	}
 	return nil
 }
 
@@ -257,6 +262,9 @@ func ReadArchiveField[T Float](a *Archive, name string) ([]T, []int, error) {
 	vals, err := DecompressInto[T](nil, p)
 	if err != nil {
 		return nil, nil, err
+	}
+	if telemetry.Enabled() {
+		telemetry.ArchiveFieldsRead.Inc()
 	}
 	for _, inf := range a.infos {
 		if inf.Name == name {

@@ -7,6 +7,11 @@
 //	szx -z -i data.f32 -o data.szx -e 1e-3 [-rel] [-b 128] [-t f32|f64] [-w N]
 //	szx -x -i data.szx -o data.out [-w N]
 //	szx -info -i data.szx
+//
+// Observability: -stats enables codec telemetry and prints a counter report
+// to stderr when the command finishes; -stats-http ADDR additionally serves
+// /metrics (Prometheus text), /debug/vars (expvar JSON), and /debug/pprof
+// on ADDR for the lifetime of the process.
 package main
 
 import (
@@ -14,10 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	szx "repro"
+	"repro/telemetry"
 )
 
 func main() {
@@ -33,8 +41,26 @@ func main() {
 		dtype      = flag.String("t", "f32", "element type: f32 or f64")
 		workers    = flag.Int("w", szx.WorkersSerial, "workers (-1 = all CPUs)")
 		quiet      = flag.Bool("q", false, "suppress statistics output")
+		stats      = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
+		statsHTTP  = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
 	)
 	flag.Parse()
+
+	if *stats || *statsHTTP != "" {
+		telemetry.Enable()
+		telemetry.PublishExpvar()
+		if *statsHTTP != "" {
+			ln, err := net.Listen("tcp", *statsHTTP)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "szx: serving stats on http://%s/metrics\n", ln.Addr())
+			go func() { _ = http.Serve(ln, telemetry.DebugHandler()) }()
+		}
+		if *stats {
+			defer func() { fmt.Fprint(os.Stderr, telemetry.Report()) }()
+		}
+	}
 
 	if *in == "" {
 		fail("missing -i input file")

@@ -8,16 +8,25 @@
 //	szxbench                         # run everything at bench scale
 //	szxbench -scale 4 -md report.md  # bigger grids, write markdown
 //	szxbench -only "Table 3,Fig. 14" # run a subset by artifact ID prefix
+//
+// Observability: -stats enables codec telemetry and prints a counter report
+// to stderr at exit; -stats-http ADDR additionally serves /metrics
+// (Prometheus text), /debug/vars, and /debug/pprof on ADDR while the run is
+// in flight. -obs FILE runs the telemetry-overhead A/B (disabled vs enabled
+// instrumentation, interleaved) and writes BENCH_OBS.json-shaped output.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/telemetry"
 )
 
 func main() {
@@ -30,10 +39,37 @@ func main() {
 		mdPath  = flag.String("md", "", "also write a markdown report to this file")
 
 		hotpath   = flag.String("hotpath", "", "run hot-path A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
-		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath mode")
+		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath/-obs mode")
+		obs       = flag.String("obs", "", "run telemetry-overhead A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
+		stats     = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
+		statsHTTP = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
 	)
 	flag.Parse()
 
+	if *stats || *statsHTTP != "" {
+		telemetry.Enable()
+		telemetry.PublishExpvar()
+		if *statsHTTP != "" {
+			ln, err := net.Listen("tcp", *statsHTTP)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "szxbench: serving stats on http://%s/metrics\n", ln.Addr())
+			go func() { _ = http.Serve(ln, telemetry.DebugHandler()) }()
+		}
+		if *stats {
+			defer func() { fmt.Fprint(os.Stderr, telemetry.Report()) }()
+		}
+	}
+
+	if *obs != "" {
+		if err := runObs(*obs, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath, *benchtime); err != nil {
 			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)

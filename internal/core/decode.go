@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/ieee"
+	"repro/telemetry"
 )
 
 // This file holds the single generic block decoder; DecompressFloat32 /
@@ -15,6 +16,11 @@ import (
 // payload offsets are walked cumulatively instead of materializing the
 // prefix-sum array.
 func appendDecompressed[T Float, B Word](dst []T, comp []byte) ([]T, error) {
+	rec := telemetry.Enabled()
+	var tm telemetry.Timer
+	if rec {
+		tm = telemetry.Start()
+	}
 	si, err := ParseStream(comp)
 	if err != nil {
 		return nil, err
@@ -44,6 +50,11 @@ func appendDecompressed[T Float, B Word](dst []T, comp []byte) ([]T, error) {
 			return nil, err
 		}
 		off = end
+	}
+	if rec {
+		recordDecodedBlocks(si)
+		telemetry.EngineDecompressSerial.Inc()
+		telemetry.RecordDecompress(len(comp), ieee.Width[T]()*si.Hdr.N, tm.Elapsed())
 	}
 	return dst, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/ieee"
+	"repro/telemetry"
 )
 
 // This file holds the single generic block encoder. The float32 and float64
@@ -27,6 +28,12 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	es := ieee.Width[T]()
 	h := Header{Type: dtypeOf[T](), BlockSize: bs, N: len(data), ErrBound: errBound}
 	nb := h.NumBlocks()
+	rec := telemetry.Enabled()
+	var tm telemetry.Timer
+	if rec {
+		tm = telemetry.Start()
+	}
+	dstBase := len(dst)
 
 	// Size hint: header + index + a typical ~2x reduction of the payload.
 	dst = slices.Grow(dst, headerSize+(nb+7)/8+2*nb+es*len(data)/2+es)
@@ -37,6 +44,10 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	dst = appendZeros(dst, 2*nb)
 
 	enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+	var tally telemetry.BlockTally
+	if rec {
+		enc.tally = &tally
+	}
 	st := Stats{Blocks: nb, OriginalSize: es * len(data)}
 	for k := 0; k < nb; k++ {
 		lo := k * bs
@@ -64,6 +75,11 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	st.LosslessBlocks = enc.lossless
 	st.GuardRetries = enc.retries
 	st.CompressedSize = len(dst)
+	if rec {
+		tally.Flush()
+		telemetry.EngineCompressSerial.Inc()
+		telemetry.RecordCompress(es*len(data), len(dst)-dstBase, tm.Elapsed())
+	}
 	return dst, st, nil
 }
 
@@ -74,6 +90,11 @@ type blockEncoder[T Float, B Word] struct {
 	guarded  bool
 	lossless int
 	retries  int
+	// tally, when non-nil, accumulates per-block telemetry (block types,
+	// required-bit counts, lead-code distribution) without atomics; the
+	// owner flushes it once per call. Nil whenever telemetry is disabled,
+	// so the hot loops only ever pay a predictable nil check per block.
+	tally *telemetry.BlockTally
 	// leadBuf stages per-value leading-byte codes before packing; kept in
 	// the encoder so it is not re-zeroed per block.
 	leadBuf [MaxBlockSize]byte
@@ -99,6 +120,9 @@ func newBlockEncoder[T Float, B Word](errBound float64, guarded bool) blockEncod
 func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
 	mu, radius, noNaN := blockStats(blk)
 	if radius <= enc.errBound && noNaN { // radius NaN also fails the test
+		if t := enc.tally; t != nil {
+			t.Constant++
+		}
 		var b [8]byte
 		ieee.PutLE(b[:], ieee.ToBits[B](mu))
 		return append(dst, b[:ieee.Width[T]()]...), true
@@ -116,10 +140,25 @@ func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
 		var ok bool
 		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless)
 		if ok {
+			if t := enc.tally; t != nil {
+				t.NonConstant++
+				if lossless {
+					t.Lossless++
+				}
+				t.Req[reqLen]++
+				// The packed 2-bit lead array sits right after μ and the
+				// reqLength byte; tallying from the packed form costs one
+				// table load per four values.
+				es := ieee.Width[T]()
+				t.CountPackedLeads(dst[start+es+1:start+es+1+bitio.PackedLen(len(blk))], len(blk))
+			}
 			return dst, false
 		}
 		// Guard tripped: widen the kept prefix and retry.
 		enc.retries++
+		if t := enc.tally; t != nil {
+			t.Retries++
+		}
 		dst = dst[:start]
 		reqLen += 8
 		if reqLen >= ieee.FullBits[T]() {

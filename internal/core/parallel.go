@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ieee"
+	"repro/telemetry"
 )
 
 // ParallelMinBytes is the adaptive engine's serial-fallback threshold: inputs
@@ -254,13 +255,26 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	w := Workers(workers)
 	chunk := chunkBlocks(nb, w)
 	nchunks := (nb + chunk - 1) / chunk
+	rec := telemetry.Enabled()
 	if w == 1 || nchunks < 2 || serialFaster(es*len(data)) {
+		if rec {
+			telemetry.EngineCompressFallback.Inc()
+		}
 		out, _, err := appendCompressed[T, B](dst, data, errBound, opts)
 		return out, err
 	}
+	var tm telemetry.Timer
+	if rec {
+		tm = telemetry.Start()
+		telemetry.EngineCompressParallel.Inc()
+	}
+	dstBase := len(dst)
 	participants := w
 	if participants > nchunks {
 		participants = nchunks
+	}
+	if rec {
+		telemetry.ParallelParticipants.Add(int64(participants))
 	}
 
 	j := getParJob(nchunks, participants)
@@ -270,6 +284,11 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	// appends their payload to its private scratch.
 	encodeWorker := func(id int) {
 		enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+		var tally telemetry.BlockTally
+		if rec {
+			enc.tally = &tally
+		}
+		claimed := 0
 		o := getShardScratch(nb/participants+chunk, payloadHint)
 		j.outs[id] = o
 		for {
@@ -277,6 +296,7 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 			if c >= nchunks {
 				break
 			}
+			claimed++
 			lo, hi := c*chunk, (c+1)*chunk
 			if hi > nb {
 				hi = nb
@@ -298,15 +318,26 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 			}
 			m.size = len(o.payload) - m.off
 		}
+		if rec {
+			tally.Flush()
+			flushWorkerChunks(id, claimed)
+		}
 		j.wg.Done()
+	}
+	var phase telemetry.Timer
+	if rec {
+		phase = telemetry.Start()
 	}
 	j.wg.Add(participants)
 	for id := 1; id < participants; id++ {
 		id := id
-		encPool.submit(func() { encodeWorker(id) })
+		encPool.submit(func() { runStage(rec, "encode", func() { encodeWorker(id) }) })
 	}
-	encodeWorker(0)
+	runStage(rec, "encode", func() { encodeWorker(0) })
 	j.wg.Wait()
+	if rec {
+		phase.Stop(&telemetry.EncodePhaseDurations)
+	}
 
 	// Prefix-sum the chunk offsets and lay out the container.
 	total := 0
@@ -350,18 +381,27 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 		}
 		j.wg.Done()
 	}
+	if rec {
+		phase = telemetry.Start()
+	}
 	j.wg.Add(participants)
 	for id := 1; id < participants; id++ {
 		id := id
-		encPool.submit(func() { gatherWorker(id) })
+		encPool.submit(func() { runStage(rec, "gather", func() { gatherWorker(id) }) })
 	}
-	gatherWorker(0)
+	runStage(rec, "gather", func() { gatherWorker(0) })
 	j.wg.Wait()
+	if rec {
+		phase.Stop(&telemetry.GatherPhaseDurations)
+	}
 
 	for _, o := range j.outs {
 		shardPool.Put(o)
 	}
 	putParJob(j)
+	if rec {
+		telemetry.RecordCompress(es*len(data), len(out)-dstBase, tm.Elapsed())
+	}
 	return out, nil
 }
 
@@ -383,12 +423,24 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 	w := Workers(workers)
 	chunk := chunkBlocks(nb, w)
 	nchunks := (nb + chunk - 1) / chunk
+	rec := telemetry.Enabled()
 	if w == 1 || nchunks < 2 || serialFaster(es*si.Hdr.N) {
+		if rec {
+			telemetry.EngineDecompressFallback.Inc()
+		}
 		return appendDecompressed[T, B](dst, comp)
+	}
+	var tm telemetry.Timer
+	if rec {
+		tm = telemetry.Start()
+		telemetry.EngineDecompressParallel.Inc()
 	}
 	participants := w
 	if participants > nchunks {
 		participants = nchunks
+	}
+	if rec {
+		telemetry.ParallelParticipants.Add(int64(participants))
 	}
 	offs, err := blockOffsetsPooled(si)
 	if err != nil {
@@ -402,11 +454,13 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 
 	j := getParJob(nchunks, participants)
 	decodeWorker := func(id int) {
+		claimed := 0
 		for {
 			c := int(j.encode.Add(1) - 1)
 			if c >= nchunks {
 				break
 			}
+			claimed++
 			lo, hi := c*chunk, (c+1)*chunk
 			if hi > nb {
 				hi = nb
@@ -422,14 +476,17 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 				}
 			}
 		}
+		if rec {
+			flushWorkerChunks(id, claimed)
+		}
 		j.wg.Done()
 	}
 	j.wg.Add(participants)
 	for id := 1; id < participants; id++ {
 		id := id
-		encPool.submit(func() { decodeWorker(id) })
+		encPool.submit(func() { runStage(rec, "decode", func() { decodeWorker(id) }) })
 	}
-	decodeWorker(0)
+	runStage(rec, "decode", func() { decodeWorker(0) })
 	j.wg.Wait()
 	for _, e := range j.errs {
 		if e != nil {
@@ -438,6 +495,10 @@ func appendDecompressedParallel[T Float, B Word](dst []T, comp []byte, workers i
 		}
 	}
 	putParJob(j)
+	if rec {
+		recordDecodedBlocks(si)
+		telemetry.RecordDecompress(len(comp), es*si.Hdr.N, tm.Elapsed())
+	}
 	return dst, nil
 }
 

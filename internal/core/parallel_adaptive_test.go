@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"fmt"
 	"runtime"
+	"sync"
 	"testing"
+
+	"repro/telemetry"
 )
 
 // TestParallelThresholdByteIdentity pins the adaptive engine's contract at
@@ -181,6 +184,161 @@ func TestParallelCorruptStream(t *testing.T) {
 			}
 			break
 		}
+	}
+}
+
+// TestTelemetryEngineCounters pins the engine-selection counter semantics:
+// a parallel-entry call the adaptive policy routes to the serial kernel
+// increments both the fallback counter (the routing decision) and the
+// serial counter (the kernel that ran); a forced engine engagement
+// increments only the parallel counter, and the work-stealing internals
+// (chunks claimed, participants, active workers) add up to the chunk math.
+func TestTelemetryEngineCounters(t *testing.T) {
+	telemetry.Reset()
+	telemetry.Enable()
+	defer func() {
+		telemetry.Disable()
+		telemetry.Reset()
+	}()
+
+	// 4 KiB input: far below ParallelMinBytes, so the parallel entry must
+	// take the serial fallback.
+	small := goldenData32(1024, 1)
+	comp, err := CompressParallelInto[float32](nil, small, 1e-3, Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecompressParallelInto[float32](nil, comp, 4); err != nil {
+		t.Fatal(err)
+	}
+	s := telemetry.Snap()
+	if s.Engine.CompressFallback != 1 || s.Engine.CompressSerial != 1 || s.Engine.CompressParallel != 0 {
+		t.Errorf("small compress: fallback=%d serial=%d parallel=%d; want 1,1,0",
+			s.Engine.CompressFallback, s.Engine.CompressSerial, s.Engine.CompressParallel)
+	}
+	if s.Engine.DecompressFallback != 1 || s.Engine.DecompressSerial != 1 || s.Engine.DecompressParallel != 0 {
+		t.Errorf("small decompress: fallback=%d serial=%d parallel=%d; want 1,1,0",
+			s.Engine.DecompressFallback, s.Engine.DecompressSerial, s.Engine.DecompressParallel)
+	}
+
+	// Force the engine (policy disabled) on a multi-chunk input.
+	old := ParallelMinBytes
+	ParallelMinBytes = 0
+	defer func() { ParallelMinBytes = old }()
+	telemetry.Reset()
+
+	const n, w = 12345, 4
+	data := goldenData32(n, 7)
+	nb := (n + DefaultBlockSize - 1) / DefaultBlockSize
+	cb := chunkBlocks(nb, w)
+	nchunks := (nb + cb - 1) / cb
+	if nchunks < 2 {
+		t.Fatalf("test input yields %d chunks; need >= 2 to engage the engine", nchunks)
+	}
+	comp, err = CompressParallelInto[float32](nil, data, 1e-3, Options{}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = telemetry.Snap()
+	if s.Engine.CompressParallel != 1 || s.Engine.CompressFallback != 0 || s.Engine.CompressSerial != 0 {
+		t.Errorf("forced compress: parallel=%d fallback=%d serial=%d; want 1,0,0",
+			s.Engine.CompressParallel, s.Engine.CompressFallback, s.Engine.CompressSerial)
+	}
+	if got := s.Parallel.ChunksOwned + s.Parallel.ChunksStolen; got != int64(nchunks) {
+		t.Errorf("compress chunks owned+stolen = %d; want %d", got, nchunks)
+	}
+	if s.Parallel.Participants < 1 || s.Parallel.ActiveWorkers < 1 ||
+		s.Parallel.ActiveWorkers > s.Parallel.Participants {
+		t.Errorf("participants=%d active=%d; want 1 <= active <= participants",
+			s.Parallel.Participants, s.Parallel.ActiveWorkers)
+	}
+	if got := s.Blocks.Constant + s.Blocks.NonConstant; got != int64(nb) {
+		t.Errorf("blocks tallied = %d; want %d", got, nb)
+	}
+
+	if _, err := DecompressParallelInto[float32](nil, comp, w); err != nil {
+		t.Fatal(err)
+	}
+	s = telemetry.Snap()
+	if s.Engine.DecompressParallel != 1 || s.Engine.DecompressFallback != 0 || s.Engine.DecompressSerial != 0 {
+		t.Errorf("forced decompress: parallel=%d fallback=%d serial=%d; want 1,0,0",
+			s.Engine.DecompressParallel, s.Engine.DecompressFallback, s.Engine.DecompressSerial)
+	}
+	// Compress claims chunks once (encode phase); decompress claims the same
+	// chunk count once more.
+	if got := s.Parallel.ChunksOwned + s.Parallel.ChunksStolen; got != int64(2*nchunks) {
+		t.Errorf("chunks owned+stolen after decompress = %d; want %d", got, 2*nchunks)
+	}
+	if got := s.Blocks.DecodedConstant + s.Blocks.DecodedNonConstant; got != int64(nb) {
+		t.Errorf("blocks decoded = %d; want %d", got, nb)
+	}
+}
+
+// TestTelemetryParallelRace hammers the forced work-stealing engine from
+// several goroutines with telemetry enabled and checks the per-worker
+// tallies still add up exactly — the counters must be race-free (this test
+// runs under -race in CI) and must not double- or under-count when many
+// engine invocations interleave on the shared atomics.
+func TestTelemetryParallelRace(t *testing.T) {
+	old := ParallelMinBytes
+	ParallelMinBytes = 0
+	defer func() { ParallelMinBytes = old }()
+
+	const n, goroutines, iters = 20000, 4, 5
+	data := goldenData32(n, 3)
+	comp, err := CompressInto[float32](nil, data, 1e-3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb := (n + DefaultBlockSize - 1) / DefaultBlockSize
+
+	// Enable only after the setup compress so the totals below count exactly
+	// the racing engine invocations.
+	telemetry.Reset()
+	telemetry.Enable()
+	defer func() {
+		telemetry.Disable()
+		telemetry.Reset()
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if _, err := CompressParallelInto[float32](nil, data, 1e-3, Options{}, 2+g); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := DecompressParallelInto[float32](nil, comp, 2+g); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	s := telemetry.Snap()
+	calls := int64(goroutines * iters)
+	if got := s.Blocks.Constant + s.Blocks.NonConstant; got != calls*int64(nb) {
+		t.Errorf("blocks tallied = %d; want %d", got, calls*int64(nb))
+	}
+	if got := s.Blocks.DecodedConstant + s.Blocks.DecodedNonConstant; got != calls*int64(nb) {
+		t.Errorf("blocks decoded = %d; want %d", got, calls*int64(nb))
+	}
+	if s.Engine.CompressParallel != calls || s.Engine.DecompressParallel != calls {
+		t.Errorf("engine engagements compress=%d decompress=%d; want %d each",
+			s.Engine.CompressParallel, s.Engine.DecompressParallel, calls)
+	}
+	if s.Compress.BytesIn != calls*4*n {
+		t.Errorf("compress bytes in = %d; want %d", s.Compress.BytesIn, calls*4*n)
 	}
 }
 

@@ -75,3 +75,12 @@ else
         }
     ' "$A" "$B" | sort
 fi
+
+# Wall-clock breakdown for the working tree: szxbench -obs interleaves
+# telemetry-disabled/enabled rounds on the serial hot paths and reports the
+# per-stage means from the telemetry timers alongside the overhead numbers,
+# so an A/B run also says *where* the time goes. Skip with BENCH_OBS=0.
+if [[ "${BENCH_OBS:-1}" != 0 ]]; then
+    echo "bench_ab: telemetry overhead + stage breakdown (working tree)" >&2
+    go run ./cmd/szxbench -obs - -benchtime "$BENCHTIME"
+fi

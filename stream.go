@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/telemetry"
 )
 
 // Streaming codec: an io.Writer/io.Reader pair that carries an unbounded
@@ -35,6 +36,28 @@ const (
 
 // ErrStream reports a malformed streaming container.
 var ErrStream = errors.New("szx: malformed stream container")
+
+// FrameError reports a malformed, truncated, or undecodable frame in a
+// streaming container. It carries the zero-based frame index and the byte
+// offset of the frame's length prefix within the container, so corruption
+// reports name the exact spot instead of a bare "unexpected EOF"; the
+// underlying cause (io.ErrUnexpectedEOF, ErrCorrupt, ...) stays reachable
+// through errors.Is/As, as does ErrStream. Every FrameError also
+// increments the telemetry stream-frame-error counter (error counters are
+// not gated on telemetry being enabled — corruption is rare enough that
+// counting it is free, and the count is the first thing an operator wants).
+type FrameError struct {
+	Frame  int   // zero-based frame index within the stream
+	Offset int64 // byte offset of the frame's length prefix in the container
+	Err    error // underlying cause
+}
+
+func (e *FrameError) Error() string {
+	return fmt.Sprintf("szx: stream frame %d (container offset %d): %v", e.Frame, e.Offset, e.Err)
+}
+
+// Unwrap exposes both ErrStream and the underlying cause.
+func (e *FrameError) Unwrap() []error { return []error{ErrStream, e.Err} }
 
 // Writer compresses a stream of float32 values chunk by chunk.
 type Writer struct {
@@ -116,6 +139,9 @@ func (sw *Writer) flushChunk(chunk []float32) error {
 		return err
 	}
 	sw.opened = true
+	if telemetry.Enabled() {
+		telemetry.StreamFramesWritten.Inc()
+	}
 	return nil
 }
 
@@ -153,14 +179,16 @@ func (sw *Writer) Close() error {
 
 // Reader decompresses a stream produced by Writer.
 type Reader struct {
-	r       io.Reader
-	buf     []float32 // decoded values not yet delivered (reused per chunk)
-	frame   []byte    // reused compressed-frame buffer
-	scratch []byte    // reused frame-read staging buffer
-	pos     int
-	opened  bool
-	done    bool
-	err     error
+	r        io.Reader
+	buf      []float32 // decoded values not yet delivered (reused per chunk)
+	frame    []byte    // reused compressed-frame buffer
+	scratch  []byte    // reused frame-read staging buffer
+	pos      int
+	frameIdx int   // index of the next frame to read
+	byteOff  int64 // container bytes consumed so far
+	opened   bool
+	done     bool
+	err      error
 }
 
 // NewReader returns a streaming decompressor reading from r.
@@ -208,6 +236,15 @@ func (sr *Reader) ReadAll() ([]float32, error) {
 	}
 }
 
+// frameErr records a frame-level failure: it counts it, pins it as the
+// Reader's terminal error, and wraps it with the frame index and the byte
+// offset of the frame's length prefix.
+func (sr *Reader) frameErr(off int64, cause error) error {
+	telemetry.StreamFrameErrors.Inc()
+	sr.err = &FrameError{Frame: sr.frameIdx, Offset: off, Err: cause}
+	return sr.err
+}
+
 func (sr *Reader) nextChunk() error {
 	if sr.done {
 		return io.EOF
@@ -215,28 +252,31 @@ func (sr *Reader) nextChunk() error {
 	if !sr.opened {
 		var hdr [5]byte
 		if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
-			sr.err = ErrStream
+			telemetry.StreamFrameErrors.Inc()
+			sr.err = fmt.Errorf("%w: container header: %w", ErrStream, err)
 			return sr.err
 		}
 		if string(hdr[:4]) != streamMagic || hdr[4] != streamVersion {
+			telemetry.StreamFrameErrors.Inc()
 			sr.err = ErrStream
 			return sr.err
 		}
 		sr.opened = true
+		sr.byteOff = 5
 	}
+	frameOff := sr.byteOff // offset of this frame's u32 length prefix
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(sr.r, lenBuf[:]); err != nil {
-		sr.err = fmt.Errorf("%w: truncated frame header", ErrStream)
-		return sr.err
+		return sr.frameErr(frameOff, fmt.Errorf("truncated frame header: %w", err))
 	}
+	sr.byteOff += 4
 	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
 	if frameLen == 0 {
 		sr.done = true
 		return io.EOF
 	}
 	if frameLen > 1<<31 {
-		sr.err = ErrStream
-		return sr.err
+		return sr.frameErr(frameOff, fmt.Errorf("frame length %d out of range", frameLen))
 	}
 	// Read the frame incrementally so a forged header cannot force a huge
 	// up-front allocation: memory grows only as real bytes arrive. The
@@ -257,20 +297,24 @@ func (sr *Reader) nextChunk() error {
 		}
 		got, err := io.ReadFull(sr.r, chunk[:n])
 		frame = append(frame, chunk[:got]...)
+		sr.byteOff += int64(got)
 		if err != nil {
-			sr.err = fmt.Errorf("%w: truncated frame", ErrStream)
-			return sr.err
+			return sr.frameErr(frameOff, fmt.Errorf("truncated frame (%d of %d payload bytes): %w",
+				int(frameLen)-remaining+got, frameLen, err))
 		}
 		remaining -= got
 	}
 	sr.frame = frame
 	vals, err := DecompressInto(sr.buf[:0], frame)
 	if err != nil {
-		sr.err = err
-		return err
+		return sr.frameErr(frameOff, err)
 	}
 	sr.buf = vals
 	sr.pos = 0
+	sr.frameIdx++
+	if telemetry.Enabled() {
+		telemetry.StreamFramesRead.Inc()
+	}
 	return nil
 }
 

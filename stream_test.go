@@ -2,11 +2,14 @@ package szx
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/telemetry"
 )
 
 func TestStreamRoundTrip(t *testing.T) {
@@ -202,6 +205,108 @@ func TestStreamGarbage(t *testing.T) {
 	if _, err := r.ReadAll(); err == nil {
 		t.Fatal("garbage accepted")
 	}
+}
+
+// streamFrameOffsets walks a serialized container and returns the byte
+// offset of each frame's u32 length prefix, independently of the Reader
+// under test.
+func streamFrameOffsets(t *testing.T, full []byte) []int64 {
+	t.Helper()
+	var offs []int64
+	off := int64(5) // container magic + version
+	for {
+		if off+4 > int64(len(full)) {
+			t.Fatalf("container ends mid-frame-header at offset %d", off)
+		}
+		frameLen := int64(uint32(full[off]) | uint32(full[off+1])<<8 |
+			uint32(full[off+2])<<16 | uint32(full[off+3])<<24)
+		if frameLen == 0 {
+			return offs
+		}
+		offs = append(offs, off)
+		off += 4 + frameLen
+	}
+}
+
+// TestStreamFrameError pins the Reader's corruption reporting: the error
+// names the exact frame index and container offset, keeps both ErrStream
+// and the underlying cause reachable through errors.Is, and bumps the
+// (ungated) telemetry frame-error counter.
+func TestStreamFrameError(t *testing.T) {
+	data := testField(3*16384, 21)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{ErrorBound: 1e-3}, 1<<14)
+	if err := w.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	offs := streamFrameOffsets(t, full)
+	if len(offs) != 3 {
+		t.Fatalf("got %d frames; want 3", len(offs))
+	}
+
+	readAll := func(blob []byte) error {
+		_, err := NewReader(bytes.NewReader(blob)).ReadAll()
+		return err
+	}
+	checkFrameErr := func(t *testing.T, err error, frame int, off int64, cause error) {
+		t.Helper()
+		var fe *FrameError
+		if !errors.As(err, &fe) {
+			t.Fatalf("error %v (%T) is not a *FrameError", err, err)
+		}
+		if fe.Frame != frame || fe.Offset != off {
+			t.Errorf("FrameError{Frame: %d, Offset: %d}; want frame %d at offset %d",
+				fe.Frame, fe.Offset, frame, off)
+		}
+		if !errors.Is(err, ErrStream) {
+			t.Errorf("%v does not unwrap to ErrStream", err)
+		}
+		if !errors.Is(err, cause) {
+			t.Errorf("%v does not unwrap to cause %v", err, cause)
+		}
+	}
+
+	t.Run("truncated payload", func(t *testing.T) {
+		before := telemetry.StreamFrameErrors.Load()
+		// Cut 10 bytes into the third frame's payload.
+		err := readAll(full[:offs[2]+4+10])
+		checkFrameErr(t, err, 2, offs[2], io.ErrUnexpectedEOF)
+		if got := telemetry.StreamFrameErrors.Load() - before; got != 1 {
+			t.Errorf("StreamFrameErrors delta = %d; want 1 (error counters are ungated)", got)
+		}
+	})
+
+	t.Run("truncated length prefix", func(t *testing.T) {
+		err := readAll(full[:offs[1]+2])
+		checkFrameErr(t, err, 1, offs[1], io.ErrUnexpectedEOF)
+	})
+
+	t.Run("corrupt frame body", func(t *testing.T) {
+		bad := append([]byte(nil), full...)
+		copy(bad[offs[1]+4:], "junk") // clobber the inner SZx header magic
+		err := readAll(bad)
+		checkFrameErr(t, err, 1, offs[1], ErrBadMagic)
+	})
+
+	t.Run("frames before the bad one still decode", func(t *testing.T) {
+		r := NewReader(bytes.NewReader(full[:offs[2]+4+10]))
+		out, err := r.ReadAll()
+		if err == nil {
+			t.Fatal("truncated stream decoded without error")
+		}
+		if len(out) != 2*16384 {
+			t.Fatalf("recovered %d values before the bad frame; want %d", len(out), 2*16384)
+		}
+		for i := range out {
+			if math.Abs(float64(data[i])-float64(out[i])) > 1e-3 {
+				t.Fatalf("recovered value %d exceeds bound", i)
+			}
+		}
+	})
 }
 
 func TestStreamRelativeMode(t *testing.T) {

@@ -35,6 +35,16 @@
 // wrappers over them. For repeated compression of similar payloads — the
 // in-memory-compression service pattern — use a [Codec], which keeps the
 // reuse buffers internally.
+//
+// # Observability
+//
+// The repro/telemetry package instruments every layer — block taxonomy,
+// required-bit and leading-byte-code distributions, engine selection, the
+// work-stealing engine's internals, and per-stage wall times — behind a
+// single opt-in gate (telemetry.Enable). Disabled, the instrumentation
+// costs one atomic load per call. Snapshots export as a struct, expvar
+// JSON, or Prometheus text; cmd/szx and cmd/szxbench expose them via
+// -stats and -stats-http.
 package szx
 
 import (
@@ -42,6 +52,7 @@ import (
 	"math"
 
 	"repro/internal/core"
+	"repro/telemetry"
 )
 
 // Float constrains the element types SZx supports.
@@ -149,6 +160,9 @@ func resolveBound[T Float](data []T, o Options) (float64, error) {
 	}
 	if len(data) == 0 {
 		return 0, ErrDegenerateRange
+	}
+	if telemetry.Enabled() {
+		telemetry.RelativeBoundResolves.Inc()
 	}
 	mn, mx := data[0], data[0]
 	for _, v := range data[1:] {

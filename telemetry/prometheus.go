@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+)
+
+// metric binds one exported observable to its Prometheus identity. Exactly
+// one of c/h/b is non-nil. Counters sharing a name (labeled series) must be
+// adjacent in the registry so HELP/TYPE headers are emitted once.
+type metric struct {
+	name   string // Prometheus metric family name
+	help   string
+	labels string // pre-rendered label set, e.g. `{code="0"}`, or ""
+	c      *Counter
+	h      *Histogram
+	b      *BitHist
+	scale  float64 // histogram value multiplier on export (ns→s = 1e-9)
+	blabel string  // BitHist label key
+}
+
+var registry = []metric{
+	{name: "szx_compress_calls_total", help: "Compression calls completed.", c: &CompressCalls},
+	{name: "szx_compress_input_bytes_total", help: "Uncompressed bytes consumed by compression.", c: &CompressBytesIn},
+	{name: "szx_compress_output_bytes_total", help: "Compressed bytes produced.", c: &CompressBytesOut},
+	{name: "szx_decompress_calls_total", help: "Decompression calls completed.", c: &DecompressCalls},
+	{name: "szx_decompress_input_bytes_total", help: "Compressed bytes consumed by decompression.", c: &DecompressBytesIn},
+	{name: "szx_decompress_output_bytes_total", help: "Reconstructed bytes produced.", c: &DecompressBytesOut},
+
+	{name: "szx_blocks_total", help: "Blocks encoded, by type (the paper's constant/nonconstant taxonomy).", labels: `{type="constant"}`, c: &BlocksConstant},
+	{name: "szx_blocks_total", labels: `{type="nonconstant"}`, c: &BlocksNonConstant},
+	{name: "szx_blocks_total", labels: `{type="lossless"}`, c: &BlocksLossless},
+	{name: "szx_guard_retries_total", help: "Blocks re-encoded by the error-bound guard pass.", c: &GuardRetries},
+	{name: "szx_decoded_blocks_total", help: "Blocks decoded, by type.", labels: `{type="constant"}`, c: &DecodedBlocksConstant},
+	{name: "szx_decoded_blocks_total", labels: `{type="nonconstant"}`, c: &DecodedBlocksNonConstant},
+
+	{name: "szx_lead_code_values_total", help: "Values encoded, by 2-bit identical-leading-byte code.", labels: `{code="0"}`, c: &LeadCodes[0]},
+	{name: "szx_lead_code_values_total", labels: `{code="1"}`, c: &LeadCodes[1]},
+	{name: "szx_lead_code_values_total", labels: `{code="2"}`, c: &LeadCodes[2]},
+	{name: "szx_lead_code_values_total", labels: `{code="3"}`, c: &LeadCodes[3]},
+	{name: "szx_reqlen_blocks_total", help: "Nonconstant blocks by required bit count (Formula 4).", b: &ReqLenBits, blabel: "bits"},
+
+	{name: "szx_engine_selected_total", help: "Execution-engine selection per call; serial_fallback marks parallel-entry calls the adaptive policy routed to the serial kernel.", labels: `{op="compress",engine="serial"}`, c: &EngineCompressSerial},
+	{name: "szx_engine_selected_total", labels: `{op="compress",engine="serial_fallback"}`, c: &EngineCompressFallback},
+	{name: "szx_engine_selected_total", labels: `{op="compress",engine="parallel"}`, c: &EngineCompressParallel},
+	{name: "szx_engine_selected_total", labels: `{op="decompress",engine="serial"}`, c: &EngineDecompressSerial},
+	{name: "szx_engine_selected_total", labels: `{op="decompress",engine="serial_fallback"}`, c: &EngineDecompressFallback},
+	{name: "szx_engine_selected_total", labels: `{op="decompress",engine="parallel"}`, c: &EngineDecompressParallel},
+
+	{name: "szx_parallel_chunks_total", help: "Work-stealing chunks claimed, by claimant (owned = calling goroutine, stolen = pool worker).", labels: `{claimant="owned"}`, c: &ParallelChunksOwned},
+	{name: "szx_parallel_chunks_total", labels: `{claimant="stolen"}`, c: &ParallelChunksStolen},
+	{name: "szx_parallel_participants_total", help: "Engine-call participants, summed over calls.", c: &ParallelParticipants},
+	{name: "szx_parallel_active_workers_total", help: "Participants that claimed at least one chunk.", c: &ParallelActiveWorkers},
+	{name: "szx_parallel_chunks_per_worker", help: "Chunks claimed per participant per engine call.", h: &ParallelChunksPerWorker, scale: 1},
+
+	{name: "szx_compress_duration_seconds", help: "Wall time per compression call.", h: &CompressDurations, scale: 1e-9},
+	{name: "szx_decompress_duration_seconds", help: "Wall time per decompression call.", h: &DecompressDurations, scale: 1e-9},
+	{name: "szx_parallel_encode_phase_seconds", help: "Wall time of the parallel engine's encode phase.", h: &EncodePhaseDurations, scale: 1e-9},
+	{name: "szx_parallel_gather_phase_seconds", help: "Wall time of the parallel engine's gather phase.", h: &GatherPhaseDurations, scale: 1e-9},
+
+	{name: "szx_stream_frames_written_total", help: "Streaming-container frames written.", c: &StreamFramesWritten},
+	{name: "szx_stream_frames_read_total", help: "Streaming-container frames read.", c: &StreamFramesRead},
+	{name: "szx_stream_frame_errors_total", help: "Malformed or truncated streaming frames encountered by Reader.", c: &StreamFrameErrors},
+	{name: "szx_archive_fields_written_total", help: "Archive fields compressed and added.", c: &ArchiveFieldsWritten},
+	{name: "szx_archive_fields_read_total", help: "Archive fields decompressed.", c: &ArchiveFieldsRead},
+	{name: "szx_time_frames_total", help: "Temporal-compressor frames, by kind.", labels: `{kind="key"}`, c: &TimeFramesKey},
+	{name: "szx_time_frames_total", labels: `{kind="delta"}`, c: &TimeFramesDelta},
+	{name: "szx_time_keyframe_fallbacks_total", help: "Delta frames re-coded as keyframes by the bound check.", c: &TimeKeyframeFallbacks},
+	{name: "szx_relative_bound_resolves_total", help: "Value-range scans performed for BoundRelative options.", c: &RelativeBoundResolves},
+}
+
+// WritePrometheus emits every metric in the Prometheus text exposition
+// format (version 0.0.4). Counters become `counter` families (with labels
+// where a family is split by type/engine/code), Histograms become native
+// `histogram` families with power-of-two `le` buckets, and the BitHist
+// becomes a labeled counter family with one series per observed bit count.
+func WritePrometheus(w io.Writer) error {
+	prevName := ""
+	for _, m := range registry {
+		if m.name != prevName {
+			if m.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.name, m.help); err != nil {
+					return err
+				}
+			}
+			typ := "counter"
+			if m.h != nil {
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
+				return err
+			}
+			prevName = m.name
+		}
+		var err error
+		switch {
+		case m.c != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Load())
+		case m.h != nil:
+			err = writePromHistogram(w, m)
+		case m.b != nil:
+			err = writePromBitHist(w, m)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, m metric) error {
+	cum := int64(0)
+	for i := 0; i < histBuckets; i++ {
+		n := m.h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		cum += n
+		// Upper bound of bucket i is 2^i - 1 in raw units (bit length ≤ i);
+		// export 2^i for readable power-of-two le values (still a valid
+		// upper bound, and monotonically increasing).
+		le := float64(int64(1) << uint(i))
+		if i == 0 {
+			le = 0
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", m.name, formatLe(le*m.scale), cum); err != nil {
+			return err
+		}
+	}
+	count := m.h.count.Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", m.name, count); err != nil {
+		return err
+	}
+	sum := float64(m.h.sum.Load()) * m.scale
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", m.name, sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", m.name, count)
+	return err
+}
+
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writePromBitHist(w io.Writer, m metric) error {
+	for i := range m.b.buckets {
+		n := m.b.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s{%s=\"%d\"} %d\n", m.name, m.blabel, i, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handler serves the Prometheus text exposition (a /metrics endpoint).
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w)
+	})
+}
+
+// DebugHandler bundles every HTTP export surface on one mux: /metrics
+// (Prometheus text), /debug/vars (expvar JSON, including the "szx"
+// snapshot), and /debug/pprof (CPU/heap/goroutine profiles; CPU samples
+// carry szx_stage labels when telemetry is enabled). This is what the
+// -stats-http flag of cmd/szx and cmd/szxbench serves.
+func DebugHandler() http.Handler {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the telemetry snapshot under the expvar key
+// "szx" (visible at /debug/vars). Safe to call multiple times; only the
+// first call registers.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("szx", expvar.Func(func() any { return Snap() }))
+	})
+}

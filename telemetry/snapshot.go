@@ -1,0 +1,243 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SideSnapshot summarizes one direction (compress or decompress).
+type SideSnapshot struct {
+	Calls     int64             `json:"calls"`
+	BytesIn   int64             `json:"bytes_in"`
+	BytesOut  int64             `json:"bytes_out"`
+	Ratio     float64           `json:"ratio"` // uncompressed / compressed
+	Durations HistogramSnapshot `json:"durations_ns"`
+}
+
+// BlocksSnapshot summarizes the block-level encoder/decoder statistics.
+type BlocksSnapshot struct {
+	Constant           int64         `json:"constant"`
+	NonConstant        int64         `json:"nonconstant"`
+	Lossless           int64         `json:"lossless"`
+	GuardRetries       int64         `json:"guard_retries"`
+	DecodedConstant    int64         `json:"decoded_constant"`
+	DecodedNonConstant int64         `json:"decoded_nonconstant"`
+	LeadCodes          [4]int64      `json:"lead_codes"`
+	ReqLenBits         map[int]int64 `json:"reqlen_bits"`
+}
+
+// EngineSnapshot summarizes serial-vs-parallel engine selection.
+type EngineSnapshot struct {
+	CompressSerial     int64 `json:"compress_serial"`
+	CompressFallback   int64 `json:"compress_fallback"`
+	CompressParallel   int64 `json:"compress_parallel"`
+	DecompressSerial   int64 `json:"decompress_serial"`
+	DecompressFallback int64 `json:"decompress_fallback"`
+	DecompressParallel int64 `json:"decompress_parallel"`
+}
+
+// ParallelSnapshot exposes the work-stealing engine internals.
+type ParallelSnapshot struct {
+	ChunksOwned     int64             `json:"chunks_owned"`
+	ChunksStolen    int64             `json:"chunks_stolen"`
+	Participants    int64             `json:"participants"`
+	ActiveWorkers   int64             `json:"active_workers"`
+	Utilization     float64           `json:"utilization"` // active / participants
+	ChunksPerWorker HistogramSnapshot `json:"chunks_per_worker"`
+	EncodePhase     HistogramSnapshot `json:"encode_phase_ns"`
+	GatherPhase     HistogramSnapshot `json:"gather_phase_ns"`
+}
+
+// ContainersSnapshot summarizes the stream/archive/temporal layers.
+type ContainersSnapshot struct {
+	StreamFramesWritten   int64 `json:"stream_frames_written"`
+	StreamFramesRead      int64 `json:"stream_frames_read"`
+	StreamFrameErrors     int64 `json:"stream_frame_errors"`
+	ArchiveFieldsWritten  int64 `json:"archive_fields_written"`
+	ArchiveFieldsRead     int64 `json:"archive_fields_read"`
+	TimeFramesKey         int64 `json:"time_frames_key"`
+	TimeFramesDelta       int64 `json:"time_frames_delta"`
+	TimeKeyframeFallbacks int64 `json:"time_keyframe_fallbacks"`
+	RelativeBoundResolves int64 `json:"relative_bound_resolves"`
+}
+
+// Snapshot is a point-in-time copy of every metric.
+type Snapshot struct {
+	Enabled    bool               `json:"enabled"`
+	Compress   SideSnapshot       `json:"compress"`
+	Decompress SideSnapshot       `json:"decompress"`
+	Blocks     BlocksSnapshot     `json:"blocks"`
+	Engine     EngineSnapshot     `json:"engine"`
+	Parallel   ParallelSnapshot   `json:"parallel"`
+	Containers ContainersSnapshot `json:"containers"`
+}
+
+// Snap assembles a Snapshot of the current metric values. The copy is not
+// a consistent cut across metrics (each value is loaded independently),
+// which is the usual, and sufficient, contract for scrape-style export.
+func Snap() Snapshot {
+	s := Snapshot{
+		Enabled: Enabled(),
+		Compress: SideSnapshot{
+			Calls:     CompressCalls.Load(),
+			BytesIn:   CompressBytesIn.Load(),
+			BytesOut:  CompressBytesOut.Load(),
+			Durations: CompressDurations.Snapshot(),
+		},
+		Decompress: SideSnapshot{
+			Calls:     DecompressCalls.Load(),
+			BytesIn:   DecompressBytesIn.Load(),
+			BytesOut:  DecompressBytesOut.Load(),
+			Durations: DecompressDurations.Snapshot(),
+		},
+		Blocks: BlocksSnapshot{
+			Constant:           BlocksConstant.Load(),
+			NonConstant:        BlocksNonConstant.Load(),
+			Lossless:           BlocksLossless.Load(),
+			GuardRetries:       GuardRetries.Load(),
+			DecodedConstant:    DecodedBlocksConstant.Load(),
+			DecodedNonConstant: DecodedBlocksNonConstant.Load(),
+			ReqLenBits:         ReqLenBits.Snapshot(),
+		},
+		Engine: EngineSnapshot{
+			CompressSerial:     EngineCompressSerial.Load(),
+			CompressFallback:   EngineCompressFallback.Load(),
+			CompressParallel:   EngineCompressParallel.Load(),
+			DecompressSerial:   EngineDecompressSerial.Load(),
+			DecompressFallback: EngineDecompressFallback.Load(),
+			DecompressParallel: EngineDecompressParallel.Load(),
+		},
+		Parallel: ParallelSnapshot{
+			ChunksOwned:     ParallelChunksOwned.Load(),
+			ChunksStolen:    ParallelChunksStolen.Load(),
+			Participants:    ParallelParticipants.Load(),
+			ActiveWorkers:   ParallelActiveWorkers.Load(),
+			ChunksPerWorker: ParallelChunksPerWorker.Snapshot(),
+			EncodePhase:     EncodePhaseDurations.Snapshot(),
+			GatherPhase:     GatherPhaseDurations.Snapshot(),
+		},
+		Containers: ContainersSnapshot{
+			StreamFramesWritten:   StreamFramesWritten.Load(),
+			StreamFramesRead:      StreamFramesRead.Load(),
+			StreamFrameErrors:     StreamFrameErrors.Load(),
+			ArchiveFieldsWritten:  ArchiveFieldsWritten.Load(),
+			ArchiveFieldsRead:     ArchiveFieldsRead.Load(),
+			TimeFramesKey:         TimeFramesKey.Load(),
+			TimeFramesDelta:       TimeFramesDelta.Load(),
+			TimeKeyframeFallbacks: TimeKeyframeFallbacks.Load(),
+			RelativeBoundResolves: RelativeBoundResolves.Load(),
+		},
+	}
+	for i := range s.Blocks.LeadCodes {
+		s.Blocks.LeadCodes[i] = LeadCodes[i].Load()
+	}
+	if s.Compress.BytesOut > 0 {
+		s.Compress.Ratio = float64(s.Compress.BytesIn) / float64(s.Compress.BytesOut)
+	}
+	if s.Decompress.BytesIn > 0 {
+		s.Decompress.Ratio = float64(s.Decompress.BytesOut) / float64(s.Decompress.BytesIn)
+	}
+	if s.Parallel.Participants > 0 {
+		s.Parallel.Utilization = float64(s.Parallel.ActiveWorkers) / float64(s.Parallel.Participants)
+	}
+	return s
+}
+
+// Reset zeroes every metric (the enabled gate is left as-is). It must not
+// race with in-flight instrumented calls if exact totals matter.
+func Reset() {
+	for _, m := range registry {
+		switch {
+		case m.c != nil:
+			m.c.reset()
+		case m.h != nil:
+			m.h.reset()
+		case m.b != nil:
+			m.b.reset()
+		}
+	}
+}
+
+// Report renders the current snapshot as a human-readable block of text,
+// the -stats output of cmd/szx and cmd/szxbench.
+func Report() string {
+	s := Snap()
+	var b strings.Builder
+	fmt.Fprintf(&b, "szx telemetry (enabled=%v)\n", s.Enabled)
+	fmt.Fprintf(&b, "  compress:   %d calls, %s in -> %s out (ratio %.2f), %s\n",
+		s.Compress.Calls, fmtBytes(s.Compress.BytesIn), fmtBytes(s.Compress.BytesOut),
+		s.Compress.Ratio, fmtDur(s.Compress.Durations))
+	fmt.Fprintf(&b, "  decompress: %d calls, %s in -> %s out (ratio %.2f), %s\n",
+		s.Decompress.Calls, fmtBytes(s.Decompress.BytesIn), fmtBytes(s.Decompress.BytesOut),
+		s.Decompress.Ratio, fmtDur(s.Decompress.Durations))
+	tot := s.Blocks.Constant + s.Blocks.NonConstant
+	fmt.Fprintf(&b, "  blocks:     %d encoded (%d constant, %d nonconstant, %d lossless), %d guard retries; %d decoded (%d constant)\n",
+		tot, s.Blocks.Constant, s.Blocks.NonConstant, s.Blocks.Lossless, s.Blocks.GuardRetries,
+		s.Blocks.DecodedConstant+s.Blocks.DecodedNonConstant, s.Blocks.DecodedConstant)
+	lv := s.Blocks.LeadCodes[0] + s.Blocks.LeadCodes[1] + s.Blocks.LeadCodes[2] + s.Blocks.LeadCodes[3]
+	if lv > 0 {
+		fmt.Fprintf(&b, "  lead codes: 0:%.1f%% 1:%.1f%% 2:%.1f%% 3:%.1f%% of %d values\n",
+			pct(s.Blocks.LeadCodes[0], lv), pct(s.Blocks.LeadCodes[1], lv),
+			pct(s.Blocks.LeadCodes[2], lv), pct(s.Blocks.LeadCodes[3], lv), lv)
+	}
+	if len(s.Blocks.ReqLenBits) > 0 {
+		keys := make([]int, 0, len(s.Blocks.ReqLenBits))
+		for k := range s.Blocks.ReqLenBits {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		b.WriteString("  reqlen:    ")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %db:%d", k, s.Blocks.ReqLenBits[k])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  engine:     compress serial=%d (fallback=%d) parallel=%d; decompress serial=%d (fallback=%d) parallel=%d\n",
+		s.Engine.CompressSerial, s.Engine.CompressFallback, s.Engine.CompressParallel,
+		s.Engine.DecompressSerial, s.Engine.DecompressFallback, s.Engine.DecompressParallel)
+	if s.Parallel.Participants > 0 {
+		fmt.Fprintf(&b, "  parallel:   chunks owned=%d stolen=%d, utilization %.0f%% (%d/%d workers), encode %s, gather %s\n",
+			s.Parallel.ChunksOwned, s.Parallel.ChunksStolen, 100*s.Parallel.Utilization,
+			s.Parallel.ActiveWorkers, s.Parallel.Participants,
+			fmtDur(s.Parallel.EncodePhase), fmtDur(s.Parallel.GatherPhase))
+	}
+	c := s.Containers
+	if c.StreamFramesWritten+c.StreamFramesRead+c.StreamFrameErrors > 0 {
+		fmt.Fprintf(&b, "  stream:     %d frames written, %d read, %d frame errors\n",
+			c.StreamFramesWritten, c.StreamFramesRead, c.StreamFrameErrors)
+	}
+	if c.ArchiveFieldsWritten+c.ArchiveFieldsRead > 0 {
+		fmt.Fprintf(&b, "  archive:    %d fields written, %d read\n", c.ArchiveFieldsWritten, c.ArchiveFieldsRead)
+	}
+	if c.TimeFramesKey+c.TimeFramesDelta > 0 {
+		fmt.Fprintf(&b, "  temporal:   %d key + %d delta frames (%d bound fallbacks)\n",
+			c.TimeFramesKey, c.TimeFramesDelta, c.TimeKeyframeFallbacks)
+	}
+	if c.RelativeBoundResolves > 0 {
+		fmt.Fprintf(&b, "  rel bounds: %d range resolves\n", c.RelativeBoundResolves)
+	}
+	return b.String()
+}
+
+func pct(n, tot int64) float64 { return 100 * float64(n) / float64(tot) }
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func fmtDur(h HistogramSnapshot) string {
+	if h.Count == 0 {
+		return "no samples"
+	}
+	return fmt.Sprintf("mean %.3f ms/call", h.Mean/1e6)
+}

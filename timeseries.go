@@ -3,6 +3,8 @@ package szx
 import (
 	"errors"
 	"math"
+
+	"repro/telemetry"
 )
 
 // Temporal compression: simulations emit a sequence of snapshots of the
@@ -57,6 +59,9 @@ func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 		}
 		tc.prev = rec
 		tc.n = len(frame)
+		if telemetry.Enabled() {
+			telemetry.TimeFramesKey.Inc()
+		}
 		return comp, nil
 	}
 	if len(frame) != tc.n {
@@ -114,10 +119,17 @@ func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 		comp = append([]byte{frameKey}, comp...)
 		tc.spare = tc.prev
 		tc.prev = next
+		if telemetry.Enabled() {
+			telemetry.TimeFramesKey.Inc()
+			telemetry.TimeKeyframeFallbacks.Inc()
+		}
 		return comp, nil
 	}
 	tc.spare = tc.prev
 	tc.prev = next
+	if telemetry.Enabled() {
+		telemetry.TimeFramesDelta.Inc()
+	}
 	return append([]byte{frameDelta}, comp...), nil
 }
 
