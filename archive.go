@@ -4,8 +4,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/telemetry"
 )
@@ -35,11 +38,28 @@ var (
 	ErrFieldDims     = errors.New("szx: dims product does not match data length")
 )
 
-// ArchiveWriter accumulates compressed fields.
+// ArchiveWriter accumulates compressed fields. Compression stages through
+// one reused scratch buffer (each stored payload is then an exact-size
+// copy), so adding many fields allocates no growth slack per field.
+//
+// A pipelined writer (NewPipelinedArchiveWriter) compresses fields
+// concurrently: AddField returns as soon as the field is enqueued, up to
+// the configured number of compressions run in flight, and Bytes/WriteTo/
+// Flush wait for all of them. TOC order stays the Add order either way.
 type ArchiveWriter struct {
-	opt    Options
-	names  map[string]bool
-	fields []archiveField
+	opt     Options
+	names   map[string]bool
+	fields  []*archiveField
+	scratch []byte // serial-path compressed staging, reused across fields
+
+	// Pipelined mode (par > 0): sem bounds in-flight compressions, pool
+	// recycles per-worker staging buffers, firstErr pins the first failure.
+	par      int
+	sem      chan struct{}
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	firstErr error
+	pool     sync.Pool
 }
 
 type archiveField struct {
@@ -52,6 +72,26 @@ type archiveField struct {
 // the given options.
 func NewArchiveWriter(opt Options) *ArchiveWriter {
 	return &ArchiveWriter{opt: opt, names: make(map[string]bool)}
+}
+
+// NewPipelinedArchiveWriter returns a writer that compresses added fields
+// concurrently, up to workers (≤0 = GOMAXPROCS) at a time, overlapping the
+// per-field compressions of a multi-field snapshot dump. AddField blocks
+// only when the pipeline is full (bounded memory: at most workers
+// compressed payloads staging at once). The caller must keep each field's
+// data slice unmodified until Flush, Bytes, or WriteTo returns; the first
+// compression error is pinned and reported by those calls and by
+// subsequent AddField calls.
+func NewPipelinedArchiveWriter(opt Options, workers int) *ArchiveWriter {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &ArchiveWriter{
+		opt:   opt,
+		names: make(map[string]bool),
+		par:   workers,
+		sem:   make(chan struct{}, workers),
+	}
 }
 
 // AddField compresses and stores one named float32 field. dims must
@@ -70,13 +110,15 @@ func (aw *ArchiveWriter) AddFieldFloat64(name string, dims []int, data []float64
 // AddArchiveField compresses and stores one named field of either element
 // type. It is a free function because Go methods cannot take type
 // parameters; AddField and AddFieldFloat64 are its pinned instantiations.
+// On a pipelined writer the compression may still be in flight when it
+// returns; data must stay unmodified until Flush/Bytes/WriteTo.
 func AddArchiveField[T Float](aw *ArchiveWriter, name string, dims []int, data []T) error {
-	return aw.add(name, dims, len(data), func() ([]byte, error) {
-		return CompressInto[T](nil, data, aw.opt)
+	return aw.add(name, dims, len(data), func(dst []byte) ([]byte, error) {
+		return CompressInto[T](dst, data, aw.opt)
 	})
 }
 
-func (aw *ArchiveWriter) add(name string, dims []int, n int, compress func() ([]byte, error)) error {
+func (aw *ArchiveWriter) add(name string, dims []int, n int, compress func(dst []byte) ([]byte, error)) error {
 	if name == "" || len(name) > math.MaxUint16 {
 		return fmt.Errorf("%w: bad field name", ErrArchive)
 	}
@@ -93,27 +135,81 @@ func (aw *ArchiveWriter) add(name string, dims []int, n int, compress func() ([]
 	if len(dims) == 0 || p != n {
 		return ErrFieldDims
 	}
-	comp, err := compress()
+	f := &archiveField{name: name, dims: append([]int(nil), dims...)}
+	if aw.par > 0 {
+		if err := aw.Err(); err != nil {
+			return err
+		}
+		aw.names[name] = true
+		aw.fields = append(aw.fields, f) // field order = Add order; payload lands later
+		aw.sem <- struct{}{}             // backpressure: at most par compressions in flight
+		aw.wg.Add(1)
+		go func() {
+			defer aw.wg.Done()
+			defer func() { <-aw.sem }()
+			var scratch []byte
+			if s, ok := aw.pool.Get().(*[]byte); ok {
+				scratch = *s
+			}
+			comp, err := compress(scratch[:0])
+			if err != nil {
+				aw.mu.Lock()
+				if aw.firstErr == nil {
+					aw.firstErr = fmt.Errorf("szx: archive field %q: %w", f.name, err)
+				}
+				aw.mu.Unlock()
+				return
+			}
+			f.payload = append(make([]byte, 0, len(comp)), comp...)
+			aw.pool.Put(&comp)
+			if telemetry.Enabled() {
+				telemetry.ArchiveFieldsWritten.Inc()
+			}
+		}()
+		return nil
+	}
+	// Serial path: compress into the shared scratch, then store an
+	// exact-size copy so payloads carry no append growth slack.
+	comp, err := compress(aw.scratch[:0])
 	if err != nil {
 		return err
 	}
+	aw.scratch = comp
+	f.payload = append(make([]byte, 0, len(comp)), comp...)
 	aw.names[name] = true
-	aw.fields = append(aw.fields, archiveField{
-		name:    name,
-		dims:    append([]int(nil), dims...),
-		payload: comp,
-	})
+	aw.fields = append(aw.fields, f)
 	if telemetry.Enabled() {
 		telemetry.ArchiveFieldsWritten.Inc()
 	}
 	return nil
 }
 
+// Err returns the first in-flight compression error recorded so far
+// (always nil for serial writers; Flush is the synchronizing read).
+func (aw *ArchiveWriter) Err() error {
+	aw.mu.Lock()
+	defer aw.mu.Unlock()
+	return aw.firstErr
+}
+
+// Flush waits for every in-flight field compression of a pipelined writer
+// and returns the first error any of them hit. On a serial writer it
+// returns nil immediately.
+func (aw *ArchiveWriter) Flush() error {
+	aw.wg.Wait()
+	return aw.Err()
+}
+
 // NumFields returns how many fields have been added.
 func (aw *ArchiveWriter) NumFields() int { return len(aw.fields) }
 
-// Bytes serializes the archive.
+// Bytes serializes the archive. On a pipelined writer it first waits for
+// in-flight compressions and returns nil if any failed (use Flush to
+// retrieve the error).
 func (aw *ArchiveWriter) Bytes() []byte {
+	if err := aw.Flush(); err != nil {
+		return nil
+	}
 	size := 9
 	for _, f := range aw.fields {
 		size += 2 + len(f.name) + 1 + 8*len(f.dims) + 8 + len(f.payload)
@@ -121,6 +217,15 @@ func (aw *ArchiveWriter) Bytes() []byte {
 	out := make([]byte, 0, size)
 	out = append(out, archiveMagic...)
 	out = append(out, archiveVersion)
+	out = aw.appendTOC(out)
+	for _, f := range aw.fields {
+		out = append(out, f.payload...)
+	}
+	return out
+}
+
+// appendTOC appends the field count and per-field TOC entries.
+func (aw *ArchiveWriter) appendTOC(out []byte) []byte {
 	var b8 [8]byte
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(aw.fields)))
 	out = append(out, b8[:4]...)
@@ -136,10 +241,35 @@ func (aw *ArchiveWriter) Bytes() []byte {
 		binary.LittleEndian.PutUint64(b8[:], uint64(len(f.payload)))
 		out = append(out, b8[:]...)
 	}
-	for _, f := range aw.fields {
-		out = append(out, f.payload...)
-	}
 	return out
+}
+
+// WriteTo streams the serialized archive to w — the header and TOC in one
+// buffered write, then each payload directly — without materializing the
+// whole blob the way Bytes does. It waits for in-flight compressions
+// (pipelined writers) and produces bytes identical to Bytes.
+func (aw *ArchiveWriter) WriteTo(w io.Writer) (int64, error) {
+	if err := aw.Flush(); err != nil {
+		return 0, err
+	}
+	hdr := make([]byte, 0, 256)
+	hdr = append(hdr, archiveMagic...)
+	hdr = append(hdr, archiveVersion)
+	hdr = aw.appendTOC(hdr)
+	var total int64
+	n, err := w.Write(hdr)
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, f := range aw.fields {
+		n, err := w.Write(f.payload)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // FieldInfo describes one archived field.

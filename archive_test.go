@@ -220,3 +220,56 @@ func TestArchiveFloat64Dims(t *testing.T) {
 		t.Errorf("got %v", err)
 	}
 }
+
+// BenchmarkArchiveWriter pins the satellite fix: the serial archive writer
+// reuses one compressed-scratch buffer across fields, so allocations per
+// archive stay flat no matter how many fields are added (one exact-size
+// payload copy per field, no per-field scratch growth).
+func BenchmarkArchiveWriter(b *testing.B) {
+	const nFields, nVals = 16, 1 << 14
+	data := make([][]float32, nFields)
+	for i := range data {
+		data[i] = testField(nVals, int64(100+i))
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(nFields * nVals * 4))
+	for b.Loop() {
+		aw := NewArchiveWriter(Options{ErrorBound: 1e-3})
+		for i, d := range data {
+			if err := aw.AddField(names16[i], []int{nVals}, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if aw.Bytes() == nil {
+			b.Fatal("empty archive")
+		}
+	}
+}
+
+var names16 = []string{
+	"f00", "f01", "f02", "f03", "f04", "f05", "f06", "f07",
+	"f08", "f09", "f10", "f11", "f12", "f13", "f14", "f15",
+}
+
+// BenchmarkArchiveWriterPipelined is the concurrent counterpart, for the
+// serial-vs-pipelined A/B on archive builds.
+func BenchmarkArchiveWriterPipelined(b *testing.B) {
+	const nFields, nVals = 16, 1 << 14
+	data := make([][]float32, nFields)
+	for i := range data {
+		data[i] = testField(nVals, int64(100+i))
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(nFields * nVals * 4))
+	for b.Loop() {
+		aw := NewPipelinedArchiveWriter(Options{ErrorBound: 1e-3}, 0)
+		for i, d := range data {
+			if err := aw.AddField(names16[i], []int{nVals}, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if aw.Bytes() == nil {
+			b.Fatal("empty archive")
+		}
+	}
+}

@@ -5,8 +5,18 @@
 // Usage:
 //
 //	szx -z -i data.f32 -o data.szx -e 1e-3 [-rel] [-b 128] [-t f32|f64] [-w N]
+//	szx -z -stream -i data.f32 -o data.szxs [-chunk N] [-w N]
 //	szx -x -i data.szx -o data.out [-w N]
 //	szx -info -i data.szx
+//
+// With -stream, -z emits a streaming container ("SZXS") through the
+// pipelined engine: the input file is read chunk by chunk, chunks compress
+// concurrently on -w workers, and frames are written as they complete, so
+// memory stays bounded by the pipeline window instead of the file size
+// (float32 only). -x detects the container magic and picks the matching
+// path automatically — streaming containers decode through the pipelined
+// reader straight to the output file, single-buffer streams through the
+// parallel block decoder.
 //
 // Observability: -stats enables codec telemetry and prints a counter report
 // to stderr when the command finishes; -stats-http ADDR additionally serves
@@ -15,9 +25,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"net/http"
@@ -33,6 +45,8 @@ func main() {
 		compress   = flag.Bool("z", false, "compress")
 		decompress = flag.Bool("x", false, "decompress")
 		info       = flag.Bool("info", false, "print stream header and exit")
+		stream     = flag.Bool("stream", false, "with -z: write a streaming container (SZXS) with bounded memory")
+		chunkVals  = flag.Int("chunk", szx.DefaultChunkValues, "with -z -stream: values per chunk")
 		in         = flag.String("i", "", "input file")
 		out        = flag.String("o", "", "output file")
 		bound      = flag.Float64("e", 1e-3, "error bound")
@@ -65,19 +79,10 @@ func main() {
 	if *in == "" {
 		fail("missing -i input file")
 	}
-	raw, err := os.ReadFile(*in)
-	if err != nil {
-		fail("%v", err)
-	}
 
 	switch {
 	case *info:
-		h, err := szx.Info(raw)
-		if err != nil {
-			fail("%v", err)
-		}
-		fmt.Printf("type=%v n=%d blockSize=%d errBound=%g blocks=%d\n",
-			h.Type, h.N, h.BlockSize, h.ErrBound, h.NumBlocks())
+		runInfo(*in)
 	case *compress:
 		if *out == "" {
 			fail("missing -o output file")
@@ -87,63 +92,272 @@ func main() {
 			mode = szx.BoundRelative
 		}
 		opt := szx.Options{ErrorBound: *bound, Mode: mode, BlockSize: *blockSize, Workers: *workers}
-		var comp []byte
-		start := time.Now()
-		switch *dtype {
-		case "f32":
-			comp, err = szx.Compress(bytesToF32(raw), opt)
-		case "f64":
-			comp, err = szx.CompressFloat64(bytesToF64(raw), opt)
-		default:
-			fail("unknown type %q", *dtype)
+		if *stream {
+			if *dtype != "f32" {
+				fail("-stream supports -t f32 only")
+			}
+			runStreamCompress(*in, *out, opt, *chunkVals, *workers, *quiet)
+			return
 		}
-		elapsed := time.Since(start)
-		if err != nil {
-			fail("%v", err)
-		}
-		if err := os.WriteFile(*out, comp, 0o644); err != nil {
-			fail("%v", err)
-		}
-		if !*quiet {
-			fmt.Printf("compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
-				len(raw), len(comp), float64(len(raw))/float64(len(comp)), elapsed,
-				float64(len(raw))/elapsed.Seconds()/1e6)
-		}
+		runCompress(*in, *out, opt, *dtype, *quiet)
 	case *decompress:
 		if *out == "" {
 			fail("missing -o output file")
 		}
-		h, err := szx.Info(raw)
-		if err != nil {
-			fail("%v", err)
-		}
-		start := time.Now()
-		var payload []byte
-		if h.Type == szx.TypeFloat64 {
-			vals, derr := szx.DecompressFloat64Parallel(raw, *workers)
-			if derr != nil {
-				fail("%v", derr)
-			}
-			payload = f64ToBytes(vals)
-		} else {
-			vals, derr := szx.DecompressParallel(raw, *workers)
-			if derr != nil {
-				fail("%v", derr)
-			}
-			payload = f32ToBytes(vals)
-		}
-		elapsed := time.Since(start)
-		if err := os.WriteFile(*out, payload, 0o644); err != nil {
-			fail("%v", err)
-		}
-		if !*quiet {
-			fmt.Printf("decompressed %d -> %d bytes in %v (%.1f MB/s)\n",
-				len(raw), len(payload), elapsed,
-				float64(len(payload))/elapsed.Seconds()/1e6)
-		}
+		runDecompress(*in, *out, *workers, *quiet)
 	default:
 		fail("one of -z, -x, -info is required")
 	}
+}
+
+// runInfo prints the header of either container flavor without decoding
+// payloads: streaming containers are scanned frame by frame (length
+// prefixes only), single-buffer streams go through szx.Info.
+func runInfo(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	magic, err := br.Peek(5)
+	if err == nil && string(magic[:4]) == "SZXS" {
+		version := magic[4] // Peek's slice is invalidated by Discard
+		if _, err := br.Discard(5); err != nil {
+			fail("%v", err)
+		}
+		frames, payload := 0, int64(0)
+		for {
+			var lenBuf [4]byte
+			if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+				fail("truncated streaming container after %d frames: %v", frames, err)
+			}
+			n := binary.LittleEndian.Uint32(lenBuf[:])
+			if n == 0 {
+				break
+			}
+			if _, err := br.Discard(int(n)); err != nil {
+				fail("truncated streaming container after %d frames: %v", frames, err)
+			}
+			frames++
+			payload += int64(n)
+		}
+		fmt.Printf("container=SZXS version=%d frames=%d payloadBytes=%d\n", version, frames, payload)
+		return
+	}
+	raw, err := io.ReadAll(br)
+	if err != nil {
+		fail("%v", err)
+	}
+	h, err := szx.Info(raw)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("type=%v n=%d blockSize=%d errBound=%g blocks=%d\n",
+		h.Type, h.N, h.BlockSize, h.ErrBound, h.NumBlocks())
+}
+
+// runStreamCompress pumps the input file through the pipelined streaming
+// engine: reads one chunk of raw float32 bytes at a time, so peak memory is
+// the pipeline window (parallelism+2 chunks), not the file size.
+func runStreamCompress(inPath, outPath string, opt szx.Options, chunkVals, workers int, quiet bool) {
+	if chunkVals <= 0 {
+		chunkVals = szx.DefaultChunkValues
+	}
+	inf, err := os.Open(inPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer inf.Close()
+	outf, err := os.Create(outPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	bw := bufio.NewWriterSize(outf, 1<<20)
+	cw := &countWriter{w: bw}
+	pw := szx.NewPipeWriter(cw, opt, chunkVals, workers)
+
+	start := time.Now()
+	br := bufio.NewReaderSize(inf, 1<<20)
+	rawChunk := make([]byte, 4*chunkVals)
+	vals := make([]float32, chunkVals)
+	var inBytes int64
+	for {
+		n, rerr := io.ReadFull(br, rawChunk)
+		if n > 0 {
+			if rem := n % 4; rem != 0 {
+				fail("input is not a whole number of float32 values (%d trailing bytes)", rem)
+			}
+			inBytes += int64(n)
+			nv := n / 4
+			for i := 0; i < nv; i++ {
+				vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(rawChunk[4*i:]))
+			}
+			if werr := pw.Write(vals[:nv]); werr != nil {
+				fail("%v", werr)
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+	}
+	if err := pw.Close(); err != nil {
+		fail("%v", err)
+	}
+	if err := bw.Flush(); err != nil {
+		fail("%v", err)
+	}
+	if err := outf.Close(); err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+	if !quiet {
+		fmt.Printf("stream-compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
+			inBytes, cw.n, float64(inBytes)/float64(cw.n), elapsed,
+			float64(inBytes)/elapsed.Seconds()/1e6)
+	}
+}
+
+func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bool) {
+	raw, err := os.ReadFile(inPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	var comp []byte
+	start := time.Now()
+	switch dtype {
+	case "f32":
+		comp, err = szx.Compress(bytesToF32(raw), opt)
+	case "f64":
+		comp, err = szx.CompressFloat64(bytesToF64(raw), opt)
+	default:
+		fail("unknown type %q", dtype)
+	}
+	elapsed := time.Since(start)
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := os.WriteFile(outPath, comp, 0o644); err != nil {
+		fail("%v", err)
+	}
+	if !quiet {
+		fmt.Printf("compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
+			len(raw), len(comp), float64(len(raw))/float64(len(comp)), elapsed,
+			float64(len(raw))/elapsed.Seconds()/1e6)
+	}
+}
+
+func runDecompress(inPath, outPath string, workers int, quiet bool) {
+	inf, err := os.Open(inPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer inf.Close()
+	br := bufio.NewReaderSize(inf, 1<<20)
+	magic, _ := br.Peek(4)
+	if string(magic) == "SZXS" {
+		runStreamDecompress(br, inPath, outPath, workers, quiet)
+		return
+	}
+	raw, err := io.ReadAll(br)
+	if err != nil {
+		fail("%v", err)
+	}
+	h, err := szx.Info(raw)
+	if err != nil {
+		fail("%v", err)
+	}
+	start := time.Now()
+	var payload []byte
+	if h.Type == szx.TypeFloat64 {
+		vals, derr := szx.DecompressFloat64Parallel(raw, workers)
+		if derr != nil {
+			fail("%v", derr)
+		}
+		payload = f64ToBytes(vals)
+	} else {
+		vals, derr := szx.DecompressParallel(raw, workers)
+		if derr != nil {
+			fail("%v", derr)
+		}
+		payload = f32ToBytes(vals)
+	}
+	elapsed := time.Since(start)
+	if err := os.WriteFile(outPath, payload, 0o644); err != nil {
+		fail("%v", err)
+	}
+	if !quiet {
+		fmt.Printf("decompressed %d -> %d bytes in %v (%.1f MB/s)\n",
+			len(raw), len(payload), elapsed,
+			float64(len(payload))/elapsed.Seconds()/1e6)
+	}
+}
+
+// runStreamDecompress drains a streaming container through the pipelined
+// reader, writing decoded values to the output file as chunks complete —
+// frames prefetch and decode concurrently ahead of the file writes.
+func runStreamDecompress(br io.Reader, inPath, outPath string, workers int, quiet bool) {
+	outf, err := os.Create(outPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	bw := bufio.NewWriterSize(outf, 1<<20)
+	pr := szx.NewPipeReader(br, workers)
+	defer pr.Close()
+
+	start := time.Now()
+	vals := make([]float32, 1<<16)
+	rawOut := make([]byte, 4*len(vals))
+	var outBytes int64
+	for {
+		n, rerr := pr.Read(vals)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(rawOut[4*i:], math.Float32bits(vals[i]))
+		}
+		if n > 0 {
+			if _, werr := bw.Write(rawOut[:4*n]); werr != nil {
+				fail("%v", werr)
+			}
+			outBytes += int64(4 * n)
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			fail("%v", rerr)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		fail("%v", err)
+	}
+	if err := outf.Close(); err != nil {
+		fail("%v", err)
+	}
+	elapsed := time.Since(start)
+	if !quiet {
+		var inBytes int64
+		if st, serr := os.Stat(inPath); serr == nil {
+			inBytes = st.Size()
+		}
+		fmt.Printf("stream-decompressed %d -> %d bytes in %v (%.1f MB/s)\n",
+			inBytes, outBytes, elapsed,
+			float64(outBytes)/elapsed.Seconds()/1e6)
+	}
+}
+
+// countWriter counts bytes passed through to w.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func fail(format string, args ...interface{}) {

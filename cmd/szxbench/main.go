@@ -41,6 +41,7 @@ func main() {
 		hotpath   = flag.String("hotpath", "", "run hot-path A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
 		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath/-obs mode")
 		obs       = flag.String("obs", "", "run telemetry-overhead A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
+		stream    = flag.String("stream", "", "run streaming dump/load A/B (serial vs pipelined) and write JSON snapshot to this file ('-' = stdout)")
 		stats     = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
 		statsHTTP = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
 	)
@@ -63,6 +64,13 @@ func main() {
 		}
 	}
 
+	if *stream != "" {
+		if err := runStream(*stream, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *obs != "" {
 		if err := runObs(*obs, *benchtime); err != nil {
 			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)

@@ -49,6 +49,85 @@ func FuzzDecompressPublic(f *testing.F) {
 	})
 }
 
+// FuzzStreamPipeline cross-checks the pipelined streaming engine against
+// the serial one: on any input the PipeWriter must emit a container
+// byte-identical to Writer's at every parallelism, and the PipeReader must
+// recover bit-identical values from it. The raw fuzz bytes are
+// reinterpreted as float32 values (NaNs, infinities, subnormals included)
+// and the chunk size is fuzzed too, so ragged tails, single-value chunks,
+// and empty streams are all reached.
+func FuzzStreamPipeline(f *testing.F) {
+	seed := make([]byte, 4*500)
+	for i := 0; i < 500; i++ {
+		binary.LittleEndian.PutUint32(seed[4*i:], math.Float32bits(float32(i%89)/7))
+	}
+	f.Add(seed, uint16(64), uint8(0))
+	f.Add(seed[:4*33+3], uint16(7), uint8(1)) // ragged tail values AND bytes
+	f.Add([]byte{}, uint16(1), uint8(2))
+	f.Add(seed[:4*9], uint16(1000), uint8(3)) // chunk larger than the input
+	f.Fuzz(func(t *testing.T, raw []byte, chunk16 uint16, sel uint8) {
+		chunk := int(chunk16)%2048 + 1
+		bounds := []float64{1e-2, 1e-4, 0.5}
+		opt := Options{ErrorBound: bounds[int(sel)%len(bounds)]}
+		if sel&0x08 != 0 {
+			opt.Mode = BoundRelative
+		}
+		vals := make([]float32, len(raw)/4)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+
+		var serial bytes.Buffer
+		sw := NewWriter(&serial, opt, chunk)
+		serr := sw.Write(vals)
+		if serr == nil {
+			serr = sw.Close()
+		}
+
+		for _, par := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			var piped bytes.Buffer
+			pw := NewPipeWriter(&piped, opt, chunk, par)
+			perr := pw.Write(vals)
+			if perr == nil {
+				perr = pw.Close()
+			} else {
+				_ = pw.Close()
+			}
+			if (serr == nil) != (perr == nil) {
+				t.Fatalf("par=%d chunk=%d: serial/pipelined disagree on validity: %v vs %v",
+					par, chunk, serr, perr)
+			}
+			if serr != nil {
+				continue
+			}
+			if !bytes.Equal(serial.Bytes(), piped.Bytes()) {
+				t.Fatalf("par=%d chunk=%d: pipelined container differs from serial (%d vs %d bytes)",
+					par, chunk, piped.Len(), serial.Len())
+			}
+
+			pr := NewPipeReader(bytes.NewReader(piped.Bytes()), par)
+			got, rerr := pr.ReadAll()
+			want, werr := NewReader(bytes.NewReader(serial.Bytes())).ReadAll()
+			if (rerr == nil) != (werr == nil) {
+				t.Fatalf("par=%d: readers disagree on validity: serial=%v pipelined=%v", par, werr, rerr)
+			}
+			if rerr == nil {
+				if len(got) != len(want) {
+					t.Fatalf("par=%d: %d values, serial reader got %d", par, len(got), len(want))
+				}
+				for i := range want {
+					if math.Float32bits(want[i]) != math.Float32bits(got[i]) {
+						t.Fatalf("par=%d: value %d differs between serial and pipelined readers", par, i)
+					}
+				}
+			}
+			if cerr := pr.Close(); cerr != nil {
+				t.Fatalf("par=%d: close: %v", par, cerr)
+			}
+		}
+	})
+}
+
 // FuzzCompressParallel cross-checks the work-stealing parallel compressor
 // against the serial encoder: on any input the two must emit byte-identical
 // streams at every worker count. The raw fuzz bytes are reinterpreted as

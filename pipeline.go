@@ -1,0 +1,599 @@
+package szx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"repro/telemetry"
+)
+
+// Pipelined streaming engine: the concurrent counterpart of Writer and
+// Reader. The serial stream path compresses a chunk, then writes it, then
+// starts the next chunk — on any real file or socket the CPU idles during
+// I/O and the I/O idles during compression. PipeWriter and PipeReader
+// overlap the two ends to end: a bounded ring of K chunk slots circulates
+// between the producer, a pool of compression (or decompression) workers,
+// and a single in-order emitter, so up to K frames are in flight while the
+// wire format stays byte-identical to the serial Writer's (same container
+// magic, same per-chunk frames, same terminator — pinned by golden-hash
+// and fuzz cross-check tests).
+//
+// Ordering invariant: slots enter the emit queue in submission order, and
+// the emitter (or the reading consumer) waits on each slot's done signal
+// before touching the next, so frames hit the wire — and values reach the
+// caller — strictly in order no matter which worker finishes first.
+//
+// Backpressure invariant: the producer blocks when all K slots are in
+// flight, so memory is bounded by K × chunk on both the value and the
+// compressed side; slots are recycled through a free list, so the steady
+// state allocates nothing.
+//
+// Error semantics: the first error (compression, decompression, I/O, or a
+// malformed frame) wins; it is pinned and returned from every subsequent
+// call. After an error the pipeline keeps draining internally so no
+// goroutine leaks and no channel send deadlocks; Close joins every
+// goroutine before returning.
+
+// errStreamAborted is pinned as the terminal error by PipeWriter.Abort.
+var errStreamAborted = errors.New("szx: stream aborted")
+
+// pipeSlot is one ring entry carrying a chunk through the pipeline.
+type pipeSlot struct {
+	seq   int       // submission sequence (write side)
+	idx   int       // frame index (read side)
+	off   int64     // container offset of the frame's length prefix (read side)
+	vals  []float32 // chunk values (input on write, output on read)
+	frame []byte    // staged frame bytes (output on write, input on read)
+	err   error     // worker/prefetch failure for this slot
+	done  chan struct{}
+}
+
+// pipeErr pins the first error observed anywhere in a pipeline.
+type pipeErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (p *pipeErr) set(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipeErr) get() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// pipelineDepth picks the ring size for a worker count: one slot per
+// worker keeps the pool busy, and two extra keep the producer and emitter
+// from starving the pool at hand-off points.
+func pipelineDepth(workers int) int { return workers + 2 }
+
+// PipeWriter is the pipelined counterpart of Writer: it compresses a
+// stream of float32 values chunk by chunk with a pool of workers while a
+// single emitter goroutine writes the frames strictly in order, producing
+// bytes identical to the serial Writer's.
+//
+// A PipeWriter is not safe for concurrent use (like Writer); the
+// concurrency is internal. Close must be called to flush the tail chunk,
+// write the terminator, and join the worker goroutines.
+type PipeWriter struct {
+	w     io.Writer
+	opt   Options
+	chunk int
+	depth int
+
+	free chan *pipeSlot
+	work chan *pipeSlot
+	emit chan *pipeSlot
+
+	wg       sync.WaitGroup // compression workers
+	emitDone chan struct{}
+
+	buf    []float32
+	seq    int
+	perr   pipeErr
+	closed bool
+}
+
+// NewPipeWriter returns a pipelined streaming compressor writing to w.
+// ChunkValues controls the chunk granularity (0 = DefaultChunkValues) and
+// parallelism the number of concurrent chunk compressions (≤0 =
+// GOMAXPROCS); parallelism+2 frames are kept in flight, bounding memory at
+// roughly (parallelism+2) × chunk values plus their compressed frames.
+// Each chunk is compressed with the serial per-chunk engine — the pipeline
+// itself is the parallelism — so opt.Workers is ignored.
+func NewPipeWriter(w io.Writer, opt Options, chunkValues, parallelism int) *PipeWriter {
+	if chunkValues <= 0 {
+		chunkValues = DefaultChunkValues
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	depth := pipelineDepth(parallelism)
+	pw := &PipeWriter{
+		w:        w,
+		opt:      opt,
+		chunk:    chunkValues,
+		depth:    depth,
+		free:     make(chan *pipeSlot, depth),
+		work:     make(chan *pipeSlot, depth),
+		emit:     make(chan *pipeSlot, depth),
+		emitDone: make(chan struct{}),
+	}
+	pw.opt.Workers = WorkersSerial
+	for i := 0; i < depth; i++ {
+		pw.free <- &pipeSlot{}
+	}
+	pw.wg.Add(parallelism)
+	for i := 0; i < parallelism; i++ {
+		go pw.worker()
+	}
+	go pw.emitter()
+	if telemetry.Enabled() {
+		telemetry.PipelineStarts.Inc()
+		telemetry.PipelineDepths.Observe(int64(depth))
+	}
+	return pw
+}
+
+// buildStreamFrame stages one complete frame — container magic for the
+// first one, the u32 length prefix, and the compressed payload — into dst,
+// exactly as Writer.flushChunk lays it out.
+func buildStreamFrame(dst []byte, chunk []float32, first bool, opt Options) ([]byte, error) {
+	if first {
+		dst = append(dst, streamMagic...)
+		dst = append(dst, streamVersion)
+	}
+	hdrOff := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	out, err := CompressInto(dst, chunk, opt)
+	if err != nil {
+		return dst, err
+	}
+	binary.LittleEndian.PutUint32(out[hdrOff:], uint32(len(out)-hdrOff-4))
+	return out, nil
+}
+
+func (pw *PipeWriter) worker() {
+	defer pw.wg.Done()
+	for s := range pw.work {
+		s.frame, s.err = buildStreamFrame(s.frame[:0], s.vals, s.seq == 0, pw.opt)
+		close(s.done)
+	}
+}
+
+func (pw *PipeWriter) emitter() {
+	defer close(pw.emitDone)
+	obs := telemetry.Enabled()
+	for s := range pw.emit {
+		if obs {
+			t := telemetry.Start()
+			<-s.done
+			t.Stop(&telemetry.PipelineConsumerStalls)
+		} else {
+			<-s.done
+		}
+		switch {
+		case s.err != nil:
+			pw.perr.set(s.err)
+		case pw.perr.get() == nil:
+			if _, err := pw.w.Write(s.frame); err != nil {
+				pw.perr.set(err)
+			} else if telemetry.Enabled() {
+				telemetry.StreamFramesWritten.Inc()
+			}
+		}
+		s.vals = s.vals[:0]
+		pw.free <- s
+	}
+}
+
+// submit hands one chunk to the pipeline, blocking while all ring slots
+// are in flight (the backpressure bound).
+func (pw *PipeWriter) submit(chunk []float32) {
+	var s *pipeSlot
+	if telemetry.Enabled() {
+		t := telemetry.Start()
+		s = <-pw.free
+		t.Stop(&telemetry.PipelineProducerStalls)
+		telemetry.PipelineFramesInFlight.Observe(int64(pw.depth - len(pw.free)))
+	} else {
+		s = <-pw.free
+	}
+	s.seq = pw.seq
+	pw.seq++
+	s.vals = append(s.vals[:0], chunk...)
+	s.err = nil
+	s.done = make(chan struct{})
+	pw.emit <- s
+	pw.work <- s
+}
+
+// Write buffers values, submitting full chunks to the pipeline. It chunks
+// exactly like Writer.Write, so the emitted frame boundaries are
+// identical. Errors from in-flight chunks surface on a later Write or on
+// Close (first error wins).
+func (pw *PipeWriter) Write(values []float32) error {
+	if err := pw.perr.get(); err != nil {
+		return err
+	}
+	if pw.closed {
+		return errors.New("szx: write after Close")
+	}
+	for len(values) > 0 {
+		if len(pw.buf) == 0 && len(values) >= pw.chunk {
+			pw.submit(values[:pw.chunk])
+			values = values[pw.chunk:]
+		} else {
+			need := pw.chunk - len(pw.buf)
+			if need > len(values) {
+				need = len(values)
+			}
+			pw.buf = append(pw.buf, values[:need]...)
+			values = values[need:]
+			if len(pw.buf) == pw.chunk {
+				pw.submit(pw.buf)
+				pw.buf = pw.buf[:0]
+			}
+		}
+		if err := pw.perr.get(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shutdown stops the pipeline: no more submissions, workers and the
+// emitter drain what is in flight and exit.
+func (pw *PipeWriter) shutdown() {
+	close(pw.work)
+	pw.wg.Wait()
+	close(pw.emit)
+	<-pw.emitDone
+}
+
+// Close flushes the buffered tail chunk, drains the pipeline, writes the
+// terminator, and joins every goroutine. It returns the first error the
+// pipeline hit, if any; a second Close is a no-op returning that same
+// error state.
+func (pw *PipeWriter) Close() error {
+	if pw.closed {
+		return pw.perr.get()
+	}
+	pw.closed = true
+	if len(pw.buf) > 0 && pw.perr.get() == nil {
+		pw.submit(pw.buf)
+		pw.buf = pw.buf[:0]
+	}
+	pw.shutdown()
+	if err := pw.perr.get(); err != nil {
+		return err
+	}
+	// Terminator, prefixed by the container magic when no chunk was ever
+	// submitted (empty stream), exactly as Writer.Close emits it.
+	tail := make([]byte, 0, len(streamMagic)+5)
+	if pw.seq == 0 {
+		tail = append(tail, streamMagic...)
+		tail = append(tail, streamVersion)
+	}
+	tail = append(tail, 0, 0, 0, 0)
+	if _, err := pw.w.Write(tail); err != nil {
+		pw.perr.set(err)
+		return err
+	}
+	return nil
+}
+
+// Abort stops the pipeline without flushing the tail chunk or writing the
+// terminator, leaving a truncated (but prefix-readable) container. It
+// joins every goroutine; subsequent Write and Close calls report the
+// abort. Already-submitted frames may or may not reach the writer.
+func (pw *PipeWriter) Abort() {
+	if pw.closed {
+		return
+	}
+	pw.closed = true
+	pw.perr.set(errStreamAborted)
+	pw.shutdown()
+}
+
+// PipeReader is the pipelined counterpart of Reader: a prefetcher
+// goroutine reads length-prefixed frames ahead while a pool of workers
+// decompresses them concurrently, and Read delivers values strictly in
+// frame order. Memory is bounded by the ring: at most parallelism+2
+// compressed frames (and their decoded chunks) are in flight.
+//
+// A PipeReader is not safe for concurrent use. Close releases the
+// background goroutines; it must be called when abandoning a stream
+// mid-read (after a clean EOF or a terminal error the goroutines have
+// already exited, but Close remains safe and idempotent).
+type PipeReader struct {
+	r     io.Reader
+	depth int
+
+	free chan *pipeSlot
+	work chan *pipeSlot
+	emit chan *pipeSlot
+	stop chan struct{}
+
+	wg sync.WaitGroup // prefetcher + decode workers
+
+	cur    *pipeSlot // slot currently being drained
+	pos    int
+	err    error
+	closed bool
+}
+
+// NewPipeReader returns a pipelined streaming decompressor reading from r.
+// parallelism is the number of concurrent frame decodes (≤0 = GOMAXPROCS).
+func NewPipeReader(r io.Reader, parallelism int) *PipeReader {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	depth := pipelineDepth(parallelism)
+	pr := &PipeReader{
+		r:     r,
+		depth: depth,
+		free:  make(chan *pipeSlot, depth),
+		work:  make(chan *pipeSlot, depth),
+		emit:  make(chan *pipeSlot, depth),
+		stop:  make(chan struct{}),
+	}
+	for i := 0; i < depth; i++ {
+		pr.free <- &pipeSlot{}
+	}
+	pr.wg.Add(1 + parallelism)
+	go pr.prefetch()
+	for i := 0; i < parallelism; i++ {
+		go pr.decodeWorker()
+	}
+	if telemetry.Enabled() {
+		telemetry.PipelineStarts.Inc()
+		telemetry.PipelineDepths.Observe(int64(depth))
+	}
+	return pr
+}
+
+// headerErr marks a container-header failure: the slot carries the final
+// error verbatim (idx < 0 distinguishes it from frame errors).
+func headerSlot(err error) *pipeSlot {
+	s := &pipeSlot{idx: -1, err: err, done: make(chan struct{})}
+	close(s.done)
+	return s
+}
+
+// send delivers a slot to ch unless the reader is being closed.
+func (pr *PipeReader) send(ch chan *pipeSlot, s *pipeSlot) bool {
+	select {
+	case ch <- s:
+		return true
+	case <-pr.stop:
+		return false
+	}
+}
+
+func (pr *PipeReader) prefetch() {
+	defer pr.wg.Done()
+	defer close(pr.work)
+	defer close(pr.emit)
+
+	var hdr [5]byte
+	if _, err := io.ReadFull(pr.r, hdr[:]); err != nil {
+		pr.send(pr.emit, headerSlot(fmt.Errorf("%w: container header: %w", ErrStream, err)))
+		return
+	}
+	if string(hdr[:4]) != streamMagic || hdr[4] != streamVersion {
+		pr.send(pr.emit, headerSlot(ErrStream))
+		return
+	}
+	byteOff := int64(5)
+	idx := 0
+	obs := telemetry.Enabled()
+	for {
+		frameOff := byteOff
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(pr.r, lenBuf[:]); err != nil {
+			pr.send(pr.emit, frameErrSlot(idx, frameOff, fmt.Errorf("truncated frame header: %w", err)))
+			return
+		}
+		byteOff += 4
+		frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+		if frameLen == 0 {
+			return // clean terminator
+		}
+		if frameLen > 1<<31 {
+			pr.send(pr.emit, frameErrSlot(idx, frameOff, fmt.Errorf("frame length %d out of range", frameLen)))
+			return
+		}
+		var s *pipeSlot
+		if obs {
+			t := telemetry.Start()
+			select {
+			case s = <-pr.free:
+			case <-pr.stop:
+				return
+			}
+			t.Stop(&telemetry.PipelineProducerStalls)
+			telemetry.PipelineFramesInFlight.Observe(int64(pr.depth - len(pr.free)))
+		} else {
+			select {
+			case s = <-pr.free:
+			case <-pr.stop:
+				return
+			}
+		}
+		frame, got, err := readFrameBody(pr.r, s.frame, int(frameLen))
+		s.frame = frame
+		byteOff += int64(got)
+		s.idx = idx
+		s.off = frameOff
+		s.err = nil
+		s.done = make(chan struct{})
+		if err != nil {
+			s.err = fmt.Errorf("truncated frame (%d of %d payload bytes): %w", got, frameLen, err)
+			close(s.done)
+			pr.send(pr.emit, s)
+			return
+		}
+		if !pr.send(pr.emit, s) {
+			return
+		}
+		if !pr.send(pr.work, s) {
+			// Closing: no worker will ever decode this slot; close its done
+			// signal so the Close-side drain does not wait forever.
+			close(s.done)
+			return
+		}
+		idx++
+	}
+}
+
+// frameErrSlot wraps a prefetch-side frame failure; the consumer turns it
+// into a FrameError so reporting matches the serial Reader exactly.
+func frameErrSlot(idx int, off int64, cause error) *pipeSlot {
+	s := &pipeSlot{idx: idx, off: off, err: cause, done: make(chan struct{})}
+	close(s.done)
+	return s
+}
+
+func (pr *PipeReader) decodeWorker() {
+	defer pr.wg.Done()
+	for s := range pr.work {
+		if s.err == nil {
+			vals, err := DecompressInto(s.vals[:0], s.frame)
+			if err != nil {
+				s.err = err
+			} else {
+				s.vals = vals
+			}
+		}
+		close(s.done)
+	}
+}
+
+// fail pins a frame-level failure as the reader's terminal error, counting
+// it exactly as the serial Reader does.
+func (pr *PipeReader) fail(s *pipeSlot) error {
+	telemetry.StreamFrameErrors.Inc()
+	if s.idx < 0 {
+		pr.err = s.err // container-header failure, already fully wrapped
+	} else {
+		pr.err = &FrameError{Frame: s.idx, Offset: s.off, Err: s.err}
+	}
+	return pr.err
+}
+
+// next advances to the next decoded slot in frame order, recycling the
+// drained one. It returns io.EOF at the terminator.
+func (pr *PipeReader) next() error {
+	if pr.cur != nil {
+		pr.cur.frame = pr.cur.frame[:0]
+		pr.free <- pr.cur
+		pr.cur = nil
+	}
+	var s *pipeSlot
+	var ok bool
+	if telemetry.Enabled() {
+		t := telemetry.Start()
+		s, ok = <-pr.emit
+		if ok {
+			<-s.done
+		}
+		t.Stop(&telemetry.PipelineConsumerStalls)
+	} else {
+		s, ok = <-pr.emit
+		if ok {
+			<-s.done
+		}
+	}
+	if !ok {
+		pr.err = io.EOF
+		return io.EOF
+	}
+	if s.err != nil {
+		return pr.fail(s)
+	}
+	pr.cur = s
+	pr.pos = 0
+	if telemetry.Enabled() {
+		telemetry.StreamFramesRead.Inc()
+	}
+	return nil
+}
+
+// Read fills p with decompressed values, returning the count. It returns
+// io.EOF after the final chunk is exhausted.
+func (pr *PipeReader) Read(p []float32) (int, error) {
+	if pr.err != nil {
+		return 0, pr.err
+	}
+	total := 0
+	for total < len(p) {
+		if pr.cur == nil || pr.pos == len(pr.cur.vals) {
+			if err := pr.next(); err != nil {
+				if total > 0 && err == io.EOF {
+					pr.err = nil // deliver what we have; EOF on the next call
+					return total, nil
+				}
+				return total, err
+			}
+		}
+		n := copy(p[total:], pr.cur.vals[pr.pos:])
+		pr.pos += n
+		total += n
+	}
+	return total, nil
+}
+
+// ReadAll decompresses the remainder of the stream.
+func (pr *PipeReader) ReadAll() ([]float32, error) {
+	if pr.err != nil && pr.err != io.EOF {
+		return nil, pr.err
+	}
+	var out []float32
+	for {
+		if pr.cur != nil && pr.pos < len(pr.cur.vals) {
+			out = append(out, pr.cur.vals[pr.pos:]...)
+			pr.pos = len(pr.cur.vals)
+		}
+		if err := pr.next(); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+	}
+}
+
+// Close abandons the stream and joins the background goroutines. It is
+// idempotent and safe after EOF or an error. If the underlying reader is
+// blocked in Read, Close blocks until that call returns (hand PipeReader a
+// reader you can unblock, e.g. by closing the file or connection).
+func (pr *PipeReader) Close() error {
+	if pr.closed {
+		return nil
+	}
+	pr.closed = true
+	close(pr.stop)
+	// Drain the in-order queue so the prefetcher and workers are never
+	// stuck handing off a slot, then join everything.
+	go func() {
+		for s := range pr.emit {
+			<-s.done
+		}
+	}()
+	pr.wg.Wait()
+	if pr.err == nil {
+		pr.err = errors.New("szx: read after Close")
+	}
+	return nil
+}

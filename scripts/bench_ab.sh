@@ -84,3 +84,11 @@ if [[ "${BENCH_OBS:-1}" != 0 ]]; then
     echo "bench_ab: telemetry overhead + stage breakdown (working tree)" >&2
     go run ./cmd/szxbench -obs - -benchtime "$BENCHTIME"
 fi
+
+# Streaming dump/load A/B for the working tree: serial Writer/Reader vs the
+# pipelined engine over file, simulated-PFS, and balanced sinks (the
+# BENCH_STREAM.json workload). Skip with BENCH_STREAM=0.
+if [[ "${BENCH_STREAM:-1}" != 0 ]]; then
+    echo "bench_ab: streaming serial-vs-pipelined A/B (working tree)" >&2
+    go run ./cmd/szxbench -stream - -benchtime "$BENCHTIME"
+fi

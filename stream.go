@@ -182,7 +182,6 @@ type Reader struct {
 	r        io.Reader
 	buf      []float32 // decoded values not yet delivered (reused per chunk)
 	frame    []byte    // reused compressed-frame buffer
-	scratch  []byte    // reused frame-read staging buffer
 	pos      int
 	frameIdx int   // index of the next frame to read
 	byteOff  int64 // container bytes consumed so far
@@ -278,33 +277,13 @@ func (sr *Reader) nextChunk() error {
 	if frameLen > 1<<31 {
 		return sr.frameErr(frameOff, fmt.Errorf("frame length %d out of range", frameLen))
 	}
-	// Read the frame incrementally so a forged header cannot force a huge
-	// up-front allocation: memory grows only as real bytes arrive. The
-	// frame and staging buffers are reused across chunks.
-	if cap(sr.frame) < min(int(frameLen), 1<<20) {
-		sr.frame = make([]byte, 0, min(int(frameLen), 1<<20))
-	}
-	frame := sr.frame[:0]
-	remaining := int(frameLen)
-	if sr.scratch == nil {
-		sr.scratch = make([]byte, 1<<20)
-	}
-	chunk := sr.scratch
-	for remaining > 0 {
-		n := len(chunk)
-		if n > remaining {
-			n = remaining
-		}
-		got, err := io.ReadFull(sr.r, chunk[:n])
-		frame = append(frame, chunk[:got]...)
-		sr.byteOff += int64(got)
-		if err != nil {
-			return sr.frameErr(frameOff, fmt.Errorf("truncated frame (%d of %d payload bytes): %w",
-				int(frameLen)-remaining+got, frameLen, err))
-		}
-		remaining -= got
-	}
+	frame, got, err := readFrameBody(sr.r, sr.frame, int(frameLen))
 	sr.frame = frame
+	sr.byteOff += int64(got)
+	if err != nil {
+		return sr.frameErr(frameOff, fmt.Errorf("truncated frame (%d of %d payload bytes): %w",
+			got, frameLen, err))
+	}
 	vals, err := DecompressInto(sr.buf[:0], frame)
 	if err != nil {
 		return sr.frameErr(frameOff, err)
@@ -316,6 +295,39 @@ func (sr *Reader) nextChunk() error {
 		telemetry.StreamFramesRead.Inc()
 	}
 	return nil
+}
+
+// readFrameBody reads frameLen payload bytes from r directly into the
+// (reused) dst buffer, growing it incrementally so a forged length prefix
+// cannot force a huge up-front allocation: capacity starts at ≤1 MiB and
+// doubles only as real bytes arrive, so memory stays proportional to what
+// was actually received. It returns the filled buffer, the payload bytes
+// received (= len of the returned buffer), and any read error. Shared by
+// the serial Reader and the PipeReader prefetcher.
+func readFrameBody(r io.Reader, dst []byte, frameLen int) ([]byte, int, error) {
+	const step = 1 << 20
+	frame := dst[:0]
+	if cap(frame) < min(frameLen, step) {
+		frame = make([]byte, 0, min(frameLen, step))
+	}
+	for len(frame) < frameLen {
+		off := len(frame)
+		avail := cap(frame) - off
+		if avail == 0 {
+			newCap := min(max(2*cap(frame), step), frameLen)
+			grown := make([]byte, off, newCap)
+			copy(grown, frame)
+			frame = grown
+			avail = newCap - off
+		}
+		n := min(frameLen-off, avail)
+		got, err := io.ReadFull(r, frame[off:off+n])
+		frame = frame[:off+got]
+		if err != nil {
+			return frame, len(frame), err
+		}
+	}
+	return frame, len(frame), nil
 }
 
 // --- random access ---------------------------------------------------------

@@ -12,18 +12,18 @@ var (
 	CompressBytesIn     Counter // uncompressed input bytes
 	CompressBytesOut    Counter // compressed output bytes
 	DecompressCalls     Counter
-	DecompressBytesIn   Counter // compressed input bytes
-	DecompressBytesOut  Counter // reconstructed output bytes
+	DecompressBytesIn   Counter   // compressed input bytes
+	DecompressBytesOut  Counter   // reconstructed output bytes
 	CompressDurations   Histogram // ns per Compress call
 	DecompressDurations Histogram // ns per Decompress call
 )
 
 // Block-level encoder statistics (the paper's §4 block taxonomy).
 var (
-	BlocksConstant    Counter // blocks stored as a single μ
-	BlocksNonConstant Counter // blocks that took the truncation path
-	BlocksLossless    Counter // nonconstant blocks escalated to the full word
-	GuardRetries      Counter // blocks re-encoded by the error-bound guard
+	BlocksConstant    Counter    // blocks stored as a single μ
+	BlocksNonConstant Counter    // blocks that took the truncation path
+	BlocksLossless    Counter    // nonconstant blocks escalated to the full word
+	GuardRetries      Counter    // blocks re-encoded by the error-bound guard
 	LeadCodes         [4]Counter // per-value identical-leading-byte code distribution
 	ReqLenBits        BitHist    // per-block required bit count (Formula 4)
 )
@@ -54,10 +54,10 @@ var (
 // Work-stealing engine internals (shared by the parallel compressor and
 // decompressor).
 var (
-	ParallelChunksOwned   Counter // chunks claimed by the calling goroutine
-	ParallelChunksStolen  Counter // chunks claimed by pool workers
-	ParallelParticipants  Counter // participants summed over engine calls
-	ParallelActiveWorkers Counter // participants that claimed ≥1 chunk
+	ParallelChunksOwned     Counter   // chunks claimed by the calling goroutine
+	ParallelChunksStolen    Counter   // chunks claimed by pool workers
+	ParallelParticipants    Counter   // participants summed over engine calls
+	ParallelActiveWorkers   Counter   // participants that claimed ≥1 chunk
 	ParallelChunksPerWorker Histogram // chunks claimed per participant per call
 	EncodePhaseDurations    Histogram // ns in the parallel encode phase
 	GatherPhaseDurations    Histogram // ns in the parallel gather phase
@@ -65,15 +65,30 @@ var (
 
 // Container-level counters (streaming, archive, temporal layers).
 var (
-	StreamFramesWritten Counter
-	StreamFramesRead    Counter
-	StreamFrameErrors   Counter // malformed/truncated frames seen by Reader
-	ArchiveFieldsWritten Counter
-	ArchiveFieldsRead    Counter
-	TimeFramesKey        Counter // self-contained temporal keyframes
-	TimeFramesDelta      Counter // residual-coded temporal frames
+	StreamFramesWritten   Counter
+	StreamFramesRead      Counter
+	StreamFrameErrors     Counter // malformed/truncated frames seen by Reader
+	ArchiveFieldsWritten  Counter
+	ArchiveFieldsRead     Counter
+	TimeFramesKey         Counter // self-contained temporal keyframes
+	TimeFramesDelta       Counter // residual-coded temporal frames
 	TimeKeyframeFallbacks Counter // delta frames re-coded as keyframes by the bound check
 	RelativeBoundResolves Counter // BoundRelative range scans
+)
+
+// Pipelined streaming engine internals (PipeWriter/PipeReader). Depth is
+// the configured ring size observed once per pipeline start; frames in
+// flight is sampled at every chunk submission; the stall histograms
+// separate the two ways a pipeline loses time — the producer waiting for a
+// free ring slot (compute/emit side too slow) and the in-order consumer
+// waiting for the next frame to finish (head-of-line chunk still
+// compressing or still being read).
+var (
+	PipelineStarts         Counter   // PipeWriter/PipeReader instances started
+	PipelineDepths         Histogram // configured ring depth per pipeline start
+	PipelineFramesInFlight Histogram // occupied ring slots, sampled per submission
+	PipelineProducerStalls Histogram // ns the producer waited for a free slot
+	PipelineConsumerStalls Histogram // ns the in-order consumer waited on the head frame
 )
 
 // BlockTally accumulates per-block and per-value encoder statistics

@@ -63,6 +63,12 @@ var registry = []metric{
 	{name: "szx_parallel_encode_phase_seconds", help: "Wall time of the parallel engine's encode phase.", h: &EncodePhaseDurations, scale: 1e-9},
 	{name: "szx_parallel_gather_phase_seconds", help: "Wall time of the parallel engine's gather phase.", h: &GatherPhaseDurations, scale: 1e-9},
 
+	{name: "szx_pipeline_starts_total", help: "Pipelined stream writers/readers started.", c: &PipelineStarts},
+	{name: "szx_pipeline_depth", help: "Configured pipeline ring depth per start.", h: &PipelineDepths, scale: 1},
+	{name: "szx_pipeline_frames_in_flight", help: "Occupied pipeline ring slots, sampled per chunk submission.", h: &PipelineFramesInFlight, scale: 1},
+	{name: "szx_pipeline_producer_stall_seconds", help: "Time the pipeline producer waited for a free ring slot.", h: &PipelineProducerStalls, scale: 1e-9},
+	{name: "szx_pipeline_consumer_stall_seconds", help: "Time the in-order pipeline consumer waited on the head frame.", h: &PipelineConsumerStalls, scale: 1e-9},
+
 	{name: "szx_stream_frames_written_total", help: "Streaming-container frames written.", c: &StreamFramesWritten},
 	{name: "szx_stream_frames_read_total", help: "Streaming-container frames read.", c: &StreamFramesRead},
 	{name: "szx_stream_frame_errors_total", help: "Malformed or truncated streaming frames encountered by Reader.", c: &StreamFrameErrors},

@@ -49,6 +49,15 @@ type ParallelSnapshot struct {
 	GatherPhase     HistogramSnapshot `json:"gather_phase_ns"`
 }
 
+// PipelineSnapshot exposes the pipelined streaming engine internals.
+type PipelineSnapshot struct {
+	Starts         int64             `json:"starts"`
+	Depths         HistogramSnapshot `json:"depths"`
+	FramesInFlight HistogramSnapshot `json:"frames_in_flight"`
+	ProducerStalls HistogramSnapshot `json:"producer_stall_ns"`
+	ConsumerStalls HistogramSnapshot `json:"consumer_stall_ns"`
+}
+
 // ContainersSnapshot summarizes the stream/archive/temporal layers.
 type ContainersSnapshot struct {
 	StreamFramesWritten   int64 `json:"stream_frames_written"`
@@ -70,6 +79,7 @@ type Snapshot struct {
 	Blocks     BlocksSnapshot     `json:"blocks"`
 	Engine     EngineSnapshot     `json:"engine"`
 	Parallel   ParallelSnapshot   `json:"parallel"`
+	Pipeline   PipelineSnapshot   `json:"pipeline"`
 	Containers ContainersSnapshot `json:"containers"`
 }
 
@@ -116,6 +126,13 @@ func Snap() Snapshot {
 			ChunksPerWorker: ParallelChunksPerWorker.Snapshot(),
 			EncodePhase:     EncodePhaseDurations.Snapshot(),
 			GatherPhase:     GatherPhaseDurations.Snapshot(),
+		},
+		Pipeline: PipelineSnapshot{
+			Starts:         PipelineStarts.Load(),
+			Depths:         PipelineDepths.Snapshot(),
+			FramesInFlight: PipelineFramesInFlight.Snapshot(),
+			ProducerStalls: PipelineProducerStalls.Snapshot(),
+			ConsumerStalls: PipelineConsumerStalls.Snapshot(),
 		},
 		Containers: ContainersSnapshot{
 			StreamFramesWritten:   StreamFramesWritten.Load(),
@@ -201,6 +218,11 @@ func Report() string {
 			s.Parallel.ChunksOwned, s.Parallel.ChunksStolen, 100*s.Parallel.Utilization,
 			s.Parallel.ActiveWorkers, s.Parallel.Participants,
 			fmtDur(s.Parallel.EncodePhase), fmtDur(s.Parallel.GatherPhase))
+	}
+	if s.Pipeline.Starts > 0 {
+		fmt.Fprintf(&b, "  pipeline:   %d started (mean depth %.1f), in-flight mean %.1f, producer stall %s, consumer stall %s\n",
+			s.Pipeline.Starts, s.Pipeline.Depths.Mean, s.Pipeline.FramesInFlight.Mean,
+			fmtDur(s.Pipeline.ProducerStalls), fmtDur(s.Pipeline.ConsumerStalls))
 	}
 	c := s.Containers
 	if c.StreamFramesWritten+c.StreamFramesRead+c.StreamFrameErrors > 0 {
