@@ -22,11 +22,16 @@
 // to stderr when the command finishes; -stats-http ADDR additionally serves
 // /metrics (Prometheus text), /debug/vars (expvar JSON), and /debug/pprof
 // on ADDR for the lifetime of the process.
+//
+// Exit codes are distinct so scripts can tell failure classes apart:
+// 0 success, 2 usage error (bad flags or parameters), 3 I/O error
+// (missing or unwritable files), 4 corrupt or mistyped input stream.
 package main
 
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +44,37 @@ import (
 	szx "repro"
 	"repro/telemetry"
 )
+
+// Exit codes. The flag package itself exits 2 on unparsable flags, so
+// exitUsage doubles as "bad parameter value" for consistency.
+const (
+	exitOK      = 0
+	exitUsage   = 2 // bad flag combination or invalid codec parameters
+	exitIO      = 3 // filesystem or network failure
+	exitCorrupt = 4 // input stream failed validation during decode
+)
+
+// exitCodeFor classifies an error from the codec or the filesystem into
+// one of the documented exit codes.
+func exitCodeFor(err error) int {
+	switch {
+	case err == nil:
+		return exitOK
+	case errors.Is(err, szx.ErrBadMagic),
+		errors.Is(err, szx.ErrBadVersion),
+		errors.Is(err, szx.ErrCorrupt),
+		errors.Is(err, szx.ErrStream),
+		errors.Is(err, szx.ErrWrongType),
+		errors.Is(err, io.ErrUnexpectedEOF):
+		return exitCorrupt
+	case errors.Is(err, szx.ErrErrBound),
+		errors.Is(err, szx.ErrBlockSize),
+		errors.Is(err, szx.ErrDegenerateRange):
+		return exitUsage
+	default:
+		return exitIO
+	}
+}
 
 func main() {
 	var (
@@ -58,6 +94,16 @@ func main() {
 		stats      = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
 		statsHTTP  = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintf(out, "usage: szx (-z|-x|-info) -i FILE [-o FILE] [options]\n\noptions:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nexit codes:\n"+
+			"  0  success\n"+
+			"  2  usage error: bad flags or invalid codec parameters\n"+
+			"  3  I/O error: missing, unreadable, or unwritable files\n"+
+			"  4  corrupt input: stream failed validation during decode\n")
+	}
 	flag.Parse()
 
 	if *stats || *statsHTTP != "" {
@@ -66,7 +112,7 @@ func main() {
 		if *statsHTTP != "" {
 			ln, err := net.Listen("tcp", *statsHTTP)
 			if err != nil {
-				fail("%v", err)
+				fail(exitIO, "%v", err)
 			}
 			fmt.Fprintf(os.Stderr, "szx: serving stats on http://%s/metrics\n", ln.Addr())
 			go func() { _ = http.Serve(ln, telemetry.DebugHandler()) }()
@@ -77,7 +123,7 @@ func main() {
 	}
 
 	if *in == "" {
-		fail("missing -i input file")
+		fail(exitUsage, "missing -i input file")
 	}
 
 	switch {
@@ -85,7 +131,7 @@ func main() {
 		runInfo(*in)
 	case *compress:
 		if *out == "" {
-			fail("missing -o output file")
+			fail(exitUsage, "missing -o output file")
 		}
 		mode := szx.BoundAbsolute
 		if *rel {
@@ -94,7 +140,7 @@ func main() {
 		opt := szx.Options{ErrorBound: *bound, Mode: mode, BlockSize: *blockSize, Workers: *workers}
 		if *stream {
 			if *dtype != "f32" {
-				fail("-stream supports -t f32 only")
+				fail(exitUsage, "-stream supports -t f32 only")
 			}
 			runStreamCompress(*in, *out, opt, *chunkVals, *workers, *quiet)
 			return
@@ -102,11 +148,11 @@ func main() {
 		runCompress(*in, *out, opt, *dtype, *quiet)
 	case *decompress:
 		if *out == "" {
-			fail("missing -o output file")
+			fail(exitUsage, "missing -o output file")
 		}
 		runDecompress(*in, *out, *workers, *quiet)
 	default:
-		fail("one of -z, -x, -info is required")
+		fail(exitUsage, "one of -z, -x, -info is required")
 	}
 }
 
@@ -116,7 +162,7 @@ func main() {
 func runInfo(path string) {
 	f, err := os.Open(path)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	defer f.Close()
 	br := bufio.NewReader(f)
@@ -124,20 +170,20 @@ func runInfo(path string) {
 	if err == nil && string(magic[:4]) == "SZXS" {
 		version := magic[4] // Peek's slice is invalidated by Discard
 		if _, err := br.Discard(5); err != nil {
-			fail("%v", err)
+			fail(exitIO, "%v", err)
 		}
 		frames, payload := 0, int64(0)
 		for {
 			var lenBuf [4]byte
 			if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-				fail("truncated streaming container after %d frames: %v", frames, err)
+				fail(exitCorrupt, "truncated streaming container after %d frames: %v", frames, err)
 			}
 			n := binary.LittleEndian.Uint32(lenBuf[:])
 			if n == 0 {
 				break
 			}
 			if _, err := br.Discard(int(n)); err != nil {
-				fail("truncated streaming container after %d frames: %v", frames, err)
+				fail(exitCorrupt, "truncated streaming container after %d frames: %v", frames, err)
 			}
 			frames++
 			payload += int64(n)
@@ -147,11 +193,11 @@ func runInfo(path string) {
 	}
 	raw, err := io.ReadAll(br)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	h, err := szx.Info(raw)
 	if err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
 	fmt.Printf("type=%v n=%d blockSize=%d errBound=%g blocks=%d\n",
 		h.Type, h.N, h.BlockSize, h.ErrBound, h.NumBlocks())
@@ -166,12 +212,12 @@ func runStreamCompress(inPath, outPath string, opt szx.Options, chunkVals, worke
 	}
 	inf, err := os.Open(inPath)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	defer inf.Close()
 	outf, err := os.Create(outPath)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	bw := bufio.NewWriterSize(outf, 1<<20)
 	cw := &countWriter{w: bw}
@@ -186,7 +232,7 @@ func runStreamCompress(inPath, outPath string, opt szx.Options, chunkVals, worke
 		n, rerr := io.ReadFull(br, rawChunk)
 		if n > 0 {
 			if rem := n % 4; rem != 0 {
-				fail("input is not a whole number of float32 values (%d trailing bytes)", rem)
+				fail(exitCorrupt, "input is not a whole number of float32 values (%d trailing bytes)", rem)
 			}
 			inBytes += int64(n)
 			nv := n / 4
@@ -194,24 +240,24 @@ func runStreamCompress(inPath, outPath string, opt szx.Options, chunkVals, worke
 				vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(rawChunk[4*i:]))
 			}
 			if werr := pw.Write(vals[:nv]); werr != nil {
-				fail("%v", werr)
+				failErr(werr)
 			}
 		}
 		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
 			break
 		}
 		if rerr != nil {
-			fail("%v", rerr)
+			fail(exitIO, "%v", rerr)
 		}
 	}
 	if err := pw.Close(); err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
 	if err := bw.Flush(); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	if err := outf.Close(); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	elapsed := time.Since(start)
 	if !quiet {
@@ -224,7 +270,7 @@ func runStreamCompress(inPath, outPath string, opt szx.Options, chunkVals, worke
 func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bool) {
 	raw, err := os.ReadFile(inPath)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	var comp []byte
 	start := time.Now()
@@ -234,14 +280,14 @@ func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bo
 	case "f64":
 		comp, err = szx.CompressFloat64(bytesToF64(raw), opt)
 	default:
-		fail("unknown type %q", dtype)
+		fail(exitUsage, "unknown type %q", dtype)
 	}
 	elapsed := time.Since(start)
 	if err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
 	if err := os.WriteFile(outPath, comp, 0o644); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	if !quiet {
 		fmt.Printf("compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
@@ -253,7 +299,7 @@ func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bo
 func runDecompress(inPath, outPath string, workers int, quiet bool) {
 	inf, err := os.Open(inPath)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	defer inf.Close()
 	br := bufio.NewReaderSize(inf, 1<<20)
@@ -264,30 +310,30 @@ func runDecompress(inPath, outPath string, workers int, quiet bool) {
 	}
 	raw, err := io.ReadAll(br)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	h, err := szx.Info(raw)
 	if err != nil {
-		fail("%v", err)
+		failErr(err)
 	}
 	start := time.Now()
 	var payload []byte
 	if h.Type == szx.TypeFloat64 {
 		vals, derr := szx.DecompressFloat64Parallel(raw, workers)
 		if derr != nil {
-			fail("%v", derr)
+			failErr(derr)
 		}
 		payload = f64ToBytes(vals)
 	} else {
 		vals, derr := szx.DecompressParallel(raw, workers)
 		if derr != nil {
-			fail("%v", derr)
+			failErr(derr)
 		}
 		payload = f32ToBytes(vals)
 	}
 	elapsed := time.Since(start)
 	if err := os.WriteFile(outPath, payload, 0o644); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	if !quiet {
 		fmt.Printf("decompressed %d -> %d bytes in %v (%.1f MB/s)\n",
@@ -302,7 +348,7 @@ func runDecompress(inPath, outPath string, workers int, quiet bool) {
 func runStreamDecompress(br io.Reader, inPath, outPath string, workers int, quiet bool) {
 	outf, err := os.Create(outPath)
 	if err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	bw := bufio.NewWriterSize(outf, 1<<20)
 	pr := szx.NewPipeReader(br, workers)
@@ -319,7 +365,7 @@ func runStreamDecompress(br io.Reader, inPath, outPath string, workers int, quie
 		}
 		if n > 0 {
 			if _, werr := bw.Write(rawOut[:4*n]); werr != nil {
-				fail("%v", werr)
+				fail(exitIO, "%v", werr)
 			}
 			outBytes += int64(4 * n)
 		}
@@ -327,14 +373,14 @@ func runStreamDecompress(br io.Reader, inPath, outPath string, workers int, quie
 			break
 		}
 		if rerr != nil {
-			fail("%v", rerr)
+			failErr(rerr)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	if err := outf.Close(); err != nil {
-		fail("%v", err)
+		fail(exitIO, "%v", err)
 	}
 	elapsed := time.Since(start)
 	if !quiet {
@@ -360,10 +406,15 @@ func (c *countWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-func fail(format string, args ...interface{}) {
+// fail prints a message and exits with the given documented code.
+func fail(code int, format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "szx: "+format+"\n", args...)
-	os.Exit(1)
+	os.Exit(code)
 }
+
+// failErr classifies err (corrupt input vs usage vs I/O) and exits with
+// the matching code.
+func failErr(err error) { fail(exitCodeFor(err), "%v", err) }
 
 func bytesToF32(b []byte) []float32 {
 	out := make([]float32, len(b)/4)

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	szx "repro"
+)
+
+// TestExitCodeClassification pins the error-to-exit-code mapping that
+// scripts depend on: corrupt input is distinguishable from a missing file,
+// which is distinguishable from bad parameters.
+func TestExitCodeClassification(t *testing.T) {
+	// A genuine decode failure from the codec.
+	_, corruptErr := szx.Decompress([]byte("definitely not a stream"))
+	if corruptErr == nil {
+		t.Fatal("expected decode error")
+	}
+	// A genuine streaming-container failure, wrapped in FrameError.
+	var buf bytes.Buffer
+	w := szx.NewWriter(&buf, szx.Options{ErrorBound: 1e-3}, 64)
+	_ = w.Write(make([]float32, 200))
+	_ = w.Close()
+	_, streamErr := szx.NewReader(bytes.NewReader(buf.Bytes()[:buf.Len()/2])).ReadAll()
+	if streamErr == nil {
+		t.Fatal("expected stream error")
+	}
+	// A genuine parameter failure.
+	_, boundErr := szx.Compress(make([]float32, 10), szx.Options{ErrorBound: -1})
+	if boundErr == nil {
+		t.Fatal("expected bound error")
+	}
+
+	for _, tc := range []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"nil", nil, exitOK},
+		{"corrupt stream", corruptErr, exitCorrupt},
+		{"bad magic", szx.ErrBadMagic, exitCorrupt},
+		{"bad version", szx.ErrBadVersion, exitCorrupt},
+		{"wrong type", szx.ErrWrongType, exitCorrupt},
+		{"container frame error", streamErr, exitCorrupt},
+		{"truncated read", io.ErrUnexpectedEOF, exitCorrupt},
+		{"bad bound", boundErr, exitUsage},
+		{"bad block size", szx.ErrBlockSize, exitUsage},
+		{"degenerate range", szx.ErrDegenerateRange, exitUsage},
+		{"file missing", errors.New("open /no/such/file: no such file or directory"), exitIO},
+	} {
+		if got := exitCodeFor(tc.err); got != tc.want {
+			t.Errorf("%s: exit code %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}

@@ -14,6 +14,9 @@
 // (Prometheus text), /debug/vars, and /debug/pprof on ADDR while the run is
 // in flight. -obs FILE runs the telemetry-overhead A/B (disabled vs enabled
 // instrumentation, interleaved) and writes BENCH_OBS.json-shaped output.
+// -serve FILE stands up the szxd compression service in-process and drives
+// it with 1/8/64 concurrent clients, writing BENCH_SERVE.json-shaped output
+// (throughput, p50/p99 latency, and 429 shed counts per level).
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath/-obs mode")
 		obs       = flag.String("obs", "", "run telemetry-overhead A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
 		stream    = flag.String("stream", "", "run streaming dump/load A/B (serial vs pipelined) and write JSON snapshot to this file ('-' = stdout)")
+		serve     = flag.String("serve", "", "run the szxd service load generator (1/8/64 clients) and write JSON snapshot to this file ('-' = stdout)")
 		stats     = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
 		statsHTTP = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
 	)
@@ -64,6 +68,13 @@ func main() {
 		}
 	}
 
+	if *serve != "" {
+		if err := runServe(*serve, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *stream != "" {
 		if err := runStream(*stream, *benchtime); err != nil {
 			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)

@@ -1,0 +1,112 @@
+// szxd is the SZx compression daemon: the service package behind a
+// plain-HTTP listener (HTTP/1.1 and h2c, so gRPC-style multiplexed
+// clients work without TLS), with graceful drain on SIGTERM/SIGINT.
+//
+//	szxd -addr :8080
+//	curl -s --data-binary @data.f32 'localhost:8080/v1/compress?e=1e-3' > data.szx
+//	curl -s --data-binary @data.szx  localhost:8080/v1/decompress        > data.out
+//	curl -s localhost:8080/metrics | grep szx_service_
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/service"
+	"repro/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing requests (0 = 2x GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max queued requests (0 = 4x max-inflight, <0 = no queue)")
+		queueWait   = flag.Duration("queue-wait", 0, "max time a request waits for a slot (0 = 2s)")
+		maxBody     = flag.Int64("max-body", 0, "max buffered request body bytes (0 = 1GiB)")
+		errBound    = flag.Float64("e", 0, "default error bound when a request omits ?e= (0 = 1e-3)")
+		maxWorkers  = flag.Int("max-workers", 0, "cap on per-request codec workers (0 = GOMAXPROCS)")
+		chunk       = flag.Int("chunk", 0, "streaming chunk size in values (0 = library default)")
+		streamPar   = flag.Int("stream-workers", 0, "pipeline workers per streaming request (0 = 1)")
+		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		withPprof   = flag.Bool("pprof", false, "also serve /debug/pprof")
+		codecStats  = flag.Bool("codec-stats", false, "enable per-block codec telemetry (adds hot-path counters)")
+	)
+	flag.Parse()
+
+	// Codec-internal telemetry costs counter updates per block, so it stays
+	// opt-in; the szx_service_* family is always live.
+	if *codecStats {
+		telemetry.Enable()
+	}
+
+	srv := service.New(service.Config{
+		MaxInFlight:       *maxInflight,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		MaxBodyBytes:      *maxBody,
+		DefaultErrorBound: *errBound,
+		MaxWorkers:        *maxWorkers,
+		ChunkValues:       *chunk,
+		StreamParallelism: *streamPar,
+	})
+
+	handler := srv.Handler()
+	if *withPprof {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+	}
+
+	// Serve HTTP/1.1 and h2c on the one cleartext port: intra-cluster
+	// callers get multiplexed streams without a TLS requirement.
+	protocols := new(http.Protocols)
+	protocols.SetHTTP1(true)
+	protocols.SetUnencryptedHTTP2(true)
+	hs := &http.Server{
+		Addr:      *addr,
+		Handler:   handler,
+		Protocols: protocols,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	cfg := srv.Config()
+	log.Printf("szxd listening on %s (inflight=%d queue=%d wait=%s)",
+		*addr, cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("szxd: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills us
+
+	// Drain order matters: flip readiness first so balancers stop sending
+	// work, let in-flight requests finish, then close the listener.
+	log.Printf("szxd: draining (max %s)", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "szxd: drain incomplete: %v (%d in flight)\n", err, srv.InFlight())
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Fatalf("szxd: shutdown: %v", err)
+	}
+	log.Print("szxd: drained, bye")
+}

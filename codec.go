@@ -27,6 +27,12 @@ func NewCodec[T Float](opt Options) *Codec[T] {
 // Options returns the options the Codec was built with.
 func (c *Codec[T]) Options() Options { return c.opt }
 
+// SetOptions re-arms the Codec for subsequent calls, keeping its internal
+// buffers. This is the handle-pooling pattern: a server keeps warm Codecs
+// in a pool and points each one at the current request's options, so the
+// per-request compression path allocates nothing in steady state.
+func (c *Codec[T]) SetOptions(opt Options) { c.opt = opt }
+
 // Compress compresses data into the Codec's internal buffer and returns it.
 // The result is valid until the next call on c.
 func (c *Codec[T]) Compress(data []T) ([]byte, error) {

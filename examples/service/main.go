@@ -1,0 +1,109 @@
+// Service: run the szxd compression service in-process and drive it with
+// the client library — the shared-service deployment from DESIGN.md §13,
+// where compression runs on a transfer node or burst buffer rather than
+// next to the instrument. Shows the one-shot round trip, sentinel errors
+// surviving the wire, the streaming endpoints, and admission control
+// refusing work with a retryable 429 when the server is saturated.
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	szx "repro"
+	"repro/service"
+	"repro/service/client"
+)
+
+func main() {
+	// A deliberately tiny admission window so the overload demo below
+	// can saturate it with a single held request.
+	srv := service.New(service.Config{MaxInFlight: 1, MaxQueue: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	ctx := context.Background()
+	fmt.Printf("szxd serving at %s\n\n", ts.URL)
+
+	// One-shot round trip: a smooth synthetic field, absolute bound 1e-3.
+	values := make([]float32, 1<<16)
+	for i := range values {
+		values[i] = float32(math.Sin(float64(i) / 500))
+	}
+	comp, err := c.Compress(ctx, values, client.Params{ErrorBound: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	back, err := c.Decompress(ctx, comp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var worst float64
+	for i := range values {
+		if d := math.Abs(float64(back[i]) - float64(values[i])); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("one-shot: %d values -> %d bytes (ratio %.1fx), max error %.2g\n",
+		len(values), len(comp), float64(4*len(values))/float64(len(comp)), worst)
+
+	// Sentinel errors cross the wire: corrupt input is errors.Is-able
+	// exactly as if the codec had been called in-process.
+	_, err = c.Decompress(ctx, []byte("not a compressed stream"))
+	fmt.Printf("corrupt input: errors.Is(err, szx.ErrCorrupt) = %v (%v)\n",
+		errors.Is(err, szx.ErrCorrupt), err)
+
+	// Streaming: pipe an SZXS container through /v1/stream/compress and
+	// back. The server never holds the whole stream in memory.
+	var container bytes.Buffer
+	body, err := c.StreamCompress(ctx, bytes.NewReader(f32le(values)), client.Params{ErrorBound: 1e-3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := io.Copy(&container, body); err != nil {
+		log.Fatal(err)
+	}
+	body.Close()
+	fmt.Printf("streaming: %d bytes of SZXS container\n", container.Len())
+
+	// Overload: park one request in the server's only slot, then watch
+	// admission control refuse the next with a retryable 429.
+	pr, pw := io.Pipe()
+	go func() {
+		req, _ := http.NewRequest("POST", ts.URL+"/v1/compress?e=1e-3", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the held request take the slot
+	_, err = c.Compress(ctx, values, client.Params{ErrorBound: 1e-3})
+	var se *client.Error
+	if errors.As(err, &se) {
+		fmt.Printf("overload: HTTP %d code=%s retryable=%v retry-after=%s\n",
+			se.Status, se.Code, se.Retryable(), se.RetryAfter)
+	}
+	pw.Close() // release the held request
+
+	fmt.Printf("\nin production: go run ./cmd/szxd -addr :8080 (drains on SIGTERM)\n")
+}
+
+func f32le(v []float32) []byte {
+	b := make([]byte, 4*len(v))
+	for i, x := range v {
+		u := math.Float32bits(x)
+		b[4*i] = byte(u)
+		b[4*i+1] = byte(u >> 8)
+		b[4*i+2] = byte(u >> 16)
+		b[4*i+3] = byte(u >> 24)
+	}
+	return b
+}

@@ -1,6 +1,7 @@
 package szx
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -91,6 +92,9 @@ type PipeWriter struct {
 	chunk int
 	depth int
 
+	ctx     context.Context
+	ctxDone <-chan struct{} // nil without a context; a nil channel never fires
+
 	free chan *pipeSlot
 	work chan *pipeSlot
 	emit chan *pipeSlot
@@ -112,6 +116,21 @@ type PipeWriter struct {
 // Each chunk is compressed with the serial per-chunk engine — the pipeline
 // itself is the parallelism — so opt.Workers is ignored.
 func NewPipeWriter(w io.Writer, opt Options, chunkValues, parallelism int) *PipeWriter {
+	return NewPipeWriterContext(context.Background(), w, opt, chunkValues, parallelism)
+}
+
+// NewPipeWriterContext is NewPipeWriter bound to a context: once ctx is
+// cancelled, in-flight and subsequent Write calls return ctx's error
+// instead of blocking on the pipeline (a producer stalled waiting for a
+// free ring slot wakes immediately), and Close skips the tail flush and
+// terminator, reporting the cancellation. This is what lets a server
+// thread an HTTP request context through the pipeline so an abandoned
+// request cannot strand its handler. Close must still be called to join
+// the goroutines; cancellation only guarantees the calls unblock promptly.
+// The emitter can stay blocked in w.Write until the sink itself unblocks —
+// hand the pipeline a sink that fails on cancellation (HTTP response
+// writers do).
+func NewPipeWriterContext(ctx context.Context, w io.Writer, opt Options, chunkValues, parallelism int) *PipeWriter {
 	if chunkValues <= 0 {
 		chunkValues = DefaultChunkValues
 	}
@@ -124,6 +143,8 @@ func NewPipeWriter(w io.Writer, opt Options, chunkValues, parallelism int) *Pipe
 		opt:      opt,
 		chunk:    chunkValues,
 		depth:    depth,
+		ctx:      ctx,
+		ctxDone:  ctx.Done(),
 		free:     make(chan *pipeSlot, depth),
 		work:     make(chan *pipeSlot, depth),
 		emit:     make(chan *pipeSlot, depth),
@@ -197,17 +218,39 @@ func (pw *PipeWriter) emitter() {
 	}
 }
 
+// pinCtxErr pins the context's error (if the context is cancelled) as the
+// pipeline's terminal error and returns the current terminal error.
+func (pw *PipeWriter) pinCtxErr() error {
+	if pw.ctxDone != nil {
+		if err := pw.ctx.Err(); err != nil {
+			pw.perr.set(err)
+		}
+	}
+	return pw.perr.get()
+}
+
 // submit hands one chunk to the pipeline, blocking while all ring slots
-// are in flight (the backpressure bound).
+// are in flight (the backpressure bound). A context cancellation wakes the
+// blocked producer, pins the error, and drops the chunk.
 func (pw *PipeWriter) submit(chunk []float32) {
 	var s *pipeSlot
 	if telemetry.Enabled() {
 		t := telemetry.Start()
-		s = <-pw.free
+		select {
+		case s = <-pw.free:
+		case <-pw.ctxDone:
+			pw.perr.set(pw.ctx.Err())
+			return
+		}
 		t.Stop(&telemetry.PipelineProducerStalls)
 		telemetry.PipelineFramesInFlight.Observe(int64(pw.depth - len(pw.free)))
 	} else {
-		s = <-pw.free
+		select {
+		case s = <-pw.free:
+		case <-pw.ctxDone:
+			pw.perr.set(pw.ctx.Err())
+			return
+		}
 	}
 	s.seq = pw.seq
 	pw.seq++
@@ -223,7 +266,7 @@ func (pw *PipeWriter) submit(chunk []float32) {
 // identical. Errors from in-flight chunks surface on a later Write or on
 // Close (first error wins).
 func (pw *PipeWriter) Write(values []float32) error {
-	if err := pw.perr.get(); err != nil {
+	if err := pw.pinCtxErr(); err != nil {
 		return err
 	}
 	if pw.closed {
@@ -270,12 +313,12 @@ func (pw *PipeWriter) Close() error {
 		return pw.perr.get()
 	}
 	pw.closed = true
-	if len(pw.buf) > 0 && pw.perr.get() == nil {
+	if len(pw.buf) > 0 && pw.pinCtxErr() == nil {
 		pw.submit(pw.buf)
 		pw.buf = pw.buf[:0]
 	}
 	pw.shutdown()
-	if err := pw.perr.get(); err != nil {
+	if err := pw.pinCtxErr(); err != nil {
 		return err
 	}
 	// Terminator, prefixed by the container magic when no chunk was ever
@@ -320,6 +363,9 @@ type PipeReader struct {
 	r     io.Reader
 	depth int
 
+	ctx     context.Context
+	ctxDone <-chan struct{} // nil without a context; a nil channel never fires
+
 	free chan *pipeSlot
 	work chan *pipeSlot
 	emit chan *pipeSlot
@@ -336,17 +382,31 @@ type PipeReader struct {
 // NewPipeReader returns a pipelined streaming decompressor reading from r.
 // parallelism is the number of concurrent frame decodes (≤0 = GOMAXPROCS).
 func NewPipeReader(r io.Reader, parallelism int) *PipeReader {
+	return NewPipeReaderContext(context.Background(), r, parallelism)
+}
+
+// NewPipeReaderContext is NewPipeReader bound to a context: once ctx is
+// cancelled, Read and ReadAll return ctx's error, and the prefetcher and
+// decode workers wind down on their own even if Close is never called — a
+// blocked consumer wakes immediately, and the prefetcher exits at its next
+// hand-off point. The one blocking point cancellation cannot interrupt is
+// a read on the underlying source itself; hand the pipeline a source that
+// unblocks on cancellation (HTTP request bodies do). Close remains safe
+// and idempotent.
+func NewPipeReaderContext(ctx context.Context, r io.Reader, parallelism int) *PipeReader {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	depth := pipelineDepth(parallelism)
 	pr := &PipeReader{
-		r:     r,
-		depth: depth,
-		free:  make(chan *pipeSlot, depth),
-		work:  make(chan *pipeSlot, depth),
-		emit:  make(chan *pipeSlot, depth),
-		stop:  make(chan struct{}),
+		r:       r,
+		depth:   depth,
+		ctx:     ctx,
+		ctxDone: ctx.Done(),
+		free:    make(chan *pipeSlot, depth),
+		work:    make(chan *pipeSlot, depth),
+		emit:    make(chan *pipeSlot, depth),
+		stop:    make(chan struct{}),
 	}
 	for i := 0; i < depth; i++ {
 		pr.free <- &pipeSlot{}
@@ -371,12 +431,15 @@ func headerSlot(err error) *pipeSlot {
 	return s
 }
 
-// send delivers a slot to ch unless the reader is being closed.
+// send delivers a slot to ch unless the reader is being closed or its
+// context is cancelled.
 func (pr *PipeReader) send(ch chan *pipeSlot, s *pipeSlot) bool {
 	select {
 	case ch <- s:
 		return true
 	case <-pr.stop:
+		return false
+	case <-pr.ctxDone:
 		return false
 	}
 }
@@ -421,6 +484,8 @@ func (pr *PipeReader) prefetch() {
 			case s = <-pr.free:
 			case <-pr.stop:
 				return
+			case <-pr.ctxDone:
+				return
 			}
 			t.Stop(&telemetry.PipelineProducerStalls)
 			telemetry.PipelineFramesInFlight.Observe(int64(pr.depth - len(pr.free)))
@@ -428,6 +493,8 @@ func (pr *PipeReader) prefetch() {
 			select {
 			case s = <-pr.free:
 			case <-pr.stop:
+				return
+			case <-pr.ctxDone:
 				return
 			}
 		}
@@ -480,6 +547,23 @@ func (pr *PipeReader) decodeWorker() {
 	}
 }
 
+// recvSlot waits for the next in-order slot (and its decode) unless the
+// context is cancelled first. Every slot that reaches the emit queue is
+// guaranteed to have its done signal closed eventually — by a decode
+// worker, by the prefetcher's failed-hand-off path, or at construction for
+// error slots — so the done wait needs no cancellation case of its own.
+func (pr *PipeReader) recvSlot() (s *pipeSlot, ok bool, cancelled error) {
+	select {
+	case s, ok = <-pr.emit:
+		if ok {
+			<-s.done
+		}
+		return s, ok, nil
+	case <-pr.ctxDone:
+		return nil, false, pr.ctx.Err()
+	}
+}
+
 // fail pins a frame-level failure as the reader's terminal error, counting
 // it exactly as the serial Reader does.
 func (pr *PipeReader) fail(s *pipeSlot) error {
@@ -502,20 +586,27 @@ func (pr *PipeReader) next() error {
 	}
 	var s *pipeSlot
 	var ok bool
+	var cancelled error
 	if telemetry.Enabled() {
 		t := telemetry.Start()
-		s, ok = <-pr.emit
-		if ok {
-			<-s.done
-		}
+		s, ok, cancelled = pr.recvSlot()
 		t.Stop(&telemetry.PipelineConsumerStalls)
 	} else {
-		s, ok = <-pr.emit
-		if ok {
-			<-s.done
-		}
+		s, ok, cancelled = pr.recvSlot()
+	}
+	if cancelled != nil {
+		pr.err = cancelled
+		return pr.err
 	}
 	if !ok {
+		// The prefetcher may have exited because the context fired rather
+		// than because the stream ended; report the cancellation, not EOF.
+		if pr.ctxDone != nil {
+			if err := pr.ctx.Err(); err != nil {
+				pr.err = err
+				return pr.err
+			}
+		}
 		pr.err = io.EOF
 		return io.EOF
 	}

@@ -2,6 +2,7 @@ package szx
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -222,6 +223,14 @@ func TestPipeWriterErrors(t *testing.T) {
 
 var errSinkFull = errors.New("sink full")
 
+// gatedWriter blocks every Write until its gate channel is closed.
+type gatedWriter struct{ gate chan struct{} }
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	<-g.gate
+	return len(p), nil
+}
+
 // failAfterWriter accepts failAt writes then fails every later one.
 type failAfterWriter struct {
 	writes int
@@ -422,6 +431,76 @@ func TestPipeGoroutineLeaks(t *testing.T) {
 			t.Fatal("corrupt stream accepted")
 		}
 		_ = pr.Close()
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("writer cancelled context", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		gate := make(chan struct{})
+		pw := NewPipeWriterContext(ctx, &gatedWriter{gate: gate}, Options{ErrorBound: 1e-3}, 1<<12, 2)
+		// The gated sink stalls the emitter, so the ring fills and the
+		// producer blocks in submit; the cancellation must wake it.
+		writeErr := make(chan error, 1)
+		go func() {
+			var err error
+			for err == nil {
+				err = pw.Write(data[:1<<12])
+			}
+			writeErr <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		if err := <-writeErr; !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled write: %v", err)
+		}
+		close(gate) // let the emitter's in-flight sink write return
+		if err := pw.Close(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("close after cancel: %v", err)
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("writer context cancelled before first write", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var buf bytes.Buffer
+		pw := NewPipeWriterContext(ctx, &buf, Options{ErrorBound: 1e-3}, 1<<12, 2)
+		if err := pw.Write(data[:100]); !errors.Is(err, context.Canceled) {
+			t.Fatalf("write on cancelled context: %v", err)
+		}
+		if err := pw.Close(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("close on cancelled context: %v", err)
+		}
+		if buf.Len() != 0 {
+			t.Fatalf("cancelled writer emitted %d bytes", buf.Len())
+		}
+		waitGoroutines(t, baseline)
+	})
+
+	t.Run("reader cancelled context", func(t *testing.T) {
+		baseline := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		pr := NewPipeReaderContext(ctx, bytes.NewReader(blob), 4)
+		p := make([]float32, 1000)
+		if _, err := pr.Read(p); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		var err error
+		for err == nil {
+			_, err = pr.Read(p)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("read after cancel: %v", err)
+		}
+		// The prefetcher and workers wind down on cancellation alone, with
+		// no Close call — the abandoned-HTTP-request guarantee.
+		waitGoroutines(t, baseline)
+		if err := pr.Close(); err != nil {
+			t.Fatal(err)
+		}
 		waitGoroutines(t, baseline)
 	})
 

@@ -92,3 +92,12 @@ if [[ "${BENCH_STREAM:-1}" != 0 ]]; then
     echo "bench_ab: streaming serial-vs-pipelined A/B (working tree)" >&2
     go run ./cmd/szxbench -stream - -benchtime "$BENCHTIME"
 fi
+
+# Service load generator for the working tree: in-process szxd driven by
+# the client library at 1/8/64 concurrent clients (the BENCH_SERVE.json
+# workload), including the 429 shed counts from admission control. Skip
+# with BENCH_SERVE=0.
+if [[ "${BENCH_SERVE:-1}" != 0 ]]; then
+    echo "bench_ab: szxd service load generator (working tree)" >&2
+    go run ./cmd/szxbench -serve - -benchtime "$BENCHTIME"
+fi

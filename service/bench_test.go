@@ -1,0 +1,168 @@
+package service
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	szx "repro"
+)
+
+func putF32(b []byte, v float32) { binary.LittleEndian.PutUint32(b, math.Float32bits(v)) }
+
+// stageF32 is writeF32's staging step without the ResponseWriter: encode
+// vals into the scratch's reused output buffer.
+func stageF32(sc *scratch, vals []float32) {
+	need := 4 * len(vals)
+	out := sc.out[:0]
+	if cap(out) < need {
+		out = make([]byte, 0, need)
+	}
+	out = out[:need]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	sc.out = out
+}
+
+// BenchmarkPooledCompressPath measures the admitted-request work for
+// /v1/compress minus the HTTP stack: pull the body through the pooled
+// scratch, decode bytes to values in reused capacity, compress on the
+// pooled Codec. This is the path the pooling exists for — after warmup it
+// must run at 0 allocs/op (ReportAllocs pins it in the benchmark output).
+func BenchmarkPooledCompressPath(b *testing.B) {
+	vals := make([]float32, 64*1024)
+	for i := range vals {
+		vals[i] = float32(i%97) * 0.125
+	}
+	var raw []byte
+	{
+		sc := getScratch()
+		raw = append(raw, make([]byte, 4*len(vals))...)
+		for i, v := range vals {
+			putF32(raw[4*i:], v)
+		}
+		putScratch(sc)
+	}
+	opt := szx.Options{ErrorBound: 1e-3}
+	rd := bytes.NewReader(raw)
+
+	// Warm one scratch through the pool so steady state starts at iter 0.
+	{
+		sc := getScratch()
+		rd.Reset(raw)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.f32 = bytesToF32(sc.f32, body)
+		sc.c32.SetOptions(opt)
+		if _, err := sc.c32.Compress(sc.f32); err != nil {
+			b.Fatal(err)
+		}
+		putScratch(sc)
+	}
+
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := getScratch()
+		rd.Reset(raw)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.f32 = bytesToF32(sc.f32, body)
+		sc.c32.SetOptions(opt)
+		if _, err := sc.c32.Compress(sc.f32); err != nil {
+			b.Fatal(err)
+		}
+		putScratch(sc)
+	}
+}
+
+// BenchmarkPooledDecompressPath is the decompress-side twin, including
+// the response staging (float→byte) conversion.
+func BenchmarkPooledDecompressPath(b *testing.B) {
+	vals := make([]float32, 64*1024)
+	for i := range vals {
+		vals[i] = float32(i%97) * 0.125
+	}
+	comp, err := szx.Compress(vals, szx.Options{ErrorBound: 1e-3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rd := bytes.NewReader(comp)
+	opt := szx.Options{}
+
+	{
+		sc := getScratch()
+		rd.Reset(comp)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.c32.SetOptions(opt)
+		out, err := sc.c32.Decompress(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stageF32(sc, out)
+		putScratch(sc)
+	}
+
+	b.SetBytes(int64(4 * len(vals)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := getScratch()
+		rd.Reset(comp)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc.c32.SetOptions(opt)
+		out, err := sc.c32.Decompress(body)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stageF32(sc, out)
+		putScratch(sc)
+	}
+}
+
+// TestPooledPathZeroAllocs is the gating form of the benchmarks above:
+// after one warm pass, the pooled compress path must not allocate.
+func TestPooledPathZeroAllocs(t *testing.T) {
+	vals := make([]float32, 16*1024)
+	for i := range vals {
+		vals[i] = float32(i % 31)
+	}
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putF32(raw[4*i:], v)
+	}
+	rd := bytes.NewReader(raw)
+	opt := szx.Options{ErrorBound: 1e-3}
+	sc := getScratch() // hold one scratch so the pool can't evict it mid-test
+	defer putScratch(sc)
+
+	run := func() {
+		rd.Reset(raw)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.f32 = bytesToF32(sc.f32, body)
+		sc.c32.SetOptions(opt)
+		if _, err := sc.c32.Compress(sc.f32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the buffers
+	if n := testing.AllocsPerRun(20, run); n > 0 {
+		t.Fatalf("pooled compress path allocates %.1f times per request; want 0", n)
+	}
+}

@@ -1,0 +1,301 @@
+// Package client is the Go client for the szxd compression service. It
+// mirrors the in-process szx API shape — Compress/Decompress on value
+// slices, streaming variants on readers — over the service's HTTP wire
+// protocol, with connection reuse and typed errors that unwrap to the
+// same szx sentinels callers already match against.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	szx "repro"
+)
+
+// Params selects compression options for a request; the zero value uses
+// the server's defaults. It is the wire form of szx.Options.
+type Params struct {
+	ErrorBound float64  // 0 = server default
+	Mode       szx.Mode // BoundAbsolute or BoundRelative
+	BlockSize  int      // 0 = server default
+	Workers    int      // 0 = serial, -1 = server max, else capped by server
+}
+
+func (p Params) query(elem string) url.Values {
+	q := url.Values{}
+	if elem != "" {
+		q.Set("t", elem)
+	}
+	if p.ErrorBound > 0 {
+		q.Set("e", strconv.FormatFloat(p.ErrorBound, 'g', -1, 64))
+	}
+	if p.Mode == szx.BoundRelative {
+		q.Set("mode", "rel")
+	}
+	if p.BlockSize > 0 {
+		q.Set("block", strconv.Itoa(p.BlockSize))
+	}
+	if p.Workers != 0 {
+		q.Set("workers", strconv.Itoa(p.Workers))
+	}
+	return q
+}
+
+// Client talks to one szxd instance. It is safe for concurrent use; the
+// underlying http.Client pools and reuses connections, so a long-lived
+// Client amortizes TCP/TLS setup the same way a pooled Codec amortizes
+// buffers.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying http.Client (custom
+// transport, timeout, instrumentation).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a Client for the service at base (e.g. "http://host:8080").
+// The default transport keeps idle connections to the one host it talks
+// to, sized for the service's typical in-flight cap.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		hc: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        128,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Error is a non-2xx service response. Unwrap maps the wire code back to
+// the szx sentinel errors, so errors.Is(err, szx.ErrCorrupt) works on a
+// remote decode failure exactly as on a local one.
+type Error struct {
+	Status     int           // HTTP status code
+	Code       string        // wire error code ("corrupt", "overloaded", ...)
+	Message    string        // human-readable detail from the server
+	Frame      int           // frame index for streaming-container failures
+	Offset     int64         // byte offset for streaming-container failures
+	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("szxd: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// Retryable reports whether the request was shed by admission control or
+// drain — failures where the same request may succeed on retry (after
+// RetryAfter) or on another instance.
+func (e *Error) Retryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Unwrap exposes the szx sentinel matching the wire code, if any.
+func (e *Error) Unwrap() error {
+	switch e.Code {
+	case "corrupt":
+		return szx.ErrCorrupt
+	case "wrong_type":
+		return szx.ErrWrongType
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *Error, tolerating
+// non-JSON bodies from intermediaries.
+func decodeError(resp *http.Response) error {
+	e := &Error{Status: resp.StatusCode, Code: "internal"}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var we struct {
+		Code    string `json:"code"`
+		Message string `json:"error"`
+		Frame   int    `json:"frame"`
+		Offset  int64  `json:"offset"`
+	}
+	if json.Unmarshal(body, &we) == nil && we.Code != "" {
+		e.Code, e.Message, e.Frame, e.Offset = we.Code, we.Message, we.Frame, we.Offset
+	} else {
+		e.Message = strings.TrimSpace(string(body))
+		if e.Message == "" {
+			e.Message = http.StatusText(resp.StatusCode)
+		}
+	}
+	return e
+}
+
+func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Reader) (*http.Response, error) {
+	u := c.base + path
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp, nil
+}
+
+// Compress sends vals to the service and returns the SZx stream.
+func (c *Client) Compress(ctx context.Context, vals []float32, p Params) ([]byte, error) {
+	resp, err := c.post(ctx, "/v1/compress", p.query("f32"), bytes.NewReader(f32ToBytes(vals)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// CompressFloat64 is Compress for float64 payloads.
+func (c *Client) CompressFloat64(ctx context.Context, vals []float64, p Params) ([]byte, error) {
+	resp, err := c.post(ctx, "/v1/compress", p.query("f64"), bytes.NewReader(f64ToBytes(vals)))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// Decompress sends a compressed stream (single SZx stream or SZXS
+// container, the server auto-detects) and returns the float32 values.
+func (c *Client) Decompress(ctx context.Context, comp []byte) ([]float32, error) {
+	resp, err := c.post(ctx, "/v1/decompress", nil, bytes.NewReader(comp))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("szxd: truncated response (%d bytes)", len(raw))
+	}
+	return bytesToF32(raw), nil
+}
+
+// DecompressFloat64 is Decompress for float64 streams.
+func (c *Client) DecompressFloat64(ctx context.Context, comp []byte) ([]float64, error) {
+	resp, err := c.post(ctx, "/v1/decompress", nil, bytes.NewReader(comp))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(raw)%8 != 0 {
+		return nil, fmt.Errorf("szxd: truncated response (%d bytes)", len(raw))
+	}
+	return bytesToF64(raw), nil
+}
+
+// StreamCompress uploads raw little-endian float32 bytes from r and
+// returns a reader over the SZXS container the server produces. Both
+// directions stream: neither side buffers the whole payload. The caller
+// must Close the returned reader.
+func (c *Client) StreamCompress(ctx context.Context, r io.Reader, p Params) (io.ReadCloser, error) {
+	resp, err := c.post(ctx, "/v1/stream/compress", p.query(""), r)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// StreamDecompress uploads an SZXS container from r and returns a reader
+// over the raw little-endian float32 bytes. The caller must Close the
+// returned reader; a server-side mid-stream failure surfaces as a
+// truncated body.
+func (c *Client) StreamDecompress(ctx context.Context, r io.Reader) (io.ReadCloser, error) {
+	resp, err := c.post(ctx, "/v1/stream/decompress", nil, r)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+// Ready probes /readyz; nil means the instance is accepting work (not
+// draining).
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	return nil
+}
+
+func f32ToBytes(v []float32) []byte {
+	out := make([]byte, 4*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
+	}
+	return out
+}
+
+func f64ToBytes(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
+	}
+	return out
+}
+
+func bytesToF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+func bytesToF64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}

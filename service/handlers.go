@@ -1,0 +1,475 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	szx "repro"
+	"repro/telemetry"
+)
+
+const contentTypeBinary = "application/octet-stream"
+
+// enter runs admission control for a data endpoint. On success it counts
+// the request on reqs and returns a completion func the handler must
+// defer; on denial it writes the error response itself and returns nil.
+func (s *Server) enter(w http.ResponseWriter, r *http.Request, reqs *telemetry.Counter) func() {
+	release, den := s.adm.admit(r.Context().Done())
+	if den != nil {
+		writeError(w, den.status, wireError{Code: den.code, Message: den.msg}, den.retryAfter)
+		return nil
+	}
+	reqs.Inc()
+	start := time.Now()
+	return func() {
+		telemetry.ServiceRequestDurations.Observe(time.Since(start).Nanoseconds())
+		release()
+	}
+}
+
+// parseOptions maps the query string onto szx.Options plus the element
+// width. Recognized keys: t (f32|f64), e (error bound), mode (abs|rel),
+// block (block size), workers (0 serial, -1 server max, else capped at
+// the server max).
+func (s *Server) parseOptions(q url.Values) (opt szx.Options, elemSize int, err error) {
+	opt = szx.Options{ErrorBound: s.cfg.DefaultErrorBound, Mode: szx.BoundAbsolute}
+	elemSize = 4
+	switch t := q.Get("t"); t {
+	case "", "f32":
+	case "f64":
+		elemSize = 8
+	default:
+		return opt, 0, fmt.Errorf("unknown element type %q (want f32 or f64)", t)
+	}
+	if e := q.Get("e"); e != "" {
+		v, perr := strconv.ParseFloat(e, 64)
+		if perr != nil || v <= 0 {
+			return opt, 0, fmt.Errorf("bad error bound %q", e)
+		}
+		opt.ErrorBound = v
+	}
+	switch m := q.Get("mode"); m {
+	case "", "abs":
+	case "rel":
+		opt.Mode = szx.BoundRelative
+	default:
+		return opt, 0, fmt.Errorf("unknown bound mode %q (want abs or rel)", m)
+	}
+	if b := q.Get("block"); b != "" {
+		v, perr := strconv.Atoi(b)
+		if perr != nil {
+			return opt, 0, fmt.Errorf("bad block size %q", b)
+		}
+		opt.BlockSize = v
+	}
+	if ws := q.Get("workers"); ws != "" {
+		v, perr := strconv.Atoi(ws)
+		if perr != nil || v < -1 {
+			return opt, 0, fmt.Errorf("bad workers %q", ws)
+		}
+		if v == -1 || v > s.cfg.MaxWorkers {
+			v = s.cfg.MaxWorkers
+		}
+		opt.Workers = v
+	}
+	return opt, elemSize, nil
+}
+
+// readRequestBody pulls the whole body through the scratch buffer,
+// translating size and disconnect failures into wire responses. A nil
+// slice return means the response has already been written.
+func readRequestBody(w http.ResponseWriter, r *http.Request, sc *scratch, max int64) []byte {
+	body, err := sc.readBody(r.Body, max)
+	if err != nil {
+		if errors.Is(err, errBodyTooLarge) {
+			telemetry.ServiceBadRequests.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge,
+				wireError{Code: codeTooLarge, Message: err.Error()}, 0)
+			return nil
+		}
+		// A read error on the request body means the client went away (or
+		// the connection broke) mid-upload; nobody is listening for a body.
+		telemetry.ServiceCancelledRequests.Inc()
+		w.WriteHeader(statusClientClosedRequest)
+		return nil
+	}
+	if len(body) == 0 {
+		badRequest(w, "empty request body")
+		return nil
+	}
+	telemetry.ServiceBytesIn.Add(int64(len(body)))
+	return body
+}
+
+// handleCompress buffers the raw float payload, compresses it on a pooled
+// codec, and returns the SZx stream.
+func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
+	done := s.enter(w, r, &telemetry.ServiceRequestsCompress)
+	if done == nil {
+		return
+	}
+	defer done()
+
+	opt, elemSize, err := s.parseOptions(r.URL.Query())
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes)
+	if body == nil {
+		return
+	}
+	if len(body)%elemSize != 0 {
+		badRequest(w, fmt.Sprintf("body length %d is not a multiple of the %d-byte element size",
+			len(body), elemSize))
+		return
+	}
+
+	var comp []byte
+	if elemSize == 4 {
+		sc.f32 = bytesToF32(sc.f32, body)
+		sc.c32.SetOptions(opt)
+		comp, err = sc.c32.Compress(sc.f32)
+	} else {
+		sc.f64 = bytesToF64(sc.f64, body)
+		sc.c64.SetOptions(opt)
+		comp, err = sc.c64.Compress(sc.f64)
+	}
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeBinary(w, comp)
+}
+
+// handleDecompress buffers the compressed payload — a single SZx stream or
+// an SZXS streaming container, auto-detected — decodes it fully in memory,
+// and returns the raw floats. Decoding completes before the first response
+// byte, so corrupt input always yields a clean 4xx, never a truncated 200.
+func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
+	done := s.enter(w, r, &telemetry.ServiceRequestsDecompress)
+	if done == nil {
+		return
+	}
+	defer done()
+
+	opt, _, err := s.parseOptions(r.URL.Query())
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes)
+	if body == nil {
+		return
+	}
+
+	if isStreamContainer(body) {
+		// SZXS container: decode chunk by chunk with the serial container
+		// reader (no goroutines, fully deterministic) into the reused
+		// value buffer.
+		sr := szx.NewReader(bytes.NewReader(body))
+		vals := sc.f32[:0]
+		for {
+			if len(vals) == cap(vals) {
+				vals = append(vals, 0)[:len(vals)]
+			}
+			n, rerr := sr.Read(vals[len(vals):cap(vals)])
+			vals = vals[:len(vals)+n]
+			if rerr == io.EOF {
+				break
+			}
+			if rerr != nil {
+				sc.f32 = vals
+				fail(w, rerr)
+				return
+			}
+		}
+		sc.f32 = vals
+		writeF32(w, sc, vals)
+		return
+	}
+
+	h, err := szx.Info(body)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if h.Type == szx.TypeFloat64 {
+		sc.c64.SetOptions(opt)
+		vals, derr := sc.c64.Decompress(body)
+		if derr != nil {
+			fail(w, derr)
+			return
+		}
+		writeF64(w, sc, vals)
+		return
+	}
+	sc.c32.SetOptions(opt)
+	vals, derr := sc.c32.Decompress(body)
+	if derr != nil {
+		fail(w, derr)
+		return
+	}
+	writeF32(w, sc, vals)
+}
+
+// handleStreamCompress pumps an unbounded raw float32 body through the
+// pipelined engine and emits an SZXS container as it goes. Memory is the
+// pipeline window regardless of body size. Because bytes stream out before
+// the body finishes, a mid-stream failure can only truncate the response —
+// SZXS's terminator frame lets the receiver detect that.
+func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
+	done := s.enter(w, r, &telemetry.ServiceRequestsStreamCompress)
+	if done == nil {
+		return
+	}
+	defer done()
+
+	q := r.URL.Query()
+	if t := q.Get("t"); t != "" && t != "f32" {
+		badRequest(w, "streaming endpoints carry float32 only")
+		return
+	}
+	opt, _, err := s.parseOptions(q)
+	if err != nil {
+		badRequest(w, err.Error())
+		return
+	}
+
+	sc := getScratch()
+	defer putScratch(sc)
+	chunkBytes := 4 * s.cfg.ChunkValues
+	buf := sc.raw[:0]
+	if cap(buf) < chunkBytes {
+		buf = make([]byte, 0, chunkBytes)
+	}
+	buf = buf[:chunkBytes]
+	defer func() { sc.raw = buf }()
+
+	// Both streaming endpoints read the request body while writing the
+	// response. Go's HTTP/1.x server is half-duplex by default — body
+	// reads fail once the response starts — so opt in to full duplex
+	// (no-op on HTTP/2, where streams are always bidirectional).
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	w.Header().Set("Content-Type", contentTypeBinary)
+	cw := &countingWriter{w: w}
+	pw := szx.NewPipeWriterContext(r.Context(), cw, opt, s.cfg.ChunkValues, s.cfg.StreamParallelism)
+	defer func() { telemetry.ServiceBytesOut.Add(cw.n) }()
+
+	for {
+		n, rerr := io.ReadFull(r.Body, buf)
+		if n > 0 {
+			telemetry.ServiceBytesIn.Add(int64(n))
+			if n%4 != 0 {
+				// Truncated trailing element: the upload broke mid-float.
+				telemetry.ServiceBadRequests.Inc()
+				pw.Abort()
+				_ = pw.Close()
+				return
+			}
+			sc.f32 = bytesToF32(sc.f32, buf[:n])
+			if werr := pw.Write(sc.f32); werr != nil {
+				countStreamFailure(r, werr)
+				pw.Abort()
+				_ = pw.Close()
+				return
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			telemetry.ServiceCancelledRequests.Inc()
+			pw.Abort()
+			_ = pw.Close()
+			return
+		}
+	}
+	if cerr := pw.Close(); cerr != nil {
+		countStreamFailure(r, cerr)
+	}
+}
+
+// handleStreamDecompress pumps an SZXS container body through the
+// pipelined reader and emits raw float32 bytes. An error before the first
+// output byte yields a clean 4xx; after that the response truncates.
+func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) {
+	done := s.enter(w, r, &telemetry.ServiceRequestsStreamDecompress)
+	if done == nil {
+		return
+	}
+	defer done()
+
+	sc := getScratch()
+	defer putScratch(sc)
+	vals := sc.f32[:0]
+	if cap(vals) < s.cfg.ChunkValues {
+		vals = make([]float32, 0, s.cfg.ChunkValues)
+	}
+	vals = vals[:cap(vals)]
+	out := sc.out[:0]
+	if cap(out) < 4*len(vals) {
+		out = make([]byte, 0, 4*len(vals))
+	}
+	out = out[:4*len(vals)]
+	defer func() { sc.f32, sc.out = vals, out }()
+
+	// See handleStreamCompress: body reads continue after response writes
+	// begin, which HTTP/1.x only allows in full-duplex mode.
+	_ = http.NewResponseController(w).EnableFullDuplex()
+
+	cr := &countingReader{r: r.Body}
+	pr := szx.NewPipeReaderContext(r.Context(), cr, s.cfg.StreamParallelism)
+	defer pr.Close()
+	defer func() { telemetry.ServiceBytesIn.Add(cr.n) }()
+
+	wrote := false
+	for {
+		n, rerr := pr.Read(vals)
+		if n > 0 {
+			for i, v := range vals[:n] {
+				binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+			}
+			if !wrote {
+				w.Header().Set("Content-Type", contentTypeBinary)
+				wrote = true
+			}
+			if _, werr := w.Write(out[:4*n]); werr != nil {
+				telemetry.ServiceCancelledRequests.Inc()
+				return
+			}
+			telemetry.ServiceBytesOut.Add(int64(4 * n))
+		}
+		if rerr == io.EOF {
+			return
+		}
+		if rerr != nil {
+			if !wrote {
+				fail(w, rerr)
+				return
+			}
+			// Headers are gone; the only honest signal is truncation.
+			countStreamFailure(r, rerr)
+			return
+		}
+	}
+}
+
+// countStreamFailure attributes a mid-stream pipeline error: a cancelled
+// request context is the client's doing, anything else is a decode/encode
+// failure worth the bad-request counter.
+func countStreamFailure(r *http.Request, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
+		telemetry.ServiceCancelledRequests.Inc()
+		return
+	}
+	telemetry.ServiceBadRequests.Inc()
+}
+
+// isStreamContainer reports whether b starts with the SZXS container magic.
+func isStreamContainer(b []byte) bool {
+	return len(b) >= 4 && b[0] == 'S' && b[1] == 'Z' && b[2] == 'X' && b[3] == 'S'
+}
+
+// writeBinary sends a fully materialized binary response.
+func writeBinary(w http.ResponseWriter, b []byte) {
+	w.Header().Set("Content-Type", contentTypeBinary)
+	w.Header().Set("Content-Length", strconv.Itoa(len(b)))
+	n, _ := w.Write(b)
+	telemetry.ServiceBytesOut.Add(int64(n))
+}
+
+// writeF32 stages vals as little-endian bytes in the scratch and sends
+// them.
+func writeF32(w http.ResponseWriter, sc *scratch, vals []float32) {
+	need := 4 * len(vals)
+	out := sc.out[:0]
+	if cap(out) < need {
+		out = make([]byte, 0, need)
+	}
+	out = out[:need]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	sc.out = out
+	writeBinary(w, out)
+}
+
+func writeF64(w http.ResponseWriter, sc *scratch, vals []float64) {
+	need := 8 * len(vals)
+	out := sc.out[:0]
+	if cap(out) < need {
+		out = make([]byte, 0, need)
+	}
+	out = out[:need]
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	sc.out = out
+	writeBinary(w, out)
+}
+
+// bytesToF32 decodes little-endian float32s into dst's reused capacity.
+func bytesToF32(dst []float32, b []byte) []float32 {
+	n := len(b) / 4
+	dst = dst[:0]
+	if cap(dst) < n {
+		dst = make([]float32, 0, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return dst
+}
+
+func bytesToF64(dst []float64, b []byte) []float64 {
+	n := len(b) / 8
+	dst = dst[:0]
+	if cap(dst) < n {
+		dst = make([]float64, 0, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst
+}
+
+// countingWriter / countingReader tally streamed bytes for the service
+// byte counters without buffering anything.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

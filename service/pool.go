@@ -1,0 +1,75 @@
+package service
+
+import (
+	"io"
+	"sync"
+
+	szx "repro"
+)
+
+// scratch is the per-request working set for the buffered endpoints: the
+// raw body bytes, the decoded value views, warm Codec handles for both
+// element types, and an output staging buffer. One scratch serves one
+// request at a time; the pool recycles them across requests so that in
+// steady state the whole compress/decompress path — body read included —
+// allocates nothing.
+type scratch struct {
+	raw []byte // request body, reused capacity
+	out []byte // response staging, reused capacity
+	f32 []float32
+	f64 []float64
+	c32 *szx.Codec[float32]
+	c64 *szx.Codec[float64]
+}
+
+var scratchPool = sync.Pool{
+	New: func() any {
+		return &scratch{
+			c32: szx.NewCodec[float32](szx.Options{}),
+			c64: szx.NewCodec[float64](szx.Options{}),
+		}
+	},
+}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }
+
+// readBody reads r to EOF into sc.raw, reusing its capacity, and enforces
+// the body-size cap. It is io.ReadAll minus the fresh allocation per call:
+// the buffer grows to the high-water mark of request sizes and then stays.
+// Returns errBodyTooLarge once the read crosses max.
+func (sc *scratch) readBody(r io.Reader, max int64) ([]byte, error) {
+	buf := sc.raw[:0]
+	if cap(buf) == 0 {
+		buf = make([]byte, 0, 64<<10)
+	}
+	for {
+		if int64(len(buf)) > max {
+			sc.raw = buf
+			return nil, errBodyTooLarge
+		}
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			sc.raw = buf
+			if int64(len(buf)) > max {
+				return nil, errBodyTooLarge
+			}
+			return buf, nil
+		}
+		if err != nil {
+			sc.raw = buf
+			return nil, err
+		}
+	}
+}
+
+// errBodyTooLarge marks a request body that exceeded Config.MaxBodyBytes.
+type bodyTooLargeError struct{}
+
+func (bodyTooLargeError) Error() string { return "request body exceeds the configured limit" }
+
+var errBodyTooLarge = bodyTooLargeError{}

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	szx "repro"
+	"repro/telemetry"
+)
+
+// Wire error codes. These are the service's stable vocabulary — the client
+// package maps them back onto the szx sentinel errors, so a caller using
+// the client library can errors.Is against szx.ErrCorrupt exactly as if
+// the codec ran in-process.
+const (
+	codeBadRequest = "bad_request" // malformed parameters or payload shape
+	codeCorrupt    = "corrupt"     // stream failed validation during decode
+	codeWrongType  = "wrong_type"  // f32 stream sent to f64 decode or vice versa
+	codeTooLarge   = "too_large"   // body exceeds MaxBodyBytes
+	codeOverloaded = "overloaded"  // shed by admission control (retryable)
+	codeDraining   = "draining"    // server shutting down (retry elsewhere)
+	codeCancelled  = "cancelled"   // client went away mid-request
+	codeInternal   = "internal"    // anything we cannot blame on the client
+)
+
+// statusClientClosedRequest is nginx's non-standard 499: the client hung
+// up before we produced a response. It never reaches the client (the
+// connection is gone) but keeps access logs honest.
+const statusClientClosedRequest = 499
+
+// wireError is the JSON body of every non-2xx response from a data
+// endpoint. Frame and Offset carry szx.FrameError context when decoding a
+// streaming container fails partway.
+type wireError struct {
+	Code    string `json:"code"`
+	Message string `json:"error"`
+	Frame   int    `json:"frame,omitempty"`
+	Offset  int64  `json:"offset,omitempty"`
+}
+
+// writeError emits a wireError response. It is a no-op if the handler has
+// already begun streaming a body (headerWritten), in which case the only
+// honest signal left is truncating the connection.
+func writeError(w http.ResponseWriter, status int, we wireError, retryAfter time.Duration) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	if retryAfter > 0 {
+		secs := int(retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(we)
+}
+
+// classify maps a codec/pipeline error onto (HTTP status, wire code),
+// pulling frame/offset context out of a FrameError when present. The split
+// is: client-attributable decode failures are 4xx, everything else is 5xx.
+func classify(err error) (int, wireError) {
+	we := wireError{Message: err.Error()}
+	var fe *szx.FrameError
+	if errors.As(err, &fe) {
+		we.Frame = fe.Frame
+		we.Offset = fe.Offset
+	}
+	switch {
+	case errors.Is(err, szx.ErrWrongType):
+		we.Code = codeWrongType
+		return http.StatusBadRequest, we
+	case errors.Is(err, szx.ErrBadMagic),
+		errors.Is(err, szx.ErrBadVersion),
+		errors.Is(err, szx.ErrCorrupt),
+		errors.Is(err, szx.ErrStream):
+		we.Code = codeCorrupt
+		return http.StatusBadRequest, we
+	case errors.Is(err, szx.ErrErrBound),
+		errors.Is(err, szx.ErrBlockSize),
+		errors.Is(err, szx.ErrDegenerateRange):
+		we.Code = codeBadRequest
+		return http.StatusBadRequest, we
+	default:
+		we.Code = codeInternal
+		return http.StatusInternalServerError, we
+	}
+}
+
+// fail classifies err, counts it, and writes the error response.
+func fail(w http.ResponseWriter, err error) {
+	status, we := classify(err)
+	if status < 500 {
+		telemetry.ServiceBadRequests.Inc()
+	}
+	writeError(w, status, we, 0)
+}
+
+// badRequest writes a 400 with codeBadRequest for parameter-level problems
+// detected before the codec ever runs.
+func badRequest(w http.ResponseWriter, msg string) {
+	telemetry.ServiceBadRequests.Inc()
+	writeError(w, http.StatusBadRequest, wireError{Code: codeBadRequest, Message: msg}, 0)
+}

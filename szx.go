@@ -88,11 +88,12 @@ const MaxBlockSize = core.MaxBlockSize
 // Errors surfaced by this package (additional codec errors are defined in
 // terms of these sentinels via errors.Is).
 var (
-	ErrErrBound  = core.ErrErrBound
-	ErrBlockSize = core.ErrBlockSize
-	ErrCorrupt   = core.ErrCorrupt
-	ErrBadMagic  = core.ErrBadMagic
-	ErrWrongType = core.ErrWrongType
+	ErrErrBound   = core.ErrErrBound
+	ErrBlockSize  = core.ErrBlockSize
+	ErrCorrupt    = core.ErrCorrupt
+	ErrBadMagic   = core.ErrBadMagic
+	ErrBadVersion = core.ErrBadVersion
+	ErrWrongType  = core.ErrWrongType
 )
 
 // ErrDegenerateRange is returned for BoundRelative when the data has no

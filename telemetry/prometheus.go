@@ -18,6 +18,7 @@ type metric struct {
 	help   string
 	labels string // pre-rendered label set, e.g. `{code="0"}`, or ""
 	c      *Counter
+	g      *Gauge
 	h      *Histogram
 	b      *BitHist
 	scale  float64 // histogram value multiplier on export (ns→s = 1e-9)
@@ -78,6 +79,22 @@ var registry = []metric{
 	{name: "szx_time_frames_total", labels: `{kind="delta"}`, c: &TimeFramesDelta},
 	{name: "szx_time_keyframe_fallbacks_total", help: "Delta frames re-coded as keyframes by the bound check.", c: &TimeKeyframeFallbacks},
 	{name: "szx_relative_bound_resolves_total", help: "Value-range scans performed for BoundRelative options.", c: &RelativeBoundResolves},
+
+	{name: "szx_service_requests_total", help: "Admitted service requests, by endpoint.", labels: `{endpoint="compress"}`, c: &ServiceRequestsCompress},
+	{name: "szx_service_requests_total", labels: `{endpoint="decompress"}`, c: &ServiceRequestsDecompress},
+	{name: "szx_service_requests_total", labels: `{endpoint="stream_compress"}`, c: &ServiceRequestsStreamCompress},
+	{name: "szx_service_requests_total", labels: `{endpoint="stream_decompress"}`, c: &ServiceRequestsStreamDecompress},
+	{name: "szx_service_bytes_in_total", help: "Request payload bytes received by the service.", c: &ServiceBytesIn},
+	{name: "szx_service_bytes_out_total", help: "Response payload bytes sent by the service.", c: &ServiceBytesOut},
+	{name: "szx_service_rejected_total", help: "Requests refused by admission control, by reason (queue_full and wait_timeout are 429s, draining is a 503).", labels: `{reason="queue_full"}`, c: &ServiceRejectedQueueFull},
+	{name: "szx_service_rejected_total", labels: `{reason="wait_timeout"}`, c: &ServiceRejectedWaitTimeout},
+	{name: "szx_service_rejected_total", labels: `{reason="draining"}`, c: &ServiceRejectedDraining},
+	{name: "szx_service_request_errors_total", help: "Admitted requests that failed, by kind.", labels: `{kind="bad_request"}`, c: &ServiceBadRequests},
+	{name: "szx_service_request_errors_total", labels: `{kind="cancelled"}`, c: &ServiceCancelledRequests},
+	{name: "szx_service_in_flight", help: "Requests currently holding an execution slot.", g: &ServiceInFlight},
+	{name: "szx_service_queue_depth", help: "Requests currently waiting in the admission queue.", g: &ServiceQueueDepth},
+	{name: "szx_service_queue_wait_seconds", help: "Admission-queue wait time of admitted requests.", h: &ServiceQueueWaits, scale: 1e-9},
+	{name: "szx_service_request_duration_seconds", help: "End-to-end handler time of admitted requests.", h: &ServiceRequestDurations, scale: 1e-9},
 }
 
 // WritePrometheus emits every metric in the Prometheus text exposition
@@ -95,8 +112,11 @@ func WritePrometheus(w io.Writer) error {
 				}
 			}
 			typ := "counter"
-			if m.h != nil {
+			switch {
+			case m.h != nil:
 				typ = "histogram"
+			case m.g != nil:
+				typ = "gauge"
 			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.name, typ); err != nil {
 				return err
@@ -107,6 +127,8 @@ func WritePrometheus(w io.Writer) error {
 		switch {
 		case m.c != nil:
 			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.c.Load())
+		case m.g != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.g.Load())
 		case m.h != nil:
 			err = writePromHistogram(w, m)
 		case m.b != nil:

@@ -71,6 +71,25 @@ type ContainersSnapshot struct {
 	RelativeBoundResolves int64 `json:"relative_bound_resolves"`
 }
 
+// ServiceSnapshot summarizes the compression service (service/ + cmd/szxd).
+type ServiceSnapshot struct {
+	RequestsCompress         int64             `json:"requests_compress"`
+	RequestsDecompress       int64             `json:"requests_decompress"`
+	RequestsStreamCompress   int64             `json:"requests_stream_compress"`
+	RequestsStreamDecompress int64             `json:"requests_stream_decompress"`
+	BytesIn                  int64             `json:"bytes_in"`
+	BytesOut                 int64             `json:"bytes_out"`
+	RejectedQueueFull        int64             `json:"rejected_queue_full"`
+	RejectedWaitTimeout      int64             `json:"rejected_wait_timeout"`
+	RejectedDraining         int64             `json:"rejected_draining"`
+	BadRequests              int64             `json:"bad_requests"`
+	Cancelled                int64             `json:"cancelled"`
+	InFlight                 int64             `json:"in_flight"`
+	QueueDepth               int64             `json:"queue_depth"`
+	QueueWaits               HistogramSnapshot `json:"queue_wait_ns"`
+	RequestDurations         HistogramSnapshot `json:"request_duration_ns"`
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Enabled    bool               `json:"enabled"`
@@ -81,6 +100,7 @@ type Snapshot struct {
 	Parallel   ParallelSnapshot   `json:"parallel"`
 	Pipeline   PipelineSnapshot   `json:"pipeline"`
 	Containers ContainersSnapshot `json:"containers"`
+	Service    ServiceSnapshot    `json:"service"`
 }
 
 // Snap assembles a Snapshot of the current metric values. The copy is not
@@ -134,6 +154,23 @@ func Snap() Snapshot {
 			ProducerStalls: PipelineProducerStalls.Snapshot(),
 			ConsumerStalls: PipelineConsumerStalls.Snapshot(),
 		},
+		Service: ServiceSnapshot{
+			RequestsCompress:         ServiceRequestsCompress.Load(),
+			RequestsDecompress:       ServiceRequestsDecompress.Load(),
+			RequestsStreamCompress:   ServiceRequestsStreamCompress.Load(),
+			RequestsStreamDecompress: ServiceRequestsStreamDecompress.Load(),
+			BytesIn:                  ServiceBytesIn.Load(),
+			BytesOut:                 ServiceBytesOut.Load(),
+			RejectedQueueFull:        ServiceRejectedQueueFull.Load(),
+			RejectedWaitTimeout:      ServiceRejectedWaitTimeout.Load(),
+			RejectedDraining:         ServiceRejectedDraining.Load(),
+			BadRequests:              ServiceBadRequests.Load(),
+			Cancelled:                ServiceCancelledRequests.Load(),
+			InFlight:                 ServiceInFlight.Load(),
+			QueueDepth:               ServiceQueueDepth.Load(),
+			QueueWaits:               ServiceQueueWaits.Snapshot(),
+			RequestDurations:         ServiceRequestDurations.Snapshot(),
+		},
 		Containers: ContainersSnapshot{
 			StreamFramesWritten:   StreamFramesWritten.Load(),
 			StreamFramesRead:      StreamFramesRead.Load(),
@@ -168,6 +205,8 @@ func Reset() {
 		switch {
 		case m.c != nil:
 			m.c.reset()
+		case m.g != nil:
+			m.g.reset()
 		case m.h != nil:
 			m.h.reset()
 		case m.b != nil:
@@ -238,6 +277,17 @@ func Report() string {
 	}
 	if c.RelativeBoundResolves > 0 {
 		fmt.Fprintf(&b, "  rel bounds: %d range resolves\n", c.RelativeBoundResolves)
+	}
+	sv := s.Service
+	reqs := sv.RequestsCompress + sv.RequestsDecompress + sv.RequestsStreamCompress + sv.RequestsStreamDecompress
+	rejected := sv.RejectedQueueFull + sv.RejectedWaitTimeout + sv.RejectedDraining
+	if reqs+rejected > 0 {
+		fmt.Fprintf(&b, "  service:    %d requests (%d compress, %d decompress, %d stream), %s in -> %s out, %d rejected (%d queue-full, %d timeout, %d draining), %d bad, %d cancelled; in-flight %d, queued %d, queue wait %s\n",
+			reqs, sv.RequestsCompress, sv.RequestsDecompress,
+			sv.RequestsStreamCompress+sv.RequestsStreamDecompress,
+			fmtBytes(sv.BytesIn), fmtBytes(sv.BytesOut),
+			rejected, sv.RejectedQueueFull, sv.RejectedWaitTimeout, sv.RejectedDraining,
+			sv.BadRequests, sv.Cancelled, sv.InFlight, sv.QueueDepth, fmtDur(sv.QueueWaits))
 	}
 	return b.String()
 }

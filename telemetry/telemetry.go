@@ -61,6 +61,28 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 
 func (c *Counter) reset() { c.v.Store(0) }
 
+// Gauge is an atomic instantaneous value (queue depth, in-flight count):
+// unlike a Counter it goes both ways. The service layer's admission
+// controller is the main client.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+func (g *Gauge) reset() { g.v.Store(0) }
+
 // histBuckets is the number of power-of-two histogram buckets. Bucket i
 // counts observations v with bit length i, i.e. v in [2^(i-1), 2^i);
 // bucket 0 counts zeros. An int64 observation has bit length ≤ 63, so 64

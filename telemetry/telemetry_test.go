@@ -138,6 +138,10 @@ func TestWritePrometheusFormat(t *testing.T) {
 	ReqLenBits.Observe(22)
 	LeadCodes[2].Add(100)
 	EncodePhaseDurations.Observe(2_000_000)
+	ServiceRequestsCompress.Inc()
+	ServiceRejectedQueueFull.Add(3)
+	ServiceInFlight.Set(7)
+	ServiceQueueWaits.Observe(5_000)
 
 	var sb strings.Builder
 	if err := WritePrometheus(&sb); err != nil {
@@ -154,6 +158,11 @@ func TestWritePrometheusFormat(t *testing.T) {
 		`szx_compress_duration_seconds_count 1`,
 		`# TYPE szx_compress_duration_seconds histogram`,
 		`szx_parallel_encode_phase_seconds_bucket{le="+Inf"} 1`,
+		`szx_service_requests_total{endpoint="compress"} 1`,
+		`szx_service_rejected_total{reason="queue_full"} 3`,
+		`# TYPE szx_service_in_flight gauge`,
+		`szx_service_in_flight 7`,
+		`szx_service_queue_wait_seconds_count 1`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
@@ -178,6 +187,32 @@ func TestWritePrometheusFormat(t *testing.T) {
 		if !promLine.MatchString(line) {
 			t.Errorf("line fails exposition grammar: %q", line)
 		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	Reset()
+	defer Reset()
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Load(); got != 1 {
+		t.Fatalf("gauge after inc/inc/dec: %d", got)
+	}
+	g.Add(-5)
+	if got := g.Load(); got != -4 {
+		t.Fatalf("gauge after Add(-5): %d", got)
+	}
+	g.Set(42)
+	if got := g.Load(); got != 42 {
+		t.Fatalf("gauge after Set: %d", got)
+	}
+	// Registry-driven Reset clears gauges too.
+	ServiceQueueDepth.Set(9)
+	Reset()
+	if got := ServiceQueueDepth.Load(); got != 0 {
+		t.Fatalf("gauge after Reset: %d", got)
 	}
 }
 
