@@ -69,7 +69,9 @@ type archiveField struct {
 }
 
 // NewArchiveWriter returns a writer that compresses every added field with
-// the given options.
+// the given options. With opt.TargetRatio set, each field resolves its own
+// error bound against its own data — a per-field ratio budget — and the
+// resolved bound is reported back through FieldInfo.ErrBound on read.
 func NewArchiveWriter(opt Options) *ArchiveWriter {
 	return &ArchiveWriter{opt: opt, names: make(map[string]bool)}
 }

@@ -5,9 +5,17 @@
 // Usage:
 //
 //	szx -z -i data.f32 -o data.szx -e 1e-3 [-rel] [-b 128] [-t f32|f64] [-w N]
+//	szx -z -i data.f32 -o data.szx -ratio 8 [-b 128] [-t f32|f64] [-w N]
 //	szx -z -stream -i data.f32 -o data.szxs [-chunk N] [-w N]
 //	szx -x -i data.szx -o data.out [-w N]
 //	szx -info -i data.szx
+//
+// -ratio selects fixed-ratio mode: instead of an error bound, give a target
+// compression ratio and the codec searches (a few sampled probes) for the
+// absolute bound that achieves it. -ratio and -e are mutually exclusive,
+// and -rel does not combine with -ratio. The converged bound is recorded in
+// the stream header, so -info and decompression report it like any other
+// absolute bound.
 //
 // With -stream, -z emits a streaming container ("SZXS") through the
 // pipelined engine: the input file is read chunk by chunk, chunks compress
@@ -67,7 +75,8 @@ func exitCodeFor(err error) int {
 		errors.Is(err, szx.ErrWrongType),
 		errors.Is(err, io.ErrUnexpectedEOF):
 		return exitCorrupt
-	case errors.Is(err, szx.ErrErrBound),
+	case errors.Is(err, szx.ErrBadOptions),
+		errors.Is(err, szx.ErrErrBound),
 		errors.Is(err, szx.ErrBlockSize),
 		errors.Is(err, szx.ErrDegenerateRange):
 		return exitUsage
@@ -86,6 +95,7 @@ func main() {
 		in         = flag.String("i", "", "input file")
 		out        = flag.String("o", "", "output file")
 		bound      = flag.Float64("e", 1e-3, "error bound")
+		ratio      = flag.Float64("ratio", 0, "fixed-ratio mode: target compression ratio >= 1 (mutually exclusive with -e and -rel)")
 		rel        = flag.Bool("rel", false, "interpret -e as value-range-relative")
 		blockSize  = flag.Int("b", szx.DefaultBlockSize, "block size")
 		dtype      = flag.String("t", "f32", "element type: f32 or f64")
@@ -138,6 +148,21 @@ func main() {
 			mode = szx.BoundRelative
 		}
 		opt := szx.Options{ErrorBound: *bound, Mode: mode, BlockSize: *blockSize, Workers: *workers}
+		if *ratio > 0 {
+			// -e always has a value (its default); only an explicit -e
+			// conflicts with -ratio.
+			explicitBound := false
+			flag.Visit(func(f *flag.Flag) { explicitBound = explicitBound || f.Name == "e" })
+			if explicitBound {
+				fail(exitUsage, "-ratio and -e are mutually exclusive")
+			}
+			if *rel {
+				fail(exitUsage, "-ratio resolves its own absolute bound; it does not combine with -rel")
+			}
+			opt.ErrorBound = 0
+			opt.Mode = szx.BoundAbsolute
+			opt.TargetRatio = *ratio
+		}
 		if *stream {
 			if *dtype != "f32" {
 				fail(exitUsage, "-stream supports -t f32 only")
@@ -173,6 +198,7 @@ func runInfo(path string) {
 			fail(exitIO, "%v", err)
 		}
 		frames, payload := 0, int64(0)
+		var firstFrame []byte
 		for {
 			var lenBuf [4]byte
 			if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
@@ -182,13 +208,25 @@ func runInfo(path string) {
 			if n == 0 {
 				break
 			}
-			if _, err := br.Discard(int(n)); err != nil {
+			if frames == 0 {
+				// Keep the first frame: its embedded SZx header records the
+				// effective error bound (the converged bound, in fixed-ratio
+				// mode) for the whole stream.
+				firstFrame = make([]byte, n)
+				if _, err := io.ReadFull(br, firstFrame); err != nil {
+					fail(exitCorrupt, "truncated streaming container after %d frames: %v", frames, err)
+				}
+			} else if _, err := br.Discard(int(n)); err != nil {
 				fail(exitCorrupt, "truncated streaming container after %d frames: %v", frames, err)
 			}
 			frames++
 			payload += int64(n)
 		}
-		fmt.Printf("container=SZXS version=%d frames=%d payloadBytes=%d\n", version, frames, payload)
+		fmt.Printf("container=SZXS version=%d frames=%d payloadBytes=%d", version, frames, payload)
+		if h, herr := szx.Info(firstFrame); herr == nil {
+			fmt.Printf(" type=%v blockSize=%d errBound=%g", h.Type, h.BlockSize, h.ErrBound)
+		}
+		fmt.Println()
 		return
 	}
 	raw, err := io.ReadAll(br)
@@ -273,12 +311,13 @@ func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bo
 		fail(exitIO, "%v", err)
 	}
 	var comp []byte
+	var st szx.Stats
 	start := time.Now()
 	switch dtype {
 	case "f32":
-		comp, err = szx.Compress(bytesToF32(raw), opt)
+		comp, st, err = szx.CompressStats(bytesToF32(raw), opt)
 	case "f64":
-		comp, err = szx.CompressFloat64(bytesToF64(raw), opt)
+		comp, st, err = szx.CompressFloat64Stats(bytesToF64(raw), opt)
 	default:
 		fail(exitUsage, "unknown type %q", dtype)
 	}
@@ -293,6 +332,10 @@ func runCompress(inPath, outPath string, opt szx.Options, dtype string, quiet bo
 		fmt.Printf("compressed %d -> %d bytes (CR %.2f) in %v (%.1f MB/s)\n",
 			len(raw), len(comp), float64(len(raw))/float64(len(comp)), elapsed,
 			float64(len(raw))/elapsed.Seconds()/1e6)
+		if st.TargetRatio > 0 {
+			fmt.Printf("fixed-ratio: target %.3g achieved %.3g bound %g probes %d converged %v\n",
+				st.TargetRatio, st.Ratio(), st.EffectiveBound, st.RatioProbes, st.RatioConverged)
+		}
 	}
 }
 

@@ -32,6 +32,11 @@ func TestExitCodeClassification(t *testing.T) {
 	if boundErr == nil {
 		t.Fatal("expected bound error")
 	}
+	// A genuine options failure from fixed-ratio validation.
+	_, ratioErr := szx.Compress(make([]float32, 10), szx.Options{TargetRatio: 0.5})
+	if ratioErr == nil {
+		t.Fatal("expected ratio error")
+	}
 
 	for _, tc := range []struct {
 		name string
@@ -46,6 +51,8 @@ func TestExitCodeClassification(t *testing.T) {
 		{"container frame error", streamErr, exitCorrupt},
 		{"truncated read", io.ErrUnexpectedEOF, exitCorrupt},
 		{"bad bound", boundErr, exitUsage},
+		{"bad options sentinel", szx.ErrBadOptions, exitUsage},
+		{"bad target ratio", ratioErr, exitUsage},
 		{"bad block size", szx.ErrBlockSize, exitUsage},
 		{"degenerate range", szx.ErrDegenerateRange, exitUsage},
 		{"file missing", errors.New("open /no/such/file: no such file or directory"), exitIO},

@@ -45,6 +45,7 @@ func main() {
 		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath/-obs mode")
 		obs       = flag.String("obs", "", "run telemetry-overhead A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
 		stream    = flag.String("stream", "", "run streaming dump/load A/B (serial vs pipelined) and write JSON snapshot to this file ('-' = stdout)")
+		ratioOut  = flag.String("ratio", "", "run the fixed-ratio bound-search sweep and write JSON snapshot to this file ('-' = stdout)")
 		serve     = flag.String("serve", "", "run the szxd service load generator (1/8/64 clients) and write JSON snapshot to this file ('-' = stdout)")
 		stats     = flag.Bool("stats", false, "enable telemetry and print a report to stderr at exit")
 		statsHTTP = flag.String("stats-http", "", "enable telemetry and serve /metrics, /debug/vars, /debug/pprof on this address")
@@ -77,6 +78,13 @@ func main() {
 	}
 	if *stream != "" {
 		if err := runStream(*stream, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ratioOut != "" {
+		if err := runRatio(*ratioOut, *scale, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	szx "repro"
+	"repro/internal/datagen"
+)
+
+// Fixed-ratio mode (-ratio): run the TargetRatio bound search over every
+// field of the synthetic application corpus at a sweep of targets, and
+// write a BENCH_RATIO.json snapshot — per-case probe counts, search time,
+// and achieved-vs-target accuracy, plus corpus-level summary rates. The
+// snapshot shape matches the other BENCH_*.json artifacts so
+// scripts/bench_ab.sh can archive and diff it mechanically.
+
+type ratioCase struct {
+	App       string  `json:"app"`
+	Field     string  `json:"field"`
+	N         int     `json:"n"`
+	Target    float64 `json:"target"`
+	Achieved  float64 `json:"achieved"`
+	Bound     float64 `json:"bound"`
+	Probes    int     `json:"probes"`
+	Converged bool    `json:"converged"`
+	SearchUs  float64 `json:"search_us"`
+}
+
+type ratioReport struct {
+	Date          string      `json:"date"`
+	Goos          string      `json:"goos"`
+	Goarch        string      `json:"goarch"`
+	CPU           string      `json:"cpu"`
+	Note          string      `json:"note"`
+	Commands      []string    `json:"commands"`
+	Targets       []float64   `json:"targets"`
+	Cases         int         `json:"cases"`
+	ConvergedRate float64     `json:"converged_rate"`
+	MeanProbes    float64     `json:"mean_probes"`
+	MaxProbes     int         `json:"max_probes"`
+	MeanAbsErrPct float64     `json:"mean_abs_err_pct"`
+	Results       []ratioCase `json:"results"`
+}
+
+func runRatio(outPath string, scale int, seed int64) error {
+	targets := []float64{4, 8, 16}
+	rep := ratioReport{
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Note: "fixed-ratio bound search over the synthetic corpus; " +
+			"achieved is the realized compression ratio at the converged bound",
+		Commands: []string{fmt.Sprintf("szxbench -ratio %s -scale %d -seed %d", outPath, scale, seed)},
+		Targets:  targets,
+	}
+
+	var sumProbes, sumAbsErr float64
+	converged := 0
+	for _, app := range datagen.AllApps(scale, seed) {
+		for _, f := range app.Fields {
+			for _, target := range targets {
+				opt := szx.Options{TargetRatio: target}
+				start := time.Now()
+				p, err := szx.ResolvePlan(f.Data, opt)
+				searchUs := float64(time.Since(start).Nanoseconds()) / 1e3
+				if err != nil {
+					return fmt.Errorf("%s/%s target %g: %w", app.Name, f.Name, target, err)
+				}
+				comp, err := szx.Compress(f.Data, szx.Options{ErrorBound: p.Bound})
+				if err != nil {
+					return fmt.Errorf("%s/%s at resolved bound %g: %w", app.Name, f.Name, p.Bound, err)
+				}
+				achieved := float64(4*len(f.Data)) / float64(len(comp))
+				rep.Results = append(rep.Results, ratioCase{
+					App:       app.Name,
+					Field:     f.Name,
+					N:         len(f.Data),
+					Target:    target,
+					Achieved:  math.Round(achieved*1000) / 1000,
+					Bound:     p.Bound,
+					Probes:    p.Probes,
+					Converged: p.Converged,
+					SearchUs:  math.Round(searchUs*10) / 10,
+				})
+				rep.Cases++
+				sumProbes += float64(p.Probes)
+				sumAbsErr += math.Abs(achieved/target - 1)
+				if p.Probes > rep.MaxProbes {
+					rep.MaxProbes = p.Probes
+				}
+				if p.Converged {
+					converged++
+				}
+			}
+		}
+	}
+	if rep.Cases > 0 {
+		rep.ConvergedRate = math.Round(float64(converged)/float64(rep.Cases)*1000) / 1000
+		rep.MeanProbes = math.Round(sumProbes/float64(rep.Cases)*100) / 100
+		rep.MeanAbsErrPct = math.Round(sumAbsErr/float64(rep.Cases)*100*10) / 10
+	}
+
+	var sb strings.Builder
+	jenc := json.NewEncoder(&sb)
+	jenc.SetIndent("", "  ")
+	if err := jenc.Encode(rep); err != nil {
+		return err
+	}
+	if outPath == "-" {
+		fmt.Print(sb.String())
+		return nil
+	}
+	return os.WriteFile(outPath, []byte(sb.String()), 0o644)
+}

@@ -17,6 +17,9 @@ type Codec[T Float] struct {
 	opt  Options
 	comp []byte
 	vals []T
+	// rs is the Codec's own fixed-ratio probe scratch, so a warm handle's
+	// TargetRatio search allocates nothing without touching the shared pool.
+	rs ratioScratch
 }
 
 // NewCodec returns a Codec that compresses under opt.
@@ -36,7 +39,7 @@ func (c *Codec[T]) SetOptions(opt Options) { c.opt = opt }
 // Compress compresses data into the Codec's internal buffer and returns it.
 // The result is valid until the next call on c.
 func (c *Codec[T]) Compress(data []T) ([]byte, error) {
-	out, err := CompressInto(c.comp[:0], data, c.opt)
+	out, err := compressInto(c.comp[:0], data, c.opt, &c.rs)
 	if err != nil {
 		return nil, err
 	}

@@ -3,6 +3,7 @@ package szx
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"math"
 	"runtime"
 	"testing"
@@ -246,6 +247,78 @@ func FuzzDecompressParallel(f *testing.F) {
 				if math.Float64bits(ser64[i]) != math.Float64bits(par64[i]) {
 					t.Fatalf("f64 value %d differs between serial and parallel", i)
 				}
+			}
+		}
+	})
+}
+
+// FuzzTargetRatio drives the fixed-ratio bound search over arbitrary
+// inputs: the raw fuzz bytes become float32 values (NaNs, infinities, and
+// constant runs included) and the target ratio is fuzzed across [1, 65).
+// Whatever the input, the search must stay within its probe budget, the
+// resolved bound must be positive, the stream must record that bound, and
+// every finite value must decompress back within it.
+func FuzzTargetRatio(f *testing.F) {
+	smooth := make([]byte, 4*600)
+	for i := 0; i < 600; i++ {
+		binary.LittleEndian.PutUint32(smooth[4*i:], math.Float32bits(float32(math.Sin(float64(i)*0.05))))
+	}
+	f.Add(smooth, uint8(8))
+	f.Add(smooth[:4*5], uint8(4))                   // shorter than one block
+	f.Add([]byte{}, uint8(2))                       // empty
+	f.Add(bytes.Repeat(smooth[:4], 300), uint8(16)) // constant field
+	f.Fuzz(func(t *testing.T, raw []byte, tsel uint8) {
+		target := 1 + float64(tsel%64)
+		vals := make([]float32, len(raw)/4)
+		for i := range vals {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+		opt := Options{TargetRatio: target}
+
+		p, err := ResolvePlan(vals, opt)
+		if err != nil {
+			// Only inputs with no usable value range may fail resolution.
+			if !errors.Is(err, ErrDegenerateRange) {
+				t.Fatalf("unexpected resolve error: %v", err)
+			}
+			return
+		}
+		if p.Probes > 8 {
+			t.Fatalf("%d probes > budget 8", p.Probes)
+		}
+		if !(p.Bound > 0) {
+			t.Fatalf("resolved bound %v not positive", p.Bound)
+		}
+
+		comp, st, cerr := CompressStats(vals, opt)
+		if cerr != nil {
+			t.Fatalf("compress after successful resolve: %v", cerr)
+		}
+		if !(st.EffectiveBound > 0) {
+			t.Fatalf("stats carry no effective bound")
+		}
+		h, herr := Info(comp)
+		if herr != nil {
+			t.Fatalf("info on own stream: %v", herr)
+		}
+		if h.ErrBound != st.EffectiveBound {
+			t.Fatalf("header bound %g != stats bound %g", h.ErrBound, st.EffectiveBound)
+		}
+		got, derr := Decompress(comp)
+		if derr != nil {
+			t.Fatalf("decompress own stream: %v", derr)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("roundtrip length %d want %d", len(got), len(vals))
+		}
+		for i, want := range vals {
+			w64, g64 := float64(want), float64(got[i])
+			if math.IsNaN(w64) || math.IsInf(w64, 0) {
+				continue // non-finite values have no meaningful bound
+			}
+			if math.Abs(g64-w64) > st.EffectiveBound*(1+1e-9) {
+				t.Fatalf("value %d breaks converged bound %g: %v vs %v",
+					i, st.EffectiveBound, got[i], want)
 			}
 		}
 	})

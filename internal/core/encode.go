@@ -48,7 +48,7 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	if rec {
 		enc.tally = &tally
 	}
-	st := Stats{Blocks: nb, OriginalSize: es * len(data)}
+	st := Stats{Blocks: nb, OriginalSize: es * len(data), EffectiveBound: errBound}
 	for k := 0; k < nb; k++ {
 		lo := k * bs
 		hi := lo + bs

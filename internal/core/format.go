@@ -46,6 +46,11 @@ const (
 	version    = 1
 )
 
+// HeaderSize is the byte length of the fixed stream header; exported so
+// higher layers (the fixed-ratio estimator, container tooling) can account
+// for per-stream overhead without re-deriving the layout.
+const HeaderSize = headerSize
+
 // DType identifies the element type of a compressed stream.
 type DType byte
 
@@ -241,6 +246,17 @@ type Stats struct {
 	GuardRetries   int // blocks re-encoded by the guard pass
 	CompressedSize int // total output bytes
 	OriginalSize   int // input bytes
+
+	// EffectiveBound is the absolute error bound the stream was encoded
+	// with — the same value embedded in the header. For relative or
+	// fixed-ratio requests this is the resolved bound, not the request
+	// parameter.
+	EffectiveBound float64
+	// Fixed-ratio trace, filled by the szx bound-resolution layer when the
+	// run was driven by Options.TargetRatio (zero otherwise).
+	TargetRatio    float64 // requested ratio
+	RatioProbes    int     // sampled compression probes the search spent
+	RatioConverged bool    // search ended within tolerance of the target
 }
 
 // Ratio returns the compression ratio (original size / compressed size).

@@ -104,6 +104,7 @@ type PipeWriter struct {
 
 	buf    []float32
 	seq    int
+	ratio  streamRatio // seeded on the producer goroutine before chunk 0 is handed off
 	perr   pipeErr
 	closed bool
 }
@@ -187,7 +188,27 @@ func buildStreamFrame(dst []byte, chunk []float32, first bool, opt Options) ([]b
 func (pw *PipeWriter) worker() {
 	defer pw.wg.Done()
 	for s := range pw.work {
-		s.frame, s.err = buildStreamFrame(s.frame[:0], s.vals, s.seq == 0, pw.opt)
+		opt := pw.opt
+		if pw.opt.TargetRatio > 0 {
+			// The seed was resolved on the producer goroutine before this
+			// slot was handed off (happens-before via the work channel), so
+			// reading it here is race-free. Chunk 0 uses the seed verbatim;
+			// later chunks re-resolve from it — a pure function of (options,
+			// seed, values), so frames match the serial Writer byte for byte
+			// regardless of worker scheduling.
+			if s.seq == 0 {
+				opt = pw.opt.withBound(pw.ratio.seed)
+			} else {
+				b, err := ratioChunkBound(pw.opt, pw.ratio.seed, s.vals)
+				if err != nil {
+					s.err = err
+					close(s.done)
+					continue
+				}
+				opt = pw.opt.withBound(b)
+			}
+		}
+		s.frame, s.err = buildStreamFrame(s.frame[:0], s.vals, s.seq == 0, opt)
 		close(s.done)
 	}
 }
@@ -249,6 +270,16 @@ func (pw *PipeWriter) submit(chunk []float32) {
 		case s = <-pw.free:
 		case <-pw.ctxDone:
 			pw.perr.set(pw.ctx.Err())
+			return
+		}
+	}
+	if pw.opt.TargetRatio > 0 && !pw.ratio.seeded {
+		// Run the full bound search on the first chunk here, on the
+		// producer goroutine, so every worker sees the seed through the
+		// channel hand-off below.
+		if _, err := pw.ratio.chunkBound(chunk, pw.opt); err != nil {
+			pw.perr.set(err)
+			pw.free <- s
 			return
 		}
 	}

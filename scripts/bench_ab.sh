@@ -101,3 +101,19 @@ if [[ "${BENCH_SERVE:-1}" != 0 ]]; then
     echo "bench_ab: szxd service load generator (working tree)" >&2
     go run ./cmd/szxbench -serve - -benchtime "$BENCHTIME"
 fi
+
+# Fixed-ratio bound-search sweep for the working tree: target-ratio search
+# over the synthetic corpus (the BENCH_RATIO.json workload) — probe counts,
+# search time, convergence rate, achieved-vs-target error. Skip with
+# BENCH_RATIO=0.
+if [[ "${BENCH_RATIO:-1}" != 0 ]]; then
+    echo "bench_ab: fixed-ratio bound-search sweep (working tree)" >&2
+    go run ./cmd/szxbench -ratio BENCH_RATIO.json -scale 16
+    python3 - <<'PY' 2>/dev/null || cat BENCH_RATIO.json
+import json
+r = json.load(open("BENCH_RATIO.json"))
+print(f"ratio sweep: {r['cases']} cases, converged {100*r['converged_rate']:.1f}%, "
+      f"mean probes {r['mean_probes']}, max {r['max_probes']}, "
+      f"mean |achieved-target| {r['mean_abs_err_pct']}%")
+PY
+fi

@@ -25,10 +25,11 @@ import (
 // Params selects compression options for a request; the zero value uses
 // the server's defaults. It is the wire form of szx.Options.
 type Params struct {
-	ErrorBound float64  // 0 = server default
-	Mode       szx.Mode // BoundAbsolute or BoundRelative
-	BlockSize  int      // 0 = server default
-	Workers    int      // 0 = serial, -1 = server max, else capped by server
+	ErrorBound  float64  // 0 = server default
+	TargetRatio float64  // fixed-ratio mode; mutually exclusive with ErrorBound
+	Mode        szx.Mode // BoundAbsolute or BoundRelative
+	BlockSize   int      // 0 = server default
+	Workers     int      // 0 = serial, -1 = server max, else capped by server
 }
 
 func (p Params) query(elem string) url.Values {
@@ -38,6 +39,9 @@ func (p Params) query(elem string) url.Values {
 	}
 	if p.ErrorBound > 0 {
 		q.Set("e", strconv.FormatFloat(p.ErrorBound, 'g', -1, 64))
+	}
+	if p.TargetRatio > 0 {
+		q.Set("ratio", strconv.FormatFloat(p.TargetRatio, 'g', -1, 64))
 	}
 	if p.Mode == szx.BoundRelative {
 		q.Set("mode", "rel")
@@ -119,6 +123,8 @@ func (e *Error) Unwrap() error {
 		return szx.ErrCorrupt
 	case "wrong_type":
 		return szx.ErrWrongType
+	case "bad_options":
+		return szx.ErrBadOptions
 	}
 	return nil
 }

@@ -37,9 +37,9 @@ func (s *Server) enter(w http.ResponseWriter, r *http.Request, reqs *telemetry.C
 }
 
 // parseOptions maps the query string onto szx.Options plus the element
-// width. Recognized keys: t (f32|f64), e (error bound), mode (abs|rel),
-// block (block size), workers (0 serial, -1 server max, else capped at
-// the server max).
+// width. Recognized keys: t (f32|f64), e (error bound), ratio (fixed-ratio
+// target, mutually exclusive with e), mode (abs|rel), block (block size),
+// workers (0 serial, -1 server max, else capped at the server max).
 func (s *Server) parseOptions(q url.Values) (opt szx.Options, elemSize int, err error) {
 	opt = szx.Options{ErrorBound: s.cfg.DefaultErrorBound, Mode: szx.BoundAbsolute}
 	elemSize = 4
@@ -56,6 +56,19 @@ func (s *Server) parseOptions(q url.Values) (opt szx.Options, elemSize int, err 
 			return opt, 0, fmt.Errorf("bad error bound %q", e)
 		}
 		opt.ErrorBound = v
+	}
+	if rt := q.Get("ratio"); rt != "" {
+		v, perr := strconv.ParseFloat(rt, 64)
+		if perr != nil {
+			return opt, 0, fmt.Errorf("bad target ratio %q", rt)
+		}
+		if q.Get("e") != "" {
+			return opt, 0, fmt.Errorf("ratio and e are mutually exclusive")
+		}
+		// Fixed-ratio mode replaces the bound entirely; the server default
+		// bound must not linger or validation would see a conflict.
+		opt.ErrorBound = 0
+		opt.TargetRatio = v
 	}
 	switch m := q.Get("mode"); m {
 	case "", "abs":
@@ -246,6 +259,12 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 	opt, _, err := s.parseOptions(q)
 	if err != nil {
 		badRequest(w, err.Error())
+		return
+	}
+	// The pipeline surfaces errors mid-stream as truncation; option errors
+	// are knowable now, while a clean 400 is still possible.
+	if verr := opt.Validate(); verr != nil {
+		fail(w, verr)
 		return
 	}
 

@@ -469,3 +469,120 @@ func waitGoroutines(t *testing.T, baseline int) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+func TestServiceFixedRatio(t *testing.T) {
+	_, c, _ := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	vals := testField(50_000, 3)
+
+	comp, err := c.Compress(ctx, vals, client.Params{TargetRatio: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(4*len(vals)) / float64(len(comp))
+	if ratio < 4 || ratio > 9 {
+		t.Fatalf("achieved ratio %.2f nowhere near target 6", ratio)
+	}
+	// The converged bound is recorded in the stream header.
+	h, err := szx.Info(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(h.ErrBound > 0) {
+		t.Fatalf("stream carries no effective bound: %v", h.ErrBound)
+	}
+	got, err := c.Decompress(ctx, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if math.Abs(float64(got[i])-float64(vals[i])) > h.ErrBound*1.0001 {
+			t.Fatalf("value %d breaks the recorded bound %g: %v vs %v", i, h.ErrBound, got[i], vals[i])
+		}
+	}
+}
+
+func TestServiceFixedRatioStream(t *testing.T) {
+	_, c, _ := newTestServer(t, service.Config{ChunkValues: 8192})
+	ctx := context.Background()
+	vals := testField(60_000, 5)
+
+	rc, err := c.StreamCompress(ctx, bytes.NewReader(f32Bytes(vals)), client.Params{TargetRatio: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := szx.NewReader(bytes.NewReader(comp))
+	got := make([]float32, 0, len(vals))
+	buf := make([]float32, 4096)
+	for {
+		n, rerr := sr.Read(buf)
+		got = append(got, buf[:n]...)
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			t.Fatal(rerr)
+		}
+	}
+	if len(got) != len(vals) {
+		t.Fatalf("stream roundtrip length %d want %d", len(got), len(vals))
+	}
+	ratio := float64(4*len(vals)) / float64(len(comp))
+	if ratio < 3 || ratio > 8 {
+		t.Fatalf("streamed ratio %.2f nowhere near target 5", ratio)
+	}
+}
+
+func TestServiceBadOptionsIs400(t *testing.T) {
+	_, c, base := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	vals := testField(1024, 9)
+
+	// Sub-1 ratio: rejected by szx validation, surfaced as bad_options and
+	// unwrapped by the client back to the szx sentinel.
+	_, err := c.Compress(ctx, vals, client.Params{TargetRatio: 0.5})
+	if err == nil {
+		t.Fatal("ratio 0.5 accepted")
+	}
+	var se *client.Error
+	if !errors.As(err, &se) {
+		t.Fatalf("error %T is not *client.Error", err)
+	}
+	if se.Status != http.StatusBadRequest || se.Code != "bad_options" {
+		t.Fatalf("got status %d code %q, want 400 bad_options", se.Status, se.Code)
+	}
+	if !errors.Is(err, szx.ErrBadOptions) {
+		t.Fatalf("client error does not unwrap to szx.ErrBadOptions: %v", err)
+	}
+
+	// ratio + explicit bound conflict is caught at parse time.
+	resp, err := http.Post(base+"/v1/compress?ratio=4&e=1e-3", "application/octet-stream",
+		bytes.NewReader(f32Bytes(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ratio+e conflict: got %d want 400", resp.StatusCode)
+	}
+
+	// Streaming endpoint rejects bad options with a clean 400 before any
+	// container bytes flow.
+	resp, err = http.Post(base+"/v1/stream/compress?ratio=0.5", "application/octet-stream",
+		bytes.NewReader(f32Bytes(vals)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("stream bad ratio: got %d want 400", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Fatalf("stream bad ratio: content type %q, want JSON error body", got)
+	}
+}

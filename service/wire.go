@@ -17,6 +17,7 @@ import (
 // the codec ran in-process.
 const (
 	codeBadRequest = "bad_request" // malformed parameters or payload shape
+	codeBadOptions = "bad_options" // options rejected by szx validation (szx.ErrBadOptions)
 	codeCorrupt    = "corrupt"     // stream failed validation during decode
 	codeWrongType  = "wrong_type"  // f32 stream sent to f64 decode or vice versa
 	codeTooLarge   = "too_large"   // body exceeds MaxBodyBytes
@@ -68,6 +69,12 @@ func classify(err error) (int, wireError) {
 		we.Offset = fe.Offset
 	}
 	switch {
+	// ErrBadOptions first: an invalid option value (say a negative bound)
+	// wraps both ErrBadOptions and the underlying sentinel, and the more
+	// specific code wins.
+	case errors.Is(err, szx.ErrBadOptions):
+		we.Code = codeBadOptions
+		return http.StatusBadRequest, we
 	case errors.Is(err, szx.ErrWrongType):
 		we.Code = codeWrongType
 		return http.StatusBadRequest, we

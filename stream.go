@@ -66,6 +66,7 @@ type Writer struct {
 	chunk  int
 	buf    []float32
 	comp   []byte // reused compressed-chunk buffer
+	ratio  streamRatio
 	err    error
 	opened bool
 	closed bool
@@ -127,7 +128,20 @@ func (sw *Writer) flushChunk(chunk []float32) error {
 	}
 	hdrOff := len(buf)
 	buf = append(buf, 0, 0, 0, 0)
-	buf, err := CompressInto(buf, chunk, sw.opt)
+	copt := sw.opt
+	if sw.opt.TargetRatio > 0 {
+		// Fixed-ratio streaming: the first chunk runs the full bound
+		// search; each later chunk re-estimates from that seed (same pure
+		// resolution the pipelined writer uses, keeping the bytes
+		// identical).
+		b, err := sw.ratio.chunkBound(chunk, sw.opt)
+		if err != nil {
+			sw.err = err
+			return err
+		}
+		copt = sw.opt.withBound(b)
+	}
+	buf, err := CompressInto(buf, chunk, copt)
 	if err != nil {
 		sw.err = err
 		return err

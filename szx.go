@@ -49,10 +49,8 @@ package szx
 
 import (
 	"errors"
-	"math"
 
 	"repro/internal/core"
-	"repro/telemetry"
 )
 
 // Float constrains the element types SZx supports.
@@ -116,6 +114,13 @@ type Options struct {
 	// calling goroutine only, WorkersAuto (-1) for GOMAXPROCS workers, or
 	// any positive count.
 	Workers int
+	// TargetRatio, when > 0, selects fixed-ratio mode: instead of taking
+	// an error bound, the compressor searches for the absolute bound whose
+	// compression ratio lands within ±5% of this value (FRaZ-style), then
+	// encodes with it. The resolved bound travels in the stream header and
+	// Stats.EffectiveBound. Mutually exclusive with ErrorBound; requires
+	// BoundAbsolute; must be ≥ 1.
+	TargetRatio float64
 	// Unguarded disables the per-block error-bound verification pass,
 	// matching the original C implementation's behaviour exactly. With it
 	// disabled the bound can be exceeded marginally (≲2x) on adversarially
@@ -149,61 +154,46 @@ const (
 	TypeFloat64 = core.TypeFloat64
 )
 
-// resolveBound converts a relative bound into the absolute bound embedded in
-// the stream. (The range is accumulated in float64 for both element types;
-// for float64 inputs the conversions are identities.)
-func resolveBound[T Float](data []T, o Options) (float64, error) {
-	if o.Mode != BoundRelative {
-		return o.ErrorBound, nil
-	}
-	if !(o.ErrorBound > 0) || math.IsInf(o.ErrorBound, 0) {
-		return 0, ErrErrBound
-	}
-	if len(data) == 0 {
-		return 0, ErrDegenerateRange
-	}
-	if telemetry.Enabled() {
-		telemetry.RelativeBoundResolves.Inc()
-	}
-	mn, mx := data[0], data[0]
-	for _, v := range data[1:] {
-		if v < mn {
-			mn = v
-		}
-		if v > mx {
-			mx = v
-		}
-	}
-	r := float64(mx) - float64(mn)
-	if !(r > 0) || math.IsInf(r, 0) {
-		return 0, ErrDegenerateRange
-	}
-	return o.ErrorBound * r, nil
-}
-
 // CompressInto compresses data under opt, appending the stream onto dst and
 // returning the extended slice. It allocates nothing when dst has enough
 // spare capacity, making it the building block for zero-allocation reuse
 // (see Codec). Opt.Workers selects the serial or block-parallel path; both
-// produce identical bytes.
+// produce identical bytes. All bound interpretation — absolute, relative,
+// fixed-ratio — goes through the plan resolver (see ResolvePlan).
 func CompressInto[T Float](dst []byte, data []T, opt Options) ([]byte, error) {
-	e, err := resolveBound(data, opt)
+	return compressInto(dst, data, opt, nil)
+}
+
+// compressInto is CompressInto with an optional caller-owned fixed-ratio
+// probe scratch (nil = package pool); Codec passes its own for
+// deterministic zero-allocation reuse.
+func compressInto[T Float](dst []byte, data []T, opt Options, rs *ratioScratch) ([]byte, error) {
+	p, err := resolvePlan(data, opt, rs)
 	if err != nil {
 		return nil, err
 	}
-	if w := opt.workers(); w > 1 {
-		return core.CompressParallelInto(dst, data, e, opt.coreOpts(), w)
+	if p.Workers > 1 {
+		return core.CompressParallelInto(dst, data, p.Bound, p.coreOpts(), p.Workers)
 	}
-	return core.CompressInto(dst, data, e, opt.coreOpts())
+	return core.CompressInto(dst, data, p.Bound, p.coreOpts())
 }
 
 // CompressIntoStats is CompressInto with per-run statistics (serial path).
+// In fixed-ratio mode the Stats carry the search trace (EffectiveBound,
+// TargetRatio, RatioProbes, RatioConverged).
 func CompressIntoStats[T Float](dst []byte, data []T, opt Options) ([]byte, Stats, error) {
-	e, err := resolveBound(data, opt)
+	p, err := ResolvePlan(data, opt)
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	return core.CompressIntoStats(dst, data, e, opt.coreOpts())
+	out, st, err := core.CompressIntoStats(dst, data, p.Bound, p.coreOpts())
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st.TargetRatio = p.TargetRatio
+	st.RatioProbes = p.Probes
+	st.RatioConverged = p.Converged
+	return out, st, nil
 }
 
 // DecompressInto decompresses comp, appending the values onto dst and
@@ -217,14 +207,14 @@ func DecompressInto[T Float](dst []T, comp []byte) ([]T, error) {
 // CompressParallelInto is CompressInto with an explicit worker count
 // (overriding opt.Workers; WorkersAuto selects GOMAXPROCS).
 func CompressParallelInto[T Float](dst []byte, data []T, opt Options, workers int) ([]byte, error) {
-	e, err := resolveBound(data, opt)
+	p, err := ResolvePlan(data, opt)
 	if err != nil {
 		return nil, err
 	}
 	if workers == WorkersAuto {
 		workers = core.Workers(0)
 	}
-	return core.CompressParallelInto(dst, data, e, opt.coreOpts(), workers)
+	return core.CompressParallelInto(dst, data, p.Bound, p.coreOpts(), workers)
 }
 
 // DecompressParallelInto is DecompressInto with block-parallel decoding

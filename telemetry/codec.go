@@ -76,6 +76,14 @@ var (
 	RelativeBoundResolves Counter // BoundRelative range scans
 )
 
+// Fixed-ratio mode (Options.TargetRatio) bound-search counters.
+var (
+	RatioSearches    Counter // full bound searches run
+	RatioProbes      Counter // sampled compression probes spent across searches
+	RatioReestimates Counter // streaming follow-on chunks re-resolved from the seed
+	RatioUnconverged Counter // searches that ended outside tolerance
+)
+
 // Pipelined streaming engine internals (PipeWriter/PipeReader). Depth is
 // the configured ring size observed once per pipeline start; frames in
 // flight is sampled at every chunk submission; the stall histograms

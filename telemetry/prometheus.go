@@ -80,6 +80,11 @@ var registry = []metric{
 	{name: "szx_time_keyframe_fallbacks_total", help: "Delta frames re-coded as keyframes by the bound check.", c: &TimeKeyframeFallbacks},
 	{name: "szx_relative_bound_resolves_total", help: "Value-range scans performed for BoundRelative options.", c: &RelativeBoundResolves},
 
+	{name: "szx_ratio_searches_total", help: "Fixed-ratio (TargetRatio) bound searches run.", c: &RatioSearches},
+	{name: "szx_ratio_probes_total", help: "Sampled compression probes spent by fixed-ratio bound searches.", c: &RatioProbes},
+	{name: "szx_ratio_reestimates_total", help: "Streaming follow-on chunks re-resolved from the first chunk's seed bound.", c: &RatioReestimates},
+	{name: "szx_ratio_unconverged_total", help: "Fixed-ratio searches that ended outside the ratio tolerance.", c: &RatioUnconverged},
+
 	{name: "szx_service_requests_total", help: "Admitted service requests, by endpoint.", labels: `{endpoint="compress"}`, c: &ServiceRequestsCompress},
 	{name: "szx_service_requests_total", labels: `{endpoint="decompress"}`, c: &ServiceRequestsDecompress},
 	{name: "szx_service_requests_total", labels: `{endpoint="stream_compress"}`, c: &ServiceRequestsStreamCompress},

@@ -71,6 +71,14 @@ type ContainersSnapshot struct {
 	RelativeBoundResolves int64 `json:"relative_bound_resolves"`
 }
 
+// RatioSnapshot summarizes the fixed-ratio (TargetRatio) bound searches.
+type RatioSnapshot struct {
+	Searches    int64 `json:"searches"`
+	Probes      int64 `json:"probes"`
+	Reestimates int64 `json:"reestimates"`
+	Unconverged int64 `json:"unconverged"`
+}
+
 // ServiceSnapshot summarizes the compression service (service/ + cmd/szxd).
 type ServiceSnapshot struct {
 	RequestsCompress         int64             `json:"requests_compress"`
@@ -100,6 +108,7 @@ type Snapshot struct {
 	Parallel   ParallelSnapshot   `json:"parallel"`
 	Pipeline   PipelineSnapshot   `json:"pipeline"`
 	Containers ContainersSnapshot `json:"containers"`
+	Ratio      RatioSnapshot      `json:"ratio"`
 	Service    ServiceSnapshot    `json:"service"`
 }
 
@@ -181,6 +190,12 @@ func Snap() Snapshot {
 			TimeFramesDelta:       TimeFramesDelta.Load(),
 			TimeKeyframeFallbacks: TimeKeyframeFallbacks.Load(),
 			RelativeBoundResolves: RelativeBoundResolves.Load(),
+		},
+		Ratio: RatioSnapshot{
+			Searches:    RatioSearches.Load(),
+			Probes:      RatioProbes.Load(),
+			Reestimates: RatioReestimates.Load(),
+			Unconverged: RatioUnconverged.Load(),
 		},
 	}
 	for i := range s.Blocks.LeadCodes {
@@ -277,6 +292,10 @@ func Report() string {
 	}
 	if c.RelativeBoundResolves > 0 {
 		fmt.Fprintf(&b, "  rel bounds: %d range resolves\n", c.RelativeBoundResolves)
+	}
+	if s.Ratio.Searches+s.Ratio.Reestimates > 0 {
+		fmt.Fprintf(&b, "  ratio:      %d searches (%d probes, %d unconverged), %d chunk re-estimates\n",
+			s.Ratio.Searches, s.Ratio.Probes, s.Ratio.Unconverged, s.Ratio.Reestimates)
 	}
 	sv := s.Service
 	reqs := sv.RequestsCompress + sv.RequestsDecompress + sv.RequestsStreamCompress + sv.RequestsStreamDecompress

@@ -36,12 +36,28 @@ type TimeCompressor struct {
 
 // NewTimeCompressor returns a temporal compressor. opt.Mode must be
 // BoundAbsolute (a per-frame relative bound would drift with the residual
-// range; resolve it yourself against the first frame if needed).
+// range; resolve it yourself against the first frame if needed). With
+// opt.TargetRatio set, the first frame resolves the bound via the
+// fixed-ratio search and every later frame's residual is encoded under
+// that same absolute bound (see EffectiveBound).
 func NewTimeCompressor(opt Options) (*TimeCompressor, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
 	if opt.Mode != BoundAbsolute {
 		return nil, errors.New("szx: temporal compression requires an absolute bound")
 	}
 	return &TimeCompressor{opt: opt}, nil
+}
+
+// EffectiveBound returns the absolute error bound frames are encoded
+// under. In fixed-ratio mode it is zero until the first frame resolves
+// the bound.
+func (tc *TimeCompressor) EffectiveBound() float64 {
+	if tc.opt.TargetRatio > 0 {
+		return 0 // not resolved yet
+	}
+	return tc.opt.ErrorBound
 }
 
 // CompressFrame compresses the next frame. The first frame is compressed
@@ -49,6 +65,18 @@ func NewTimeCompressor(opt Options) (*TimeCompressor, error) {
 // reconstructed frame.
 func (tc *TimeCompressor) CompressFrame(frame []float32) ([]byte, error) {
 	if tc.prev == nil {
+		if tc.opt.TargetRatio > 0 {
+			// Resolve the ratio once, against the first frame, then pin the
+			// compressor to the resulting absolute bound: later frames code
+			// residuals, whose own ratio search would chase a different
+			// (meaningless) range, and the bound-check fallback below needs
+			// one fixed bound to verify against.
+			p, err := ResolvePlan(frame, tc.opt)
+			if err != nil {
+				return nil, err
+			}
+			tc.opt = tc.opt.withBound(p.Bound)
+		}
 		comp, err := Compress(frame, tc.opt)
 		if err != nil {
 			return nil, err
