@@ -31,6 +31,12 @@
 // /metrics (Prometheus text), /debug/vars (expvar JSON), and /debug/pprof
 // on ADDR for the lifetime of the process.
 //
+// The block kernels dispatch to the fastest implementation the CPU supports
+// (AVX2 on capable amd64 hosts, scalar Go otherwise); set
+// SZX_KERNELS=generic or SZX_KERNELS=avx2 to force a set. The compressed
+// output is byte-identical regardless, and the -stats report names the
+// active set.
+//
 // Exit codes are distinct so scripts can tell failure classes apart:
 // 0 success, 2 usage error (bad flags or parameters), 3 I/O error
 // (missing or unwritable files), 4 corrupt or mistyped input stream.
@@ -108,6 +114,11 @@ func main() {
 		out := flag.CommandLine.Output()
 		fmt.Fprintf(out, "usage: szx (-z|-x|-info) -i FILE [-o FILE] [options]\n\noptions:\n")
 		flag.PrintDefaults()
+		fmt.Fprintf(out, "\nenvironment:\n"+
+			"  SZX_KERNELS=generic|avx2  force the block-kernel implementation set\n"+
+			"                            (default: CPU feature detection; output is\n"+
+			"                            byte-identical either way, -stats shows the\n"+
+			"                            active set)\n")
 		fmt.Fprintf(out, "\nexit codes:\n"+
 			"  0  success\n"+
 			"  2  usage error: bad flags or invalid codec parameters\n"+

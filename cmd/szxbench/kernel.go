@@ -1,0 +1,284 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// Kernel sweep mode (-kernel): microbenchmark the three dispatchable block
+// kernels (stats, encode scan, decode scan) per implementation set and per
+// float width, then A/B the end-to-end serial codec with the dispatched set
+// against SZX_KERNELS=generic, writing a BENCH_KERNEL.json snapshot. The
+// microbench workloads mirror internal/kernels/bench_test.go (same 128-value
+// random-walk block, same reqLens) so numbers are comparable with the
+// in-tree benches; the e2e workloads mirror BenchmarkCoreCompressIntoF32/64.
+
+type kernelBench struct {
+	Name      string             `json:"name"`
+	NsBlock   map[string]float64 `json:"ns_block"` // impl name -> ns per 128-value block
+	SpeedupVs string             `json:"speedup_vs,omitempty"`
+	Speedup   float64            `json:"speedup,omitempty"`
+}
+
+type kernelE2E struct {
+	Name    string             `json:"name"`
+	MBs     map[string]float64 `json:"mb_s"` // "generic" / dispatched name -> MB/s
+	Speedup float64            `json:"speedup,omitempty"`
+}
+
+type kernelReport struct {
+	Date       string        `json:"date"`
+	Goos       string        `json:"goos"`
+	Goarch     string        `json:"goarch"`
+	CPU        string        `json:"cpu"`
+	Dispatched string        `json:"dispatched"`
+	Available  []string      `json:"available"`
+	Note       string        `json:"note"`
+	Commands   []string      `json:"commands"`
+	Kernels    []kernelBench `json:"kernels"`
+	E2E        []kernelE2E   `json:"e2e"`
+}
+
+func runKernel(outPath string, benchtime time.Duration) error {
+	rounds := int(benchtime / time.Second)
+	if rounds < 1 {
+		rounds = 1
+	}
+	best := func(fn func(b *testing.B)) float64 {
+		r := testing.Benchmark(fn)
+		for i := 1; i < rounds; i++ {
+			if r2 := testing.Benchmark(fn); r2.NsPerOp() < r.NsPerOp() {
+				r = r2
+			}
+		}
+		return float64(r.NsPerOp())
+	}
+
+	const n = 128
+	blk32 := make([]float32, n)
+	blk64 := make([]float64, n)
+	for i, v := range hotpathData(n) {
+		blk32[i] = 95 + v
+		blk64[i] = float64(blk32[i])
+	}
+	scr := kernels.GetScratch()
+	defer kernels.PutScratch(scr)
+	lead := make([]byte, (n+3)/4)
+	mid := make([]byte, 8*n+8)
+	out32 := make([]float32, n)
+	out64 := make([]float64, n)
+	gen32, _ := kernels.Lookup32("generic")
+	gen64, _ := kernels.Lookup64("generic")
+	ml32, _ := gen32.EncodeScan(lead, mid, blk32, 100, 18, false, 0, 0, scr)
+	enc32 := append([]byte(nil), mid[:ml32]...)
+	lead32 := append([]byte(nil), lead...)
+	ml64, _ := gen64.EncodeScan(lead, mid, blk64, 100, 26, false, 0, 0, scr)
+	enc64 := append([]byte(nil), mid[:ml64]...)
+	lead64 := append([]byte(nil), lead...)
+
+	dispatched := kernels.Active()
+	rep := kernelReport{
+		Date:       time.Now().Format("2006-01-02"),
+		Goos:       runtime.GOOS,
+		Goarch:     runtime.GOARCH,
+		CPU:        cpuModel(),
+		Dispatched: kernels.Detail(),
+		Available:  kernels.Available(),
+		Note: "Per-kernel ns per 128-value block (stats reduction, normalize+lead encode " +
+			"scan at reqLen 18/26, packed-lead decode scan) for every implementation set " +
+			"this host can run, plus the end-to-end serial codec A/B between the " +
+			"dispatched set and SZX_KERNELS=generic (interleaved rounds, best-of kept). " +
+			"Workloads mirror internal/kernels/bench_test.go and BenchmarkCoreCompressIntoF32/64.",
+		Commands: []string{
+			fmt.Sprintf("go run ./cmd/szxbench -kernel BENCH_KERNEL.json -benchtime %s", benchtime),
+			"go test -run '^$' -bench 'Stats|EncodeScan|DecodeScan' ./internal/kernels",
+		},
+	}
+
+	type micro struct {
+		name string
+		fn   func(impl string) func(b *testing.B)
+	}
+	micros := []micro{
+		{"stats/f32", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup32(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkF32, sinkF32b, sinkBool = k.Stats(blk32)
+				}
+			}
+		}},
+		{"stats/f64", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup64(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkF64, sinkF64b, sinkBool = k.Stats(blk64)
+				}
+			}
+		}},
+		{"encode_scan/f32", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup32(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkInt, sinkBool = k.EncodeScan(lead, mid, blk32, 100, 18, true, 0.01, 0.01, scr)
+				}
+			}
+		}},
+		{"encode_scan/f64", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup64(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkInt, sinkBool = k.EncodeScan(lead, mid, blk64, 100, 26, true, 0.01, 0.01, scr)
+				}
+			}
+		}},
+		{"decode_scan/f32", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup32(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkBool = k.DecodeScan(out32, lead32, enc32, 100, 18)
+				}
+			}
+		}},
+		{"decode_scan/f64", func(impl string) func(b *testing.B) {
+			k, _ := kernels.Lookup64(impl)
+			return func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sinkBool = k.DecodeScan(out64, lead64, enc64, 100, 26)
+				}
+			}
+		}},
+	}
+	for _, m := range micros {
+		kb := kernelBench{Name: m.name, NsBlock: map[string]float64{}}
+		for _, impl := range kernels.Available() {
+			fmt.Fprintf(os.Stderr, "kernel: %s %s...\n", m.name, impl)
+			kb.NsBlock[impl] = best(m.fn(impl))
+		}
+		if g, ok := kb.NsBlock["generic"]; ok && dispatched != "generic" {
+			if d, ok := kb.NsBlock[dispatched]; ok && d > 0 {
+				kb.SpeedupVs = "generic"
+				kb.Speedup = math.Round(g/d*100) / 100
+			}
+		}
+		rep.Kernels = append(rep.Kernels, kb)
+	}
+
+	// End-to-end serial A/B: the dispatched set vs generic, swapped via the
+	// same hook the tests use, interleaved per round so machine drift hits
+	// both sides equally.
+	f32 := hotpathData(1 << 21)
+	f64 := hotpathData64(1 << 20)
+	comp32, err := core.CompressFloat32(f32, 1e-3, core.Options{})
+	if err != nil {
+		return err
+	}
+	comp64, err := core.CompressFloat64(f64, 1e-6, core.Options{})
+	if err != nil {
+		return err
+	}
+	type e2e struct {
+		name  string
+		bytes int64
+		fn    func(b *testing.B)
+	}
+	e2es := []e2e{
+		{"CompressIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.CompressInto(dst[:0], f32, 1e-3, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DecompressIntoF32", int64(4 * len(f32)), func(b *testing.B) {
+			var dst []float32
+			var err error
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.DecompressInto(dst[:0], comp32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"CompressIntoF64", int64(8 * len(f64)), func(b *testing.B) {
+			var dst []byte
+			var err error
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.CompressInto(dst[:0], f64, 1e-6, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"DecompressIntoF64", int64(8 * len(f64)), func(b *testing.B) {
+			var dst []float64
+			var err error
+			for i := 0; i < b.N; i++ {
+				if dst, err = core.DecompressInto(dst[:0], comp64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	impls := []string{"generic"}
+	if dispatched != "generic" {
+		impls = append(impls, dispatched)
+	}
+	for _, s := range e2es {
+		ke := kernelE2E{Name: s.name, MBs: map[string]float64{}}
+		bestNs := map[string]float64{}
+		for round := 0; round < rounds; round++ {
+			for _, impl := range impls {
+				fmt.Fprintf(os.Stderr, "kernel: e2e %s %s round %d/%d...\n", s.name, impl, round+1, rounds)
+				restore, err := kernels.SetActiveForTesting(impl)
+				if err != nil {
+					return err
+				}
+				r := testing.Benchmark(func(b *testing.B) {
+					b.SetBytes(s.bytes)
+					s.fn(b)
+				})
+				restore()
+				ns := float64(r.NsPerOp())
+				if prev, ok := bestNs[impl]; !ok || ns < prev {
+					bestNs[impl] = ns
+				}
+			}
+		}
+		for impl, ns := range bestNs {
+			ke.MBs[impl] = math.Round(float64(s.bytes)/(ns/1e9)/1e6*100) / 100
+		}
+		if dispatched != "generic" && bestNs[dispatched] > 0 {
+			ke.Speedup = math.Round(bestNs["generic"]/bestNs[dispatched]*100) / 100
+		}
+		rep.E2E = append(rep.E2E, ke)
+	}
+
+	var sb strings.Builder
+	enc := json.NewEncoder(&sb)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if outPath == "-" {
+		fmt.Print(sb.String())
+		return nil
+	}
+	return os.WriteFile(outPath, []byte(sb.String()), 0o644)
+}
+
+var (
+	sinkF32, sinkF32b float32
+	sinkF64, sinkF64b float64
+	sinkBool          bool
+	sinkInt           int
+)

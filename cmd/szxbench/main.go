@@ -17,6 +17,9 @@
 // -serve FILE stands up the szxd compression service in-process and drives
 // it with 1/8/64 concurrent clients, writing BENCH_SERVE.json-shaped output
 // (throughput, p50/p99 latency, and 429 shed counts per level).
+// -kernel FILE microbenchmarks the dispatchable block kernels (generic vs
+// the CPU-dispatched set) and A/Bs the end-to-end serial codec between
+// them, writing BENCH_KERNEL.json-shaped output.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 		mdPath  = flag.String("md", "", "also write a markdown report to this file")
 
 		hotpath   = flag.String("hotpath", "", "run hot-path A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
+		kernel    = flag.String("kernel", "", "run the per-kernel generic-vs-dispatched sweep and write JSON snapshot to this file ('-' = stdout)")
 		benchtime = flag.Duration("benchtime", 2*time.Second, "per-benchmark target time in -hotpath/-obs mode")
 		obs       = flag.String("obs", "", "run telemetry-overhead A/B benchmarks and write JSON snapshot to this file ('-' = stdout)")
 		stream    = flag.String("stream", "", "run streaming dump/load A/B (serial vs pipelined) and write JSON snapshot to this file ('-' = stdout)")
@@ -92,6 +96,13 @@ func main() {
 	}
 	if *obs != "" {
 		if err := runObs(*obs, *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *kernel != "" {
+		if err := runKernel(*kernel, *benchtime); err != nil {
 			fmt.Fprintf(os.Stderr, "szxbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/ieee"
+	"repro/internal/kernels"
 	"repro/telemetry"
 )
 
@@ -87,117 +88,20 @@ func decodeBlock[T Float, B Word](p []byte, nonConstant bool, out []T) error {
 	if reqLen < ieee.SignExpBits[T]() || reqLen > ieee.FullBits[T]() {
 		return ErrCorrupt
 	}
-	s := uint(ieee.ShiftBits(reqLen))
-	reqBytes := (reqLen + int(s)) / 8
 	lead := p[es+1 : es+1+leadLen]
 	mid := p[es+1+leadLen:]
-	lossless := reqLen == ieee.FullBits[T]()
-	lowSh := uint(8 * (es - reqBytes)) // bit offset of the last stored byte
 
-	// masks[l] keeps the top l bytes of the previous word. Precomputed so
-	// the per-value splice is a table load instead of a variable shift
-	// (whose ≥-width guard would sit on the loop's dependency chain).
-	var masks [4]B
-	for l := 1; l < 4; l++ {
-		masks[l] = ^(^B(0) >> uint(8*l))
+	// The packed-lead reconstruction is the dispatched DecodeScan kernel
+	// (generic or vector, selected at init); header parsing and validation
+	// stay here.
+	var ok bool
+	if es == 4 {
+		ok = kernels.K32.DecodeScan(asF32(out), lead, mid, float32(mu), reqLen)
+	} else {
+		ok = kernels.K64.DecodeScan(asF64(out), lead, mid, float64(mu), reqLen)
 	}
-
-	// Per value: splice the first l bytes of the previous word with the next
-	// (reqBytes-l) mid-bytes. The mid-bytes are loaded as one big-endian
-	// word on the fast path (shift counts ≥ width are defined as 0 in Go,
-	// so nm == 0 degenerates correctly).
-	//
-	// The main loop decodes the packed 2-bit lead codes four at a time: one
-	// byte load yields all four codes with fixed shifts, instead of
-	// re-extracting with a value-dependent variable shift per element, and
-	// a single up-front bound (four values consume at most 4*reqBytes
-	// mid-bytes, each wide load reads es bytes from its start) hoists the
-	// per-value length checks out of the group.
-	var prev B
-	mi := 0
-	i := 0
-	for ; i+4 <= n && mi+3*reqBytes+es <= len(mid); i += 4 {
-		lb := lead[i>>2]
-
-		l := int(lb >> 6)
-		nm := reqBytes - l
-		if nm < 0 {
-			return ErrCorrupt
-		}
-		chunk := ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
-		mi += nm
-		w := prev&masks[l] | chunk<<lowSh
-
-		l = int(lb>>4) & 3
-		nm = reqBytes - l
-		if nm < 0 {
-			return ErrCorrupt
-		}
-		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
-		mi += nm
-		w2 := w&masks[l] | chunk<<lowSh
-
-		l = int(lb>>2) & 3
-		nm = reqBytes - l
-		if nm < 0 {
-			return ErrCorrupt
-		}
-		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
-		mi += nm
-		w3 := w2&masks[l] | chunk<<lowSh
-
-		l = int(lb) & 3
-		nm = reqBytes - l
-		if nm < 0 {
-			return ErrCorrupt
-		}
-		chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
-		mi += nm
-		w4 := w3&masks[l] | chunk<<lowSh
-
-		prev = w4
-		if lossless {
-			// Bit-exact path: μ is forced to zero for lossless blocks, and
-			// skipping the addition preserves NaN payloads and signed
-			// zeros.
-			out[i] = ieee.FromBits[T](w)
-			out[i+1] = ieee.FromBits[T](w2)
-			out[i+2] = ieee.FromBits[T](w3)
-			out[i+3] = ieee.FromBits[T](w4)
-		} else {
-			out[i] = ieee.FromBits[T](w<<s) + mu
-			out[i+1] = ieee.FromBits[T](w2<<s) + mu
-			out[i+2] = ieee.FromBits[T](w3<<s) + mu
-			out[i+3] = ieee.FromBits[T](w4<<s) + mu
-		}
-	}
-	// Tail: the last <4 values and any group whose mid-bytes run too close
-	// to the end of the payload for unconditional wide loads.
-	for ; i < n; i++ {
-		l := int(lead[i>>2]>>uint(6-2*(i&3))) & 3
-		nm := reqBytes - l
-		if nm < 0 {
-			return ErrCorrupt
-		}
-		var chunk B
-		if mi+es <= len(mid) {
-			chunk = ieee.GetBE[B](mid[mi:]) >> uint(8*(es-nm))
-		} else {
-			if mi+nm > len(mid) {
-				return ErrCorrupt
-			}
-			for j := 0; j < nm; j++ {
-				chunk = chunk<<8 | B(mid[mi+j])
-			}
-		}
-		mi += nm
-		w := prev&masks[l] | chunk<<lowSh
-		prev = w
-		if lossless {
-			out[i] = ieee.FromBits[T](w)
-		} else {
-			out[i] = ieee.FromBits[T](w<<s) + mu
-		}
+	if !ok {
+		return ErrCorrupt
 	}
 	return nil
 }

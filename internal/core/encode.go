@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bitio"
 	"repro/internal/ieee"
+	"repro/internal/kernels"
 	"repro/telemetry"
 )
 
@@ -44,6 +45,8 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	dst = appendZeros(dst, 2*nb)
 
 	enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+	scr := kernels.GetScratch()
+	defer kernels.PutScratch(scr)
 	var tally telemetry.BlockTally
 	if rec {
 		enc.tally = &tally
@@ -57,7 +60,7 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 		}
 		start := len(dst)
 		var constant bool
-		dst, constant = enc.encodeBlock(dst, data[lo:hi])
+		dst, constant = enc.encodeBlock(dst, data[lo:hi], scr)
 		if !constant {
 			dst[bitmapOff+(k>>3)] |= 1 << uint(k&7)
 		} else {
@@ -95,9 +98,6 @@ type blockEncoder[T Float, B Word] struct {
 	// owner flushes it once per call. Nil whenever telemetry is disabled,
 	// so the hot loops only ever pay a predictable nil check per block.
 	tally *telemetry.BlockTally
-	// leadBuf stages per-value leading-byte codes before packing; kept in
-	// the encoder so it is not re-zeroed per block.
-	leadBuf [MaxBlockSize]byte
 }
 
 func newBlockEncoder[T Float, B Word](errBound float64, guarded bool) blockEncoder[T, B] {
@@ -117,7 +117,13 @@ func newBlockEncoder[T Float, B Word](errBound float64, guarded bool) blockEncod
 // block was constant. Nonconstant payload layout:
 //
 //	μ (4/8B LE) | reqLength (1B) | leading 2-bit array | mid-bytes
-func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
+//
+// scr is passed as a parameter rather than kept in the encoder: the kernel
+// call is indirect (through the dispatch table), so escape analysis assumes
+// its pointer arguments leak — loading the scratch out of the receiver
+// would leak the receiver's contents and force the owner's stack-allocated
+// tally to the heap, costing an allocation per compress call.
+func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T, scr *kernels.Scratch) ([]byte, bool) {
 	mu, radius, noNaN := blockStats(blk)
 	if radius <= enc.errBound && noNaN { // radius NaN also fails the test
 		if t := enc.tally; t != nil {
@@ -138,7 +144,7 @@ func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
 			enc.lossless++
 		}
 		var ok bool
-		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless)
+		dst, ok = enc.encodeNonConstant(dst, blk, mu, reqLen, lossless, scr)
 		if ok {
 			if t := enc.tally; t != nil {
 				t.NonConstant++
@@ -168,7 +174,10 @@ func (enc *blockEncoder[T, B]) encodeBlock(dst []byte, blk []T) ([]byte, bool) {
 	}
 }
 
-func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqLen int, lossless bool) ([]byte, bool) {
+// encodeNonConstant writes one nonconstant block payload: μ and the
+// reqLength byte inline, then the packed lead array and mid-bytes through
+// the dispatched EncodeScan kernel.
+func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqLen int, lossless bool, scr *kernels.Scratch) ([]byte, bool) {
 	es := ieee.Width[T]()
 	s := uint(ieee.ShiftBits(reqLen))
 	reqBytes := (reqLen + int(s)) / 8 // 2..4 for float32, 2..8 for float64
@@ -176,81 +185,34 @@ func (enc *blockEncoder[T, B]) encodeNonConstant(dst []byte, blk []T, mu T, reqL
 	leadLen := bitio.PackedLen(n)
 
 	// Grow once to the worst-case payload plus one word of slack, and write
-	// by index. The slack makes the wide store below unconditionally
-	// in-bounds even when only one byte of the word is kept, so the
-	// per-value loop carries no append bookkeeping and no byte-copy tail;
-	// the slice is truncated to the actual size at the end.
+	// by index. The slack makes the kernel's wide stores unconditionally
+	// in-bounds even when only one byte of a word is kept, so the per-value
+	// loop carries no append bookkeeping and no byte-copy tail; the slice
+	// is truncated to the actual size at the end.
 	start := len(dst)
 	maxPayload := es + 1 + leadLen + reqBytes*n + es
 	dst = slices.Grow(dst, maxPayload)[:start+maxPayload]
 	ieee.PutLE(dst[start:], ieee.ToBits[B](mu))
 	dst[start+es] = byte(reqLen)
 	leadOff := start + es + 1
-	idx := leadOff + leadLen
+	midOff := leadOff + leadLen
 
-	// Mask of bits that survive truncation (top reqLen bits of the word);
-	// used only by the guard check.
-	keepMask := ^B(0)
-	if reqLen < 8*es {
-		keepMask <<= uint(8*es - reqLen)
-	}
 	guarded := enc.guarded && !lossless
-	e := enc.errBound
-	eSafe := enc.eSafe
-	negESafe := -eSafe
-
-	leadBuf := &enc.leadBuf
-	var prev B
-	for i, d := range blk {
-		v := d - mu
-		bits := ieee.ToBits[B](v)
-		w := bits >> s
-
-		if guarded {
-			rec := ieee.FromBits[T](bits&keepMask) + mu
-			diff := rec - d
-			// Fast-accept is the two-sided native-width compare
-			// -eSafe ≤ diff ≤ eSafe (no abs, no float64 conversion); NaN
-			// diffs fail both sides and take the exact path (which rejects
-			// them), as does the eSafe < 0 sentinel.
-			if !(diff <= eSafe && diff >= negESafe) {
-				if !(math.Abs(float64(d)-float64(rec)) <= e) {
-					return dst[:start], false
-				}
-			}
-		}
-
-		lead := bitio.LeadingZeroBytes(w ^ prev)
-		if lead > reqBytes {
-			lead = reqBytes
-		}
-		leadBuf[i] = byte(lead)
-
-		// Commit bytes [lead, reqBytes) of the stored prefix with a single
-		// full-width big-endian store (byte j of the word sits at bit offset
-		// 8*(es-1-j), so shifting left by 8*lead aligns byte `lead` with the
-		// store's first byte). The bytes written past reqBytes-lead are
-		// slack: the next value's store overwrites them, and the final
-		// truncation cuts off whatever the last value leaves behind.
-		ieee.PutBE(dst[idx:], w<<uint(8*lead))
-		idx += reqBytes - lead
-		prev = w
+	lead := dst[leadOff:midOff]
+	mid := dst[midOff : start+maxPayload]
+	var midLen int
+	var ok bool
+	if es == 4 {
+		midLen, ok = kernels.K32.EncodeScan(lead, mid, asF32(blk), float32(mu), reqLen,
+			guarded, float32(enc.eSafe), enc.errBound, scr)
+	} else {
+		midLen, ok = kernels.K64.EncodeScan(lead, mid, asF64(blk), float64(mu), reqLen,
+			guarded, float64(enc.eSafe), enc.errBound, scr)
 	}
-	// Pack the 2-bit leading codes, four per byte.
-	for i := 0; i < n; i += 4 {
-		b := leadBuf[i] << 6
-		if i+1 < n {
-			b |= leadBuf[i+1] << 4
-		}
-		if i+2 < n {
-			b |= leadBuf[i+2] << 2
-		}
-		if i+3 < n {
-			b |= leadBuf[i+3]
-		}
-		dst[leadOff+(i>>2)] = b
+	if !ok {
+		return dst[:start], false
 	}
-	return dst[:idx], true
+	return dst[:midOff+midLen], true
 }
 
 // --- exported wrappers (historical per-type API) ---------------------------

@@ -19,14 +19,18 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/kernels"
 )
 
 // DefaultBlockSize is the paper's empirically best block size (§5.3).
 const DefaultBlockSize = 128
 
 // MaxBlockSize bounds the block size so that a worst-case (lossless float64)
-// block payload still fits the uint16 per-block size record.
-const MaxBlockSize = 4096
+// block payload still fits the uint16 per-block size record. It is defined
+// by the kernel layer (whose fixed-size scratch buffers must cover a whole
+// block) and re-exported here as the format-level limit.
+const MaxBlockSize = kernels.MaxBlockSize
 
 // maxBlockPayload64 is the largest payload a single block can produce: a
 // lossless float64 block at MaxBlockSize stores μ (8B), reqLength (1B), the

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/ieee"
+	"repro/internal/kernels"
 	"repro/telemetry"
 )
 
@@ -284,6 +285,8 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	// appends their payload to its private scratch.
 	encodeWorker := func(id int) {
 		enc := newBlockEncoder[T, B](errBound, !opts.Unguarded)
+		scr := kernels.GetScratch()
+		defer kernels.PutScratch(scr)
 		var tally telemetry.BlockTally
 		if rec {
 			enc.tally = &tally
@@ -312,7 +315,7 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 				}
 				start := len(o.payload)
 				var constant bool
-				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi])
+				o.payload, constant = enc.encodeBlock(o.payload, data[blo:bhi], scr)
 				o.sizes = append(o.sizes, uint16(len(o.payload)-start))
 				o.bitmap = append(o.bitmap, !constant)
 			}

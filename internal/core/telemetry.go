@@ -5,8 +5,16 @@ import (
 	"math/bits"
 	"runtime/pprof"
 
+	"repro/internal/kernels"
 	"repro/telemetry"
 )
+
+// Register the kernel dispatch decision with telemetry once. kernels' own
+// init has already run (package initialization order follows imports), so
+// Active/Detail are final here.
+func init() {
+	telemetry.SetKernelDispatch(kernels.Active(), kernels.Detail())
+}
 
 // Telemetry glue for the codec hot paths. Every helper here is behind the
 // caller's single telemetry.Enabled() check per codec call, so the
@@ -28,6 +36,8 @@ func recordDecodedBlocks(si Index) {
 	}
 	telemetry.DecodedBlocksNonConstant.Add(int64(nonconst))
 	telemetry.DecodedBlocksConstant.Add(int64(nb - nonconst))
+	// Every nonconstant block ran the decode-scan kernel exactly once.
+	telemetry.KernelDecodeScanCalls.Add(int64(nonconst))
 }
 
 // flushWorkerChunks records one engine participant's chunk claims:

@@ -5,6 +5,7 @@ import (
 	"unsafe"
 
 	"repro/internal/ieee"
+	"repro/internal/kernels"
 )
 
 // The codec core is written once, generically, against the trait layer in
@@ -39,62 +40,23 @@ func dtypeOf[T Float]() DType {
 // the constant path may only be taken when noNaN holds (NaN blocks fall
 // through to the nonconstant path, whose guard escalates them to lossless).
 func blockStats[T Float](blk []T) (mu T, radius float64, noNaN bool) {
-	// Two-accumulator unrolled scan: the running min/max of the even and odd
-	// positions are tracked independently so the two compare/select chains
-	// overlap instead of serializing on one accumulator, and merged at the
-	// end. min/max are order-independent for non-NaN values and both
-	// accumulators skip NaN the same way the sequential scan did (NaN
-	// compares false), so the results are identical to the single-chain
-	// form. The NaN-detecting sum deliberately stays a single chain in the
-	// original order: splitting it could change where an intermediate
-	// overflow to ±Inf cancels, flipping noNaN on extreme-magnitude data.
-	mn, mx := blk[0], blk[0]
-	mn2, mx2 := mn, mx
-	var sum T
-	i := 1
-	for ; i+2 <= len(blk); i += 2 {
-		a, b := blk[i], blk[i+1]
-		sum += a
-		sum += b
-		if a < mn {
-			mn = a
-		}
-		if a > mx {
-			mx = a
-		}
-		if b < mn2 {
-			mn2 = b
-		}
-		if b > mx2 {
-			mx2 = b
-		}
-	}
-	if i < len(blk) {
-		v := blk[i]
-		sum += v
-		if v < mn {
-			mn = v
-		}
-		if v > mx {
-			mx = v
-		}
-	}
-	if mn2 < mn {
-		mn = mn2
-	}
-	if mx2 > mx {
-		mx = mx2
-	}
+	// The min/max/NaN scan is the dispatched Stats kernel (generic or
+	// vector, selected at init); only the μ and radius formulas live here.
+	var mn, mx T
 	if ieee.Width[T]() == 4 {
+		m0, m1, nn := kernels.K32.Stats(asF32(blk))
+		mn, mx, noNaN = T(m0), T(m1), nn
 		mu = T(float32((float64(mn) + float64(mx)) / 2))
 	} else {
+		m0, m1, nn := kernels.K64.Stats(asF64(blk))
+		mn, mx, noNaN = T(m0), T(m1), nn
 		mu = mn/2 + mx/2
 	}
 	a := float64(mx) - float64(mu)
 	if b := float64(mu) - float64(mn); b > a {
 		a = b
 	}
-	return mu, a, sum == sum
+	return mu, a, noNaN
 }
 
 // asF32 / asF64 reinterpret a []T as the concrete element slice. They must

@@ -1,0 +1,337 @@
+//go:build amd64 && !purego
+
+package kernels
+
+import (
+	"math"
+	"math/bits"
+	"unsafe"
+
+	"repro/internal/bitio"
+	"repro/internal/ieee"
+)
+
+// The avx2 kernel set: thin Go drivers over the vector loops in
+// stats_amd64.s / encode_amd64.s / decode_amd64.s. Every driver falls back
+// to the generic loop for blocks too small to fill a vector group, and
+// finishes ragged tails with the same scalar code the generic set runs, so
+// the two sets stay byte-identical by construction.
+func avx232() Impl32 {
+	return Impl32{
+		Stats:      statsAVX2F32,
+		EncodeScan: encodeScanAVX2F32,
+		DecodeScan: decodeScanAVX2F32,
+	}
+}
+
+func avx264() Impl64 {
+	return Impl64{
+		Stats:      statsAVX2F64,
+		EncodeScan: encodeScanAVX2F64,
+		DecodeScan: decodeScanAVX2F64,
+	}
+}
+
+// --- stats -----------------------------------------------------------------
+
+// Implemented in stats_amd64.s. n must be a positive multiple of 16 (f32)
+// or 8 (f64); nan is nonzero iff a NaN was seen in p[:n].
+//
+//go:noescape
+func statsF32Asm(p *float32, n int) (mn, mx float32, nan uint32)
+
+//go:noescape
+func statsF64Asm(p *float64, n int) (mn, mx float64, nan uint32)
+
+func statsAVX2F32(blk []float32) (mn, mx float32, noNaN bool) {
+	m := len(blk) &^ 15
+	if m == 0 {
+		return statsGeneric(blk)
+	}
+	mn, mx, nan := statsF32Asm(&blk[0], m)
+	hasNaN := nan != 0
+	// Scalar tail, same compare semantics as the vector accumulators: a
+	// NaN accumulator (seed NaN) is sticky because v < NaN is false.
+	for _, v := range blk[m:] {
+		if v != v {
+			hasNaN = true
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, !hasNaN
+}
+
+func statsAVX2F64(blk []float64) (mn, mx float64, noNaN bool) {
+	m := len(blk) &^ 7
+	if m == 0 {
+		return statsGeneric(blk)
+	}
+	mn, mx, nan := statsF64Asm(&blk[0], m)
+	hasNaN := nan != 0
+	for _, v := range blk[m:] {
+		if v != v {
+			hasNaN = true
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx, !hasNaN
+}
+
+// --- encode ----------------------------------------------------------------
+
+// Implemented in encode_amd64.s. n must be a positive multiple of 8 (f32)
+// or 4 (f64). The asm writes, per value, the reqBytes-clamped lead count
+// into ldp and the byte-swapped shifted word (store-ready mid-bytes) into
+// wshp; fail is nonzero iff the guard fast-check rejected any lane.
+//
+//go:noescape
+func encNormF32Asm(p *float32, wshp *uint32, ldp *uint32, n int, mu, eSafe, negESafe float32, s, keepMask, reqBytes, guarded uint32) (fail uint32)
+
+//go:noescape
+func encNormF64Asm(p *float64, wshp *uint64, ldp *uint64, n int, mu, eSafe, negESafe float64, s, keepMask, reqBytes, guarded uint64) (fail uint64)
+
+// encodeScanAVX2F32 runs the fused normalize+guard+lead pass in AVX2 into
+// scr's word and lead-count buffers, then emits the packed lead array and
+// mid-bytes from the precomputed values in a scalar loop whose only
+// loop-carried work is the output-cursor add. Any guard fast-fail (or the
+// negative-eSafe sentinel for subnormal bounds) reruns the whole block
+// through the generic kernel: the fallback re-applies the exact float64
+// check per value, so streams stay byte-identical with fast-fail lanes
+// present, and rejected blocks bail out exactly as before.
+func encodeScanAVX2F32(lead, mid []byte, blk []float32, mu float32, reqLen int,
+	guarded bool, eSafe float32, errBound float64, scr *Scratch) (int, bool) {
+	n := len(blk)
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	if n < 8 || len(mid) < reqBytes*n+4 || (guarded && !(eSafe >= 0)) {
+		return encodeScanGeneric[float32, uint32](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+	}
+	keepMask := ^uint32(0)
+	if reqLen < 32 {
+		keepMask <<= uint(32 - reqLen)
+	}
+	var g uint32
+	if guarded {
+		g = 1
+	}
+	// The asm clamp mirrors min(bitio.LeadingZeroBytes*, reqBytes): the
+	// 2-bit lead code ceiling of 3 applies before the reqBytes cap.
+	clamp := reqBytes
+	if clamp > 3 {
+		clamp = 3
+	}
+	m := n &^ 7
+	wsh := scr.W32()
+	ldv := scr.Ld32()
+	if encNormF32Asm(&blk[0], &wsh[0], &ldv[0], m, mu, eSafe, -eSafe, uint32(s), keepMask, uint32(clamp), g) != 0 {
+		return encodeScanGeneric[float32, uint32](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+	}
+	if m < n {
+		// Scalar tail: same normalize + guard fast-check + lead/shift math
+		// as the vector loop (m ≥ 8, so blk[m-1] exists).
+		prev := math.Float32bits(blk[m-1]-mu) >> s
+		for i := m; i < n; i++ {
+			d := blk[i]
+			b := math.Float32bits(d - mu)
+			if guarded {
+				rec := math.Float32frombits(b&keepMask) + mu
+				diff := rec - d
+				if !(diff <= eSafe && diff >= -eSafe) {
+					return encodeScanGeneric[float32, uint32](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+				}
+			}
+			w := b >> s
+			ld := bitio.LeadingZeroBytes32(w ^ prev)
+			if ld > reqBytes {
+				ld = reqBytes
+			}
+			ldv[i] = uint32(ld)
+			wsh[i] = bits.ReverseBytes32(w << uint(8*ld))
+			prev = w
+		}
+	}
+	return emitF32(lead, mid, wsh, ldv, n, reqBytes), true
+}
+
+func encodeScanAVX2F64(lead, mid []byte, blk []float64, mu float64, reqLen int,
+	guarded bool, eSafe float64, errBound float64, scr *Scratch) (int, bool) {
+	n := len(blk)
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	if n < 4 || len(mid) < reqBytes*n+8 || (guarded && !(eSafe >= 0)) {
+		return encodeScanGeneric[float64, uint64](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+	}
+	keepMask := ^uint64(0)
+	if reqLen < 64 {
+		keepMask <<= uint(64 - reqLen)
+	}
+	var g uint64
+	if guarded {
+		g = 1
+	}
+	clamp := reqBytes
+	if clamp > 3 {
+		clamp = 3
+	}
+	m := n &^ 3
+	wsh := &scr.W
+	ldv := &scr.Ld
+	if encNormF64Asm(&blk[0], &wsh[0], &ldv[0], m, mu, eSafe, -eSafe, uint64(s), keepMask, uint64(clamp), g) != 0 {
+		return encodeScanGeneric[float64, uint64](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+	}
+	if m < n {
+		prev := math.Float64bits(blk[m-1]-mu) >> s
+		for i := m; i < n; i++ {
+			d := blk[i]
+			b := math.Float64bits(d - mu)
+			if guarded {
+				rec := math.Float64frombits(b&keepMask) + mu
+				diff := rec - d
+				if !(diff <= eSafe && diff >= -eSafe) {
+					return encodeScanGeneric[float64, uint64](lead, mid, blk, mu, reqLen, guarded, eSafe, errBound, scr)
+				}
+			}
+			w := b >> s
+			ld := bitio.LeadingZeroBytes64(w ^ prev)
+			if ld > reqBytes {
+				ld = reqBytes
+			}
+			ldv[i] = uint64(ld)
+			wsh[i] = bits.ReverseBytes64(w << uint(8*ld))
+			prev = w
+		}
+	}
+	return emitF64(lead, mid, wsh, ldv, n, reqBytes), true
+}
+
+// emitF32 commits the precomputed per-value outputs: the byte-swapped
+// shifted word is stored verbatim at the output cursor (its slack bytes are
+// overwritten by the next store, exactly like the generic kernel's wide
+// big-endian store), the cursor advances by reqBytes-ld, and the 2-bit lead
+// codes pack four per byte.
+//
+// The stores go through unsafe so the cursor chain carries no per-iteration
+// bounds checks. Safety: the caller verified len(mid) ≥ reqBytes*n+4, the
+// asm/tail clamp every ld into [0, reqBytes], so before store i the cursor
+// is ≤ reqBytes*i and the 4-byte store ends ≤ reqBytes*n+4.
+// Both loops use the slice-advance shape (length compares in the loop
+// condition, constant indices in the body) so the staging-buffer reads and
+// lead stores carry no bounds checks; see the BCE notes in EXPERIMENTS.md.
+func emitF32(lead, mid []byte, wsh *[MaxBlockSize]uint32, ldv *[MaxBlockSize]uint32, n, reqBytes int) int {
+	base := unsafe.Pointer(&mid[0])
+	idx := 0
+	ws, ld := wsh[:n], ldv[:n]
+	for i := range ws {
+		*(*uint32)(unsafe.Add(base, idx)) = ws[i]
+		idx += reqBytes - int(ld[i])
+	}
+	for out := lead; len(out) > 0 && len(ld) >= 4; out = out[1:] {
+		out[0] = byte(ld[0])<<6 | byte(ld[1])<<4 | byte(ld[2])<<2 | byte(ld[3])
+		ld = ld[4:]
+	}
+	if len(ld) > 0 && len(ld) < 4 {
+		var b byte
+		for sh := 6; len(ld) > 0; ld, sh = ld[1:], sh-2 {
+			b |= byte(ld[0]) << uint(sh)
+		}
+		lead[n>>2] = b
+	}
+	return idx
+}
+
+func emitF64(lead, mid []byte, wsh *[MaxBlockSize]uint64, ldv *[MaxBlockSize]uint64, n, reqBytes int) int {
+	base := unsafe.Pointer(&mid[0])
+	idx := 0
+	ws, ld := wsh[:n], ldv[:n]
+	for i := range ws {
+		*(*uint64)(unsafe.Add(base, idx)) = ws[i]
+		idx += reqBytes - int(ld[i])
+	}
+	for out := lead; len(out) > 0 && len(ld) >= 4; out = out[1:] {
+		out[0] = byte(ld[0])<<6 | byte(ld[1])<<4 | byte(ld[2])<<2 | byte(ld[3])
+		ld = ld[4:]
+	}
+	if len(ld) > 0 && len(ld) < 4 {
+		var b byte
+		for sh := 6; len(ld) > 0; ld, sh = ld[1:], sh-2 {
+			b |= byte(ld[0]) << uint(sh)
+		}
+		lead[n>>2] = b
+	}
+	return idx
+}
+
+// --- decode ----------------------------------------------------------------
+
+// Implemented in decode_amd64.s. Returns how far the vector loop got
+// (values decoded, mid bytes consumed, last reconstructed word) so the Go
+// driver can hand the remainder to the shared scalar tail; bad is nonzero
+// iff a lead code exceeded reqBytes.
+//
+//go:noescape
+func decodeF32Asm(out *float32, lead *byte, mid *byte, midLen, n int, mu float32, s, lowSh, reqBytes, lossless uint32) (i, mi int, prev, bad uint32)
+
+//go:noescape
+func decodeF64Asm(out *float64, lead *byte, mid *byte, midLen, n int, mu float64, s, lowSh, reqBytes, lossless uint64) (i, mi int, prev, bad uint64)
+
+func decodeScanAVX2F32(out []float32, lead, mid []byte, mu float32, reqLen int) bool {
+	n := len(out)
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	// The vector loop needs at least one full group and one group's
+	// worst-case mid consumption; tiny blocks/payloads go generic.
+	if n < 8 || len(mid) < 7*reqBytes+4 {
+		return decodeScanGeneric[float32, uint32](out, lead, mid, mu, reqLen)
+	}
+	lossless := reqLen == ieee.FullBits[float32]()
+	var lv uint32
+	if lossless {
+		lv = 1
+	}
+	lowSh := uint(8 * (4 - reqBytes))
+	i, mi, prev, bad := decodeF32Asm(&out[0], &lead[0], &mid[0], len(mid), n, mu,
+		uint32(s), uint32(lowSh), uint32(reqBytes), lv)
+	if bad != 0 {
+		return false
+	}
+	var masks [4]uint32
+	for l := 1; l < 4; l++ {
+		masks[l] = ^(^uint32(0) >> uint(8*l))
+	}
+	return decodeScanTail[float32, uint32](out, lead, mid, mu, i, mi, prev, masks, s, lowSh, reqBytes, lossless)
+}
+
+func decodeScanAVX2F64(out []float64, lead, mid []byte, mu float64, reqLen int) bool {
+	n := len(out)
+	s := uint(ieee.ShiftBits(reqLen))
+	reqBytes := (reqLen + int(s)) / 8
+	if n < 4 || len(mid) < 3*reqBytes+8 {
+		return decodeScanGeneric[float64, uint64](out, lead, mid, mu, reqLen)
+	}
+	lossless := reqLen == ieee.FullBits[float64]()
+	var lv uint64
+	if lossless {
+		lv = 1
+	}
+	lowSh := uint(8 * (8 - reqBytes))
+	i, mi, prev, bad := decodeF64Asm(&out[0], &lead[0], &mid[0], len(mid), n, mu,
+		uint64(s), uint64(lowSh), uint64(reqBytes), lv)
+	if bad != 0 {
+		return false
+	}
+	var masks [4]uint64
+	for l := 1; l < 4; l++ {
+		masks[l] = ^(^uint64(0) >> uint(8*l))
+	}
+	return decodeScanTail[float64, uint64](out, lead, mid, mu, i, mi, prev, masks, s, lowSh, reqBytes, lossless)
+}

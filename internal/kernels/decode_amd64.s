@@ -1,0 +1,372 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 decode scans. The reconstruction w[i] = (w[i-1] & masks[l]) | chunk
+// is an affine transform over bitmasks, so a group of lanes resolves with a
+// log-depth scan: per lane build (M, C) with M = masks[l] and C the
+// shifted mid-chunk, compose pairs with
+//
+//	(M2, C2) ∘ (M1, C1) = (M1 & M2, (C1 & M2) | C2)
+//
+// across 1-, 2- (and for f32, 4-) lane slides, then apply the previous
+// group's last word once. Mid-chunks load with one gather per group at
+// offsets from a Hillis-Steele prefix sum of nm = reqBytes - l; lead codes
+// expand from one 16-bit (f32) or 8-bit (f64) load with per-lane variable
+// shifts.
+//
+// The loop exits to the Go driver when fewer than a full group of values
+// remains or the next group's worst-case mid consumption would pass the
+// end of the payload; the driver hands (i, mi, prev) to the shared
+// bounds-checked scalar tail, so vector and generic paths cannot diverge
+// on tail handling. A lead code exceeding reqBytes reports bad=1 and the
+// driver returns the same corrupt verdict as the generic kernel.
+
+DATA leadShiftF32<>+0(SB)/4, $6
+DATA leadShiftF32<>+4(SB)/4, $4
+DATA leadShiftF32<>+8(SB)/4, $2
+DATA leadShiftF32<>+12(SB)/4, $0
+DATA leadShiftF32<>+16(SB)/4, $14
+DATA leadShiftF32<>+20(SB)/4, $12
+DATA leadShiftF32<>+24(SB)/4, $10
+DATA leadShiftF32<>+28(SB)/4, $8
+GLOBL leadShiftF32<>(SB), RODATA|NOPTR, $32
+
+DATA slide1F32<>+0(SB)/4, $0
+DATA slide1F32<>+4(SB)/4, $0
+DATA slide1F32<>+8(SB)/4, $1
+DATA slide1F32<>+12(SB)/4, $2
+DATA slide1F32<>+16(SB)/4, $3
+DATA slide1F32<>+20(SB)/4, $4
+DATA slide1F32<>+24(SB)/4, $5
+DATA slide1F32<>+28(SB)/4, $6
+GLOBL slide1F32<>(SB), RODATA|NOPTR, $32
+
+DATA slide2F32<>+0(SB)/4, $0
+DATA slide2F32<>+4(SB)/4, $0
+DATA slide2F32<>+8(SB)/4, $0
+DATA slide2F32<>+12(SB)/4, $1
+DATA slide2F32<>+16(SB)/4, $2
+DATA slide2F32<>+20(SB)/4, $3
+DATA slide2F32<>+24(SB)/4, $4
+DATA slide2F32<>+28(SB)/4, $5
+GLOBL slide2F32<>(SB), RODATA|NOPTR, $32
+
+DATA dbswap32<>+0(SB)/8, $0x0405060700010203
+DATA dbswap32<>+8(SB)/8, $0x0C0D0E0F08090A0B
+DATA dbswap32<>+16(SB)/8, $0x0405060700010203
+DATA dbswap32<>+24(SB)/8, $0x0C0D0E0F08090A0B
+GLOBL dbswap32<>(SB), RODATA|NOPTR, $32
+
+DATA leadShiftF64<>+0(SB)/8, $6
+DATA leadShiftF64<>+8(SB)/8, $4
+DATA leadShiftF64<>+16(SB)/8, $2
+DATA leadShiftF64<>+24(SB)/8, $0
+GLOBL leadShiftF64<>(SB), RODATA|NOPTR, $32
+
+DATA dbswap64<>+0(SB)/8, $0x0001020304050607
+DATA dbswap64<>+8(SB)/8, $0x08090A0B0C0D0E0F
+DATA dbswap64<>+16(SB)/8, $0x0001020304050607
+DATA dbswap64<>+24(SB)/8, $0x08090A0B0C0D0E0F
+GLOBL dbswap64<>(SB), RODATA|NOPTR, $32
+
+// func decodeF32Asm(out *float32, lead *byte, mid *byte, midLen, n int, mu float32, s, lowSh, reqBytes, lossless uint32) (i, mi int, prev, bad uint32)
+TEXT ·decodeF32Asm(SB), NOSPLIT, $0-88
+	MOVQ out+0(FP), DI
+	MOVQ lead+8(FP), R9
+	MOVQ mid+16(FP), BX
+	MOVQ midLen+24(FP), R11
+	MOVQ n+32(FP), R10
+	SUBQ $8, R10 // loop while i ≤ n-8
+
+	VBROADCASTSS mu+40(FP), Y0
+	MOVL         s+44(FP), AX
+	VMOVQ        AX, X1
+	MOVL         lowSh+48(FP), AX
+	VMOVQ        AX, X2
+	VPCMPEQD     Y3, Y3, Y3 // all-ones
+	VPXOR        Y4, Y4, Y4 // zero
+	VMOVDQU      leadShiftF32<>(SB), Y5
+	VPXOR        Y6, Y6, Y6 // prev broadcast (0 at block start)
+	VBROADCASTSS reqBytes+52(FP), Y7
+
+	MOVL  reqBytes+52(FP), R14
+	MOVL  $32, AX
+	MOVL  R14, R12
+	SHLL  $3, R12
+	SUBL  R12, AX  // 32 - 8*reqBytes
+	VMOVQ AX, X8
+	VPBROADCASTD X8, Y8
+
+	// gate limit: mi ≤ midLen - (7*reqBytes + 4)
+	MOVQ R14, R12
+	SHLQ $3, R12
+	SUBQ R14, R12
+	ADDQ $4, R12  // 7*rb + 4
+	MOVQ R11, R15
+	SUBQ R12, R15
+
+	MOVL  lossless+56(FP), R13
+	XORQ  CX, CX // i
+	XORQ  DX, DX // mi
+
+f32loop:
+	CMPQ CX, R10
+	JGT  f32done
+	CMPQ DX, R15
+	JGT  f32done
+
+	// expand 8 lead codes from 2 packed bytes
+	MOVQ         CX, AX
+	SHRQ         $2, AX
+	MOVWLZX      (R9)(AX*1), AX
+	VMOVQ        AX, X9
+	VPBROADCASTD X9, Y9
+	VPSRLVD      Y5, Y9, Y9
+	VPSRLD       $30, Y3, Y10 // 3 per lane
+	VPAND        Y10, Y9, Y9  // l
+
+	VPSUBD    Y9, Y7, Y10 // nm = reqBytes - l
+	VPCMPGTD  Y7, Y9, Y11 // l > reqBytes → corrupt
+	VPMOVMSKB Y11, AX
+	TESTL     AX, AX
+	JNE       f32corrupt
+
+	// M = masks[l]: keep top l bytes
+	VPSLLD  $3, Y9, Y11
+	VPSRLVD Y11, Y3, Y12
+	VPXOR   Y3, Y12, Y12
+
+	// inclusive prefix sum of nm
+	VMOVDQA  Y10, Y13
+	VMOVDQU  slide1F32<>(SB), Y14
+	VPERMD   Y13, Y14, Y14
+	VPBLENDD $1, Y4, Y14, Y14
+	VPADDD   Y14, Y13, Y13
+	VMOVDQU  slide2F32<>(SB), Y14
+	VPERMD   Y13, Y14, Y14
+	VPBLENDD $3, Y4, Y14, Y14
+	VPADDD   Y14, Y13, Y13
+	VPERM2I128 $0x08, Y13, Y13, Y14
+	VPADDD   Y14, Y13, Y13
+
+	// gather offsets E = mi + incl - nm; advance mi by lane 7 of incl
+	VPSUBD       Y10, Y13, Y14
+	VMOVQ        DX, X15
+	VPBROADCASTD X15, Y15
+	VPADDD       Y15, Y14, Y14
+	VEXTRACTI128 $1, Y13, X13
+	VPSHUFD      $0xFF, X13, X13
+	VMOVD        X13, AX
+	ADDQ         AX, DX
+
+	VMOVDQA    Y3, Y11 // gather mask (clobbered)
+	VPGATHERDD Y11, (BX)(Y14*1), Y13
+	VMOVDQU    dbswap32<>(SB), Y15
+	VPSHUFB    Y15, Y13, Y13
+	VPSLLD     $3, Y9, Y11
+	VPADDD     Y8, Y11, Y11 // (32-8rb) + 8l = 32-8nm
+	VPSRLVD    Y11, Y13, Y13
+	VPSLLD     X2, Y13, Y13 // C = chunk << lowSh
+
+	// log-depth affine scan on (M=Y12, C=Y13)
+	VMOVDQU  slide1F32<>(SB), Y14
+	VPERMD   Y12, Y14, Y15
+	VPBLENDD $1, Y3, Y15, Y15
+	VPERMD   Y13, Y14, Y14
+	VPBLENDD $1, Y4, Y14, Y14
+	VPAND    Y12, Y14, Y14
+	VPOR     Y14, Y13, Y13
+	VPAND    Y15, Y12, Y12
+	VMOVDQU  slide2F32<>(SB), Y14
+	VPERMD   Y12, Y14, Y15
+	VPBLENDD $3, Y3, Y15, Y15
+	VPERMD   Y13, Y14, Y14
+	VPBLENDD $3, Y4, Y14, Y14
+	VPAND    Y12, Y14, Y14
+	VPOR     Y14, Y13, Y13
+	VPAND    Y15, Y12, Y12
+	VPERM2I128 $0x08, Y12, Y12, Y15
+	VPBLENDD $0x0F, Y3, Y15, Y15
+	VPERM2I128 $0x08, Y13, Y13, Y14
+	VPAND    Y12, Y14, Y14
+	VPOR     Y14, Y13, Y13
+	VPAND    Y15, Y12, Y12
+
+	// w = (prev & M) | C; prev = broadcast lane 7 of w
+	VPAND   Y6, Y12, Y12
+	VPOR    Y13, Y12, Y12
+	VPERMQ  $0xFF, Y12, Y6
+	VPSHUFD $0x55, Y6, Y6
+
+	TESTL R13, R13
+	JNE   f32raw
+	VPSLLD  X1, Y12, Y13
+	VADDPS  Y0, Y13, Y13
+	VMOVUPS Y13, (DI)(CX*4)
+	JMP     f32next
+
+f32raw:
+	VMOVUPS Y12, (DI)(CX*4)
+
+f32next:
+	ADDQ $8, CX
+	JMP  f32loop
+
+f32done:
+	MOVQ  CX, i+64(FP)
+	MOVQ  DX, mi+72(FP)
+	VMOVD X6, AX
+	MOVL  AX, prev+80(FP)
+	MOVL  $0, bad+84(FP)
+	VZEROUPPER
+	RET
+
+f32corrupt:
+	MOVQ  CX, i+64(FP)
+	MOVQ  DX, mi+72(FP)
+	MOVL  $0, prev+80(FP)
+	MOVL  $1, bad+84(FP)
+	VZEROUPPER
+	RET
+
+// func decodeF64Asm(out *float64, lead *byte, mid *byte, midLen, n int, mu float64, s, lowSh, reqBytes, lossless uint64) (i, mi int, prev, bad uint64)
+TEXT ·decodeF64Asm(SB), NOSPLIT, $0-112
+	MOVQ out+0(FP), DI
+	MOVQ lead+8(FP), R9
+	MOVQ mid+16(FP), BX
+	MOVQ midLen+24(FP), R11
+	MOVQ n+32(FP), R10
+	SUBQ $4, R10 // loop while i ≤ n-4
+
+	VBROADCASTSD mu+40(FP), Y0
+	MOVQ         s+48(FP), AX
+	VMOVQ        AX, X1
+	MOVQ         lowSh+56(FP), AX
+	VMOVQ        AX, X2
+	VPCMPEQD     Y3, Y3, Y3
+	VPXOR        Y4, Y4, Y4
+	VMOVDQU      leadShiftF64<>(SB), Y5
+	VPXOR        Y6, Y6, Y6
+	VBROADCASTSD reqBytes+64(FP), Y7
+
+	MOVQ  reqBytes+64(FP), R14
+	MOVQ  $64, AX
+	MOVQ  R14, R12
+	SHLQ  $3, R12
+	SUBQ  R12, AX // 64 - 8*reqBytes
+	VMOVQ AX, X8
+	VPBROADCASTQ X8, Y8
+
+	// gate limit: mi ≤ midLen - (3*reqBytes + 8)
+	MOVQ R14, R12
+	SHLQ $1, R12
+	ADDQ R14, R12
+	ADDQ $8, R12
+	MOVQ R11, R15
+	SUBQ R12, R15
+
+	MOVQ  lossless+72(FP), R13
+	XORQ  CX, CX
+	XORQ  DX, DX
+
+f64loop:
+	CMPQ CX, R10
+	JGT  f64done
+	CMPQ DX, R15
+	JGT  f64done
+
+	// expand 4 lead codes from 1 packed byte
+	MOVQ         CX, AX
+	SHRQ         $2, AX
+	MOVBQZX      (R9)(AX*1), AX
+	VMOVQ        AX, X9
+	VPBROADCASTQ X9, Y9
+	VPSRLVQ      Y5, Y9, Y9
+	VPSRLQ       $62, Y3, Y10
+	VPAND        Y10, Y9, Y9 // l
+
+	VPSUBQ    Y9, Y7, Y10 // nm
+	VPCMPGTQ  Y7, Y9, Y11
+	VPMOVMSKB Y11, AX
+	TESTL     AX, AX
+	JNE       f64corrupt
+
+	VPSLLQ  $3, Y9, Y11
+	VPSRLVQ Y11, Y3, Y12
+	VPXOR   Y3, Y12, Y12 // M
+
+	// inclusive prefix sum of nm (2 log steps over 4 qwords)
+	VMOVDQA  Y10, Y13
+	VPERMQ   $0x90, Y13, Y14
+	VPBLENDD $3, Y4, Y14, Y14
+	VPADDQ   Y14, Y13, Y13
+	VPERM2I128 $0x08, Y13, Y13, Y14
+	VPADDQ   Y14, Y13, Y13
+
+	VPSUBQ       Y10, Y13, Y14
+	VMOVQ        DX, X15
+	VPBROADCASTQ X15, Y15
+	VPADDQ       Y15, Y14, Y14 // E
+	VPERMQ       $0xFF, Y13, Y15
+	VMOVQ        X15, AX
+	ADDQ         AX, DX
+
+	VMOVDQA    Y3, Y11
+	VPGATHERQQ Y11, (BX)(Y14*1), Y13
+	VMOVDQU    dbswap64<>(SB), Y15
+	VPSHUFB    Y15, Y13, Y13
+	VPSLLQ     $3, Y9, Y11
+	VPADDQ     Y8, Y11, Y11
+	VPSRLVQ    Y11, Y13, Y13
+	VPSLLQ     X2, Y13, Y13 // C
+
+	// affine scan (2 log steps)
+	VPERMQ   $0x90, Y12, Y15
+	VPBLENDD $3, Y3, Y15, Y15
+	VPERMQ   $0x90, Y13, Y14
+	VPBLENDD $3, Y4, Y14, Y14
+	VPAND    Y12, Y14, Y14
+	VPOR     Y14, Y13, Y13
+	VPAND    Y15, Y12, Y12
+	VPERM2I128 $0x08, Y12, Y12, Y15
+	VPBLENDD $0x0F, Y3, Y15, Y15
+	VPERM2I128 $0x08, Y13, Y13, Y14
+	VPAND    Y12, Y14, Y14
+	VPOR     Y14, Y13, Y13
+	VPAND    Y15, Y12, Y12
+
+	VPAND  Y6, Y12, Y12
+	VPOR   Y13, Y12, Y12
+	VPERMQ $0xFF, Y12, Y6
+
+	TESTQ R13, R13
+	JNE   f64raw
+	VPSLLQ  X1, Y12, Y13
+	VADDPD  Y0, Y13, Y13
+	VMOVUPD Y13, (DI)(CX*8)
+	JMP     f64next
+
+f64raw:
+	VMOVUPD Y12, (DI)(CX*8)
+
+f64next:
+	ADDQ $4, CX
+	JMP  f64loop
+
+f64done:
+	MOVQ  CX, i+80(FP)
+	MOVQ  DX, mi+88(FP)
+	VMOVQ X6, AX
+	MOVQ  AX, prev+96(FP)
+	MOVQ  $0, bad+104(FP)
+	VZEROUPPER
+	RET
+
+f64corrupt:
+	MOVQ  CX, i+80(FP)
+	MOVQ  DX, mi+88(FP)
+	MOVQ  $0, prev+96(FP)
+	MOVQ  $1, bad+104(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,14 @@
+//go:build amd64 && !purego
+
+package kernels
+
+// archBest reports the best vector kernel set for this host: avx2 when the
+// CPU and OS support it (see hasAVX2), otherwise none.
+func archBest() (Impl32, Impl64, string, bool) {
+	if !hasAVX2() {
+		return Impl32{}, Impl64{}, "", false
+	}
+	return avx232(), avx264(), "avx2", true
+}
+
+func archGenericReason() string { return "cpu lacks avx2/bmi1/bmi2 or os ymm state" }

@@ -1,0 +1,11 @@
+//go:build !amd64 || purego
+
+package kernels
+
+// archBest reports the best vector kernel set for this build. Non-amd64
+// targets and purego builds have none; dispatch stays on generic.
+func archBest() (Impl32, Impl64, string, bool) {
+	return Impl32{}, Impl64{}, "", false
+}
+
+func archGenericReason() string { return "no vector kernels for this target/build" }

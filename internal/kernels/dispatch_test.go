@@ -1,0 +1,87 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectImpl exercises the env-override resolution against whatever this
+// host actually supports: "generic" always forces generic, "" / "auto" pick
+// the best available set, unknown values fall back to generic with the value
+// recorded in the detail string.
+func TestSelectImpl(t *testing.T) {
+	defer selectImpl("") // restore the real dispatch for other tests
+
+	_, _, bestName, vectorOK := archBest()
+
+	selectImpl("generic")
+	if Active() != "generic" || !strings.Contains(Detail(), EnvVar+"=generic") {
+		t.Fatalf("SZX_KERNELS=generic: got %s", Detail())
+	}
+
+	for _, env := range []string{"", "auto"} {
+		selectImpl(env)
+		want := "generic"
+		if vectorOK {
+			want = bestName
+		}
+		if Active() != want {
+			t.Fatalf("SZX_KERNELS=%q: active %s, want %s", env, Active(), want)
+		}
+	}
+
+	selectImpl("bogus")
+	if Active() != "generic" || !strings.Contains(Detail(), "bogus") {
+		t.Fatalf("SZX_KERNELS=bogus: got %s", Detail())
+	}
+
+	selectImpl("avx2")
+	if vectorOK && bestName == "avx2" {
+		if Active() != "avx2" {
+			t.Fatalf("SZX_KERNELS=avx2 on avx2 host: got %s", Detail())
+		}
+	} else if Active() != "generic" {
+		t.Fatalf("SZX_KERNELS=avx2 without avx2: got %s", Detail())
+	}
+}
+
+func TestLookupAndAvailable(t *testing.T) {
+	names := Available()
+	if len(names) == 0 || names[0] != "generic" {
+		t.Fatalf("Available() = %v, want generic first", names)
+	}
+	for _, name := range names {
+		i32, ok := Lookup32(name)
+		if !ok || i32.Stats == nil || i32.EncodeScan == nil || i32.DecodeScan == nil {
+			t.Fatalf("Lookup32(%q): incomplete set (ok=%v)", name, ok)
+		}
+		i64, ok := Lookup64(name)
+		if !ok || i64.Stats == nil || i64.EncodeScan == nil || i64.DecodeScan == nil {
+			t.Fatalf("Lookup64(%q): incomplete set (ok=%v)", name, ok)
+		}
+	}
+	if _, ok := Lookup32("nope"); ok {
+		t.Fatal("Lookup32(nope) succeeded")
+	}
+	if _, ok := Lookup64("nope"); ok {
+		t.Fatal("Lookup64(nope) succeeded")
+	}
+}
+
+func TestSetActiveForTesting(t *testing.T) {
+	before := Active()
+	restore, err := SetActiveForTesting("generic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Active() != "generic" {
+		t.Fatalf("active %s after swap", Active())
+	}
+	restore()
+	if Active() != before {
+		t.Fatalf("active %s after restore, want %s", Active(), before)
+	}
+	if _, err := SetActiveForTesting("nope"); err == nil {
+		t.Fatal("SetActiveForTesting(nope) succeeded")
+	}
+}

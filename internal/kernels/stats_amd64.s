@@ -1,0 +1,116 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// AVX2 block min/max/NaN scans.
+//
+// Semantics contract (must match statsGeneric): the running accumulator is
+// replaced only on a strict compare, so NaN inputs never enter it and ties
+// (the ±0 pairs) keep the incumbent. VMINPS/VMAXPS implement exactly that
+// when the accumulator is the *second* source operand — the result is the
+// second source whenever either operand is NaN or the compare ties — so
+// every VMINPS/VMAXPS below is written (Plan 9 operand order: src2, src1,
+// dst) with the accumulator as src2 and dst. All lanes are seeded with a
+// broadcast of blk[0]: a NaN in blk[0] then sticks in every lane, matching
+// the generic scan's seed-and-never-replace behavior.
+//
+// NaN detection is exact (per-lane v unordered v), unlike the generic
+// sum-chain; the two are interchangeable for every decision the caller
+// makes (see Impl32.Stats).
+
+// func statsF32Asm(p *float32, n int) (mn, mx float32, nan uint32)
+// n must be a positive multiple of 16.
+TEXT ·statsF32Asm(SB), NOSPLIT, $0-28
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+
+	VBROADCASTSS (SI), Y0 // min accumulator, even group
+	VMOVAPS      Y0, Y1   // min accumulator, odd group
+	VMOVAPS      Y0, Y2   // max accumulator, even group
+	VMOVAPS      Y0, Y3   // max accumulator, odd group
+	VPXOR        Y4, Y4, Y4 // NaN-seen accumulator
+
+f32loop:
+	VMOVUPS (SI), Y5
+	VMOVUPS 32(SI), Y6
+	VMINPS  Y0, Y5, Y0
+	VMINPS  Y1, Y6, Y1
+	VMAXPS  Y2, Y5, Y2
+	VMAXPS  Y3, Y6, Y3
+	VCMPPS  $3, Y5, Y5, Y7 // UNORD_Q: all-ones lanes where NaN
+	VPOR    Y7, Y4, Y4
+	VCMPPS  $3, Y6, Y6, Y7
+	VPOR    Y7, Y4, Y4
+	ADDQ    $64, SI
+	SUBQ    $16, CX
+	JNE     f32loop
+
+	// Horizontal reduce. Accumulator lanes are either all non-NaN or all
+	// the seed NaN, and tie direction cannot affect the caller's output
+	// (see the package cross-check tests), so reduction order is free.
+	VMINPS       Y0, Y1, Y0
+	VMAXPS       Y2, Y3, Y2
+	VEXTRACTF128 $1, Y0, X5
+	VMINPS       X0, X5, X0
+	VEXTRACTF128 $1, Y2, X6
+	VMAXPS       X2, X6, X2
+	VPERMILPS    $0x0E, X0, X5 // lanes 2,3 down to 0,1
+	VMINPS       X0, X5, X0
+	VPERMILPS    $0x01, X0, X5 // lane 1 down to 0
+	VMINPS       X0, X5, X0
+	VPERMILPS    $0x0E, X2, X6
+	VMAXPS       X2, X6, X2
+	VPERMILPS    $0x01, X2, X6
+	VMAXPS       X2, X6, X2
+
+	VMOVSS     X0, mn+16(FP)
+	VMOVSS     X2, mx+20(FP)
+	VMOVMSKPS  Y4, AX
+	MOVL       AX, nan+24(FP)
+	VZEROUPPER
+	RET
+
+// func statsF64Asm(p *float64, n int) (mn, mx float64, nan uint32)
+// n must be a positive multiple of 8.
+TEXT ·statsF64Asm(SB), NOSPLIT, $0-36
+	MOVQ p+0(FP), SI
+	MOVQ n+8(FP), CX
+
+	VBROADCASTSD (SI), Y0
+	VMOVAPD      Y0, Y1
+	VMOVAPD      Y0, Y2
+	VMOVAPD      Y0, Y3
+	VPXOR        Y4, Y4, Y4
+
+f64loop:
+	VMOVUPD (SI), Y5
+	VMOVUPD 32(SI), Y6
+	VMINPD  Y0, Y5, Y0
+	VMINPD  Y1, Y6, Y1
+	VMAXPD  Y2, Y5, Y2
+	VMAXPD  Y3, Y6, Y3
+	VCMPPD  $3, Y5, Y5, Y7
+	VPOR    Y7, Y4, Y4
+	VCMPPD  $3, Y6, Y6, Y7
+	VPOR    Y7, Y4, Y4
+	ADDQ    $64, SI
+	SUBQ    $8, CX
+	JNE     f64loop
+
+	VMINPD       Y0, Y1, Y0
+	VMAXPD       Y2, Y3, Y2
+	VEXTRACTF128 $1, Y0, X5
+	VMINPD       X0, X5, X0
+	VEXTRACTF128 $1, Y2, X6
+	VMAXPD       X2, X6, X2
+	VPERMILPD    $1, X0, X5 // high lane down
+	VMINPD       X0, X5, X0
+	VPERMILPD    $1, X2, X6
+	VMAXPD       X2, X6, X2
+
+	VMOVSD     X0, mn+16(FP)
+	VMOVSD     X2, mx+24(FP)
+	VMOVMSKPD  Y4, AX
+	MOVL       AX, nan+32(FP)
+	VZEROUPPER
+	RET

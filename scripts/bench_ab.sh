@@ -117,3 +117,12 @@ print(f"ratio sweep: {r['cases']} cases, converged {100*r['converged_rate']:.1f}
       f"mean |achieved-target| {r['mean_abs_err_pct']}%")
 PY
 fi
+
+# Kernel-level sweep for the working tree: per-kernel ns/block for the
+# generic vs CPU-dispatched implementation sets plus the end-to-end serial
+# A/B between them (the BENCH_KERNEL.json workload). Skip with
+# BENCH_KERNEL=0.
+if [[ "${BENCH_KERNEL:-1}" != 0 ]]; then
+    echo "bench_ab: kernel generic-vs-dispatched sweep (working tree)" >&2
+    go run ./cmd/szxbench -kernel BENCH_KERNEL.json -benchtime "$BENCHTIME"
+fi

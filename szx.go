@@ -51,6 +51,7 @@ import (
 	"errors"
 
 	"repro/internal/core"
+	"repro/internal/kernels"
 )
 
 // Float constrains the element types SZx supports.
@@ -277,4 +278,15 @@ func DecompressFloat64Parallel(comp []byte, workers int) ([]float64, error) {
 // decompressing it.
 func Info(comp []byte) (Header, error) {
 	return core.ParseHeader(comp)
+}
+
+// ActiveKernels reports which block-kernel implementation set the codec
+// dispatched at startup ("avx2" on CPUs with the required vector features,
+// "generic" otherwise) and why, e.g. "avx2 (cpu feature detection)" or
+// "generic (SZX_KERNELS=generic)". Dispatch is decided once at init from
+// CPUID feature bits; set SZX_KERNELS=generic|avx2|auto before the process
+// starts to override it. Both sets produce bit-identical streams — the
+// choice affects throughput only.
+func ActiveKernels() string {
+	return kernels.Detail()
 }

@@ -1,6 +1,9 @@
 package telemetry
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // The codec metric set. Each var is one observable; the registry in
 // prometheus.go binds them to exposition names and help strings, and
@@ -27,6 +30,56 @@ var (
 	LeadCodes         [4]Counter // per-value identical-leading-byte code distribution
 	ReqLenBits        BitHist    // per-block required bit count (Formula 4)
 )
+
+// Kernel-layer observables. The dispatch gauges form an info-style family
+// (the active implementation set's series is 1, every other series 0); the
+// invocation counters count block-level kernel calls — stats once per
+// encoded block, encode_scan once per truncation attempt (so guard retries
+// count each pass), decode_scan once per nonconstant block decoded. The
+// counts are derived inside BlockTally.Flush / the decoder's bitmap tally,
+// so the hot loops carry no new instrumentation.
+var (
+	KernelDispatchGeneric Gauge
+	KernelDispatchAVX2    Gauge
+	KernelStatsCalls      Counter
+	KernelEncodeScanCalls Counter
+	KernelDecodeScanCalls Counter
+)
+
+// kernelImpl/kernelDetail hold the dispatch decision (the impl name and the
+// human-readable form, e.g. "avx2 (cpu feature detection)") for snapshots,
+// reports, and re-assertion after Reset.
+var (
+	kernelImpl   atomic.Value
+	kernelDetail atomic.Value
+)
+
+// SetKernelDispatch records which block-kernel implementation set dispatch
+// selected. internal/core calls it once at init. Reset re-asserts the
+// gauges from the recorded decision, so a metrics reset cannot make the
+// info family claim no implementation is active.
+func SetKernelDispatch(impl, detail string) {
+	kernelImpl.Store(impl)
+	kernelDetail.Store(detail)
+	set := func(g *Gauge, active bool) {
+		if active {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+	set(&KernelDispatchGeneric, impl == "generic")
+	set(&KernelDispatchAVX2, impl == "avx2")
+}
+
+// KernelDispatchDetail returns the recorded dispatch decision, or "" when
+// no codec package has registered one.
+func KernelDispatchDetail() string {
+	if s, ok := kernelDetail.Load().(string); ok {
+		return s
+	}
+	return ""
+}
 
 // Decoder-side block counts (from the stream bitmap; kept separate from
 // the encoder counts so a compress-then-decompress round trip does not
@@ -165,6 +218,15 @@ func (t *BlockTally) Flush() {
 		if n != 0 {
 			ReqLenBits.add(i, n)
 		}
+	}
+	// Kernel invocations fall out of the block counts: every block ran the
+	// stats reduction once, and every truncation attempt (accepted blocks
+	// plus guard retries) ran the encode scan once.
+	if n := t.Constant + t.NonConstant; n != 0 {
+		KernelStatsCalls.Add(n)
+	}
+	if n := t.NonConstant + t.Retries; n != 0 {
+		KernelEncodeScanCalls.Add(n)
 	}
 	*t = BlockTally{}
 }

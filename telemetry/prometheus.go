@@ -46,6 +46,12 @@ var registry = []metric{
 	{name: "szx_lead_code_values_total", labels: `{code="3"}`, c: &LeadCodes[3]},
 	{name: "szx_reqlen_blocks_total", help: "Nonconstant blocks by required bit count (Formula 4).", b: &ReqLenBits, blabel: "bits"},
 
+	{name: "szx_kernel_dispatched", help: "Dispatched block-kernel implementation set (the active set's series is 1); override with SZX_KERNELS.", labels: `{impl="generic"}`, g: &KernelDispatchGeneric},
+	{name: "szx_kernel_dispatched", labels: `{impl="avx2"}`, g: &KernelDispatchAVX2},
+	{name: "szx_kernel_invocations_total", help: "Block-kernel invocations: stats runs once per encoded block, encode_scan once per truncation attempt (guard retries count each pass), decode_scan once per nonconstant block decoded.", labels: `{kernel="stats"}`, c: &KernelStatsCalls},
+	{name: "szx_kernel_invocations_total", labels: `{kernel="encode_scan"}`, c: &KernelEncodeScanCalls},
+	{name: "szx_kernel_invocations_total", labels: `{kernel="decode_scan"}`, c: &KernelDecodeScanCalls},
+
 	{name: "szx_engine_selected_total", help: "Execution-engine selection per call; serial_fallback marks parallel-entry calls the adaptive policy routed to the serial kernel.", labels: `{op="compress",engine="serial"}`, c: &EngineCompressSerial},
 	{name: "szx_engine_selected_total", labels: `{op="compress",engine="serial_fallback"}`, c: &EngineCompressFallback},
 	{name: "szx_engine_selected_total", labels: `{op="compress",engine="parallel"}`, c: &EngineCompressParallel},

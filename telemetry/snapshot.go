@@ -27,6 +27,15 @@ type BlocksSnapshot struct {
 	ReqLenBits         map[int]int64 `json:"reqlen_bits"`
 }
 
+// KernelSnapshot summarizes the block-kernel layer: the dispatch decision
+// and per-kernel invocation totals.
+type KernelSnapshot struct {
+	Dispatched  string `json:"dispatched"`
+	Stats       int64  `json:"stats_calls"`
+	EncodeScans int64  `json:"encode_scan_calls"`
+	DecodeScans int64  `json:"decode_scan_calls"`
+}
+
 // EngineSnapshot summarizes serial-vs-parallel engine selection.
 type EngineSnapshot struct {
 	CompressSerial     int64 `json:"compress_serial"`
@@ -104,6 +113,7 @@ type Snapshot struct {
 	Compress   SideSnapshot       `json:"compress"`
 	Decompress SideSnapshot       `json:"decompress"`
 	Blocks     BlocksSnapshot     `json:"blocks"`
+	Kernels    KernelSnapshot     `json:"kernels"`
 	Engine     EngineSnapshot     `json:"engine"`
 	Parallel   ParallelSnapshot   `json:"parallel"`
 	Pipeline   PipelineSnapshot   `json:"pipeline"`
@@ -138,6 +148,12 @@ func Snap() Snapshot {
 			DecodedConstant:    DecodedBlocksConstant.Load(),
 			DecodedNonConstant: DecodedBlocksNonConstant.Load(),
 			ReqLenBits:         ReqLenBits.Snapshot(),
+		},
+		Kernels: KernelSnapshot{
+			Dispatched:  KernelDispatchDetail(),
+			Stats:       KernelStatsCalls.Load(),
+			EncodeScans: KernelEncodeScanCalls.Load(),
+			DecodeScans: KernelDecodeScanCalls.Load(),
 		},
 		Engine: EngineSnapshot{
 			CompressSerial:     EngineCompressSerial.Load(),
@@ -228,6 +244,11 @@ func Reset() {
 			m.b.reset()
 		}
 	}
+	// The kernel dispatch gauges are info-style state, not accumulated
+	// traffic; re-assert them so Reset only clears the counters.
+	if impl, ok := kernelImpl.Load().(string); ok {
+		SetKernelDispatch(impl, KernelDispatchDetail())
+	}
 }
 
 // Report renders the current snapshot as a human-readable block of text,
@@ -263,6 +284,10 @@ func Report() string {
 			fmt.Fprintf(&b, " %db:%d", k, s.Blocks.ReqLenBits[k])
 		}
 		b.WriteByte('\n')
+	}
+	if s.Kernels.Dispatched != "" {
+		fmt.Fprintf(&b, "  kernels:    %s; invocations stats=%d encode_scan=%d decode_scan=%d\n",
+			s.Kernels.Dispatched, s.Kernels.Stats, s.Kernels.EncodeScans, s.Kernels.DecodeScans)
 	}
 	fmt.Fprintf(&b, "  engine:     compress serial=%d (fallback=%d) parallel=%d; decompress serial=%d (fallback=%d) parallel=%d\n",
 		s.Engine.CompressSerial, s.Engine.CompressFallback, s.Engine.CompressParallel,

@@ -297,3 +297,61 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.Observe(int64(i))
 	}
 }
+
+func TestKernelDispatchAndInvocations(t *testing.T) {
+	Reset()
+	SetKernelDispatch("avx2", "avx2 (cpu feature detection)")
+	if KernelDispatchAVX2.Load() != 1 || KernelDispatchGeneric.Load() != 0 {
+		t.Fatal("dispatch gauges wrong for avx2")
+	}
+	if KernelDispatchDetail() != "avx2 (cpu feature detection)" {
+		t.Fatalf("detail = %q", KernelDispatchDetail())
+	}
+	SetKernelDispatch("generic", "generic (SZX_KERNELS=generic)")
+	if KernelDispatchAVX2.Load() != 0 || KernelDispatchGeneric.Load() != 1 {
+		t.Fatal("dispatch gauges wrong for generic")
+	}
+
+	// Flush derives the invocation counters from the block counts: stats
+	// once per block, encode_scan once per truncation attempt.
+	tally := BlockTally{Constant: 3, NonConstant: 7, Retries: 2}
+	tally.Flush()
+	if got := KernelStatsCalls.Load(); got != 10 {
+		t.Fatalf("stats invocations = %d, want 10", got)
+	}
+	if got := KernelEncodeScanCalls.Load(); got != 9 {
+		t.Fatalf("encode_scan invocations = %d, want 9", got)
+	}
+	KernelDecodeScanCalls.Add(5)
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`szx_kernel_dispatched{impl="generic"} 1`,
+		`szx_kernel_dispatched{impl="avx2"} 0`,
+		`szx_kernel_invocations_total{kernel="stats"} 10`,
+		`szx_kernel_invocations_total{kernel="encode_scan"} 9`,
+		`szx_kernel_invocations_total{kernel="decode_scan"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q", want)
+		}
+	}
+	if snap := Snap(); snap.Kernels.Stats != 10 || snap.Kernels.DecodeScans != 5 ||
+		snap.Kernels.Dispatched != "generic (SZX_KERNELS=generic)" {
+		t.Fatalf("snapshot kernels wrong: %+v", snap.Kernels)
+	}
+
+	// Reset clears the invocation counters but re-asserts the dispatch
+	// gauges: the info family must keep naming the active set.
+	Reset()
+	if KernelStatsCalls.Load() != 0 || KernelDecodeScanCalls.Load() != 0 {
+		t.Fatal("Reset did not zero kernel counters")
+	}
+	if KernelDispatchGeneric.Load() != 1 || KernelDispatchAVX2.Load() != 0 {
+		t.Fatal("Reset lost the dispatch decision")
+	}
+}
