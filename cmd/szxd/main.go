@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -38,6 +39,10 @@ func main() {
 		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		withPprof   = flag.Bool("pprof", false, "also serve /debug/pprof")
 		codecStats  = flag.Bool("codec-stats", false, "enable per-block codec telemetry (adds hot-path counters)")
+		tracing     = flag.Bool("trace", true, "request-scoped tracing and /debug/requests")
+		traceRing   = flag.Int("trace-ring", 0, "retained traces at /debug/requests (0 = 256)")
+		traceSample = flag.Int("trace-sample", 0, "keep 1 in N unremarkable traces (0 = 16, 1 = all, <0 = errors+slow only)")
+		accessLog   = flag.Bool("access-log", false, "structured JSON access log on stderr")
 	)
 	flag.Parse()
 
@@ -45,6 +50,11 @@ func main() {
 	// opt-in; the szx_service_* family is always live.
 	if *codecStats {
 		telemetry.Enable()
+	}
+
+	var alog *slog.Logger
+	if *accessLog {
+		alog = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
 	srv := service.New(service.Config{
@@ -56,6 +66,10 @@ func main() {
 		MaxWorkers:        *maxWorkers,
 		ChunkValues:       *chunk,
 		StreamParallelism: *streamPar,
+		DisableTracing:    !*tracing,
+		TraceRing:         *traceRing,
+		TraceSample:       *traceSample,
+		AccessLog:         alog,
 	})
 
 	handler := srv.Handler()

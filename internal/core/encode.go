@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"math"
 	"slices"
+	"time"
 
 	"repro/internal/bitio"
 	"repro/internal/ieee"
@@ -33,6 +34,10 @@ func appendCompressed[T Float, B Word](dst []byte, data []T, errBound float64, o
 	var tm telemetry.Timer
 	if rec {
 		tm = telemetry.Start()
+	}
+	if sink := opts.Spans; sink != nil {
+		t0 := time.Now()
+		defer func() { sink.RecordSpan("encode", t0, time.Now()) }()
 	}
 	dstBase := len(dst)
 

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"repro/internal/kernels"
+	"repro/telemetry"
 )
 
 // DefaultBlockSize is the paper's empirically best block size (§5.3).
@@ -104,6 +105,11 @@ type Options struct {
 	// normalization would push the reconstruction error past the bound,
 	// making |d-d'| ≤ e a hard guarantee rather than a probabilistic one.
 	Unguarded bool
+	// Spans, when non-nil, receives this call's stage intervals ("encode"
+	// on the serial path, "encode_phase"/"gather_phase" on the parallel
+	// path) for request-scoped tracing. Independent of the aggregate
+	// telemetry gate, and it never changes the output bytes.
+	Spans telemetry.SpanSink
 }
 
 func (o Options) blockSize() (int, error) {

@@ -7,6 +7,7 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/ieee"
 	"repro/internal/kernels"
@@ -327,9 +328,14 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 		}
 		j.wg.Done()
 	}
+	sink := opts.Spans
 	var phase telemetry.Timer
+	var phaseT0 time.Time
 	if rec {
 		phase = telemetry.Start()
+	}
+	if sink != nil {
+		phaseT0 = time.Now()
 	}
 	j.wg.Add(participants)
 	for id := 1; id < participants; id++ {
@@ -340,6 +346,9 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	j.wg.Wait()
 	if rec {
 		phase.Stop(&telemetry.EncodePhaseDurations)
+	}
+	if sink != nil {
+		sink.RecordSpan("encode_phase", phaseT0, time.Now())
 	}
 
 	// Prefix-sum the chunk offsets and lay out the container.
@@ -387,6 +396,9 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	if rec {
 		phase = telemetry.Start()
 	}
+	if sink != nil {
+		phaseT0 = time.Now()
+	}
 	j.wg.Add(participants)
 	for id := 1; id < participants; id++ {
 		id := id
@@ -396,6 +408,9 @@ func appendCompressedParallel[T Float, B Word](dst []byte, data []T, errBound fl
 	j.wg.Wait()
 	if rec {
 		phase.Stop(&telemetry.GatherPhaseDurations)
+	}
+	if sink != nil {
+		sink.RecordSpan("gather_phase", phaseT0, time.Now())
 	}
 
 	for _, o := range j.outs {

@@ -8,8 +8,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/telemetry"
+	"repro/telemetry/trace"
 )
 
 // Pipelined streaming engine: the concurrent counterpart of Writer and
@@ -47,6 +49,7 @@ type pipeSlot struct {
 	seq   int       // submission sequence (write side)
 	idx   int       // frame index (read side)
 	off   int64     // container offset of the frame's length prefix (read side)
+	t0    time.Time // slot acquisition time, for pipe_frame trace spans
 	vals  []float32 // chunk values (input on write, output on read)
 	frame []byte    // staged frame bytes (output on write, input on read)
 	err   error     // worker/prefetch failure for this slot
@@ -94,6 +97,7 @@ type PipeWriter struct {
 
 	ctx     context.Context
 	ctxDone <-chan struct{} // nil without a context; a nil channel never fires
+	tr      *trace.Trace   // request trace from ctx; nil = untraced
 
 	free chan *pipeSlot
 	work chan *pipeSlot
@@ -146,12 +150,17 @@ func NewPipeWriterContext(ctx context.Context, w io.Writer, opt Options, chunkVa
 		depth:    depth,
 		ctx:      ctx,
 		ctxDone:  ctx.Done(),
+		tr:       trace.FromContext(ctx),
 		free:     make(chan *pipeSlot, depth),
 		work:     make(chan *pipeSlot, depth),
 		emit:     make(chan *pipeSlot, depth),
 		emitDone: make(chan struct{}),
 	}
 	pw.opt.Workers = WorkersSerial
+	// Per-chunk encodes run on pool workers; letting each record codec-stage
+	// spans would flood the trace with overlapping intervals. The pipeline's
+	// trace story is the per-frame slot occupancy recorded by the emitter.
+	pw.opt.Spans = nil
 	for i := 0; i < depth; i++ {
 		pw.free <- &pipeSlot{}
 	}
@@ -234,6 +243,9 @@ func (pw *PipeWriter) emitter() {
 				telemetry.StreamFramesWritten.Inc()
 			}
 		}
+		if pw.tr != nil {
+			pw.tr.RecordSpan("pipe_frame", s.t0, time.Now())
+		}
 		s.vals = s.vals[:0]
 		pw.free <- s
 	}
@@ -282,6 +294,9 @@ func (pw *PipeWriter) submit(chunk []float32) {
 			pw.free <- s
 			return
 		}
+	}
+	if pw.tr != nil {
+		s.t0 = time.Now()
 	}
 	s.seq = pw.seq
 	pw.seq++
@@ -396,6 +411,7 @@ type PipeReader struct {
 
 	ctx     context.Context
 	ctxDone <-chan struct{} // nil without a context; a nil channel never fires
+	tr      *trace.Trace   // request trace from ctx; nil = untraced
 
 	free chan *pipeSlot
 	work chan *pipeSlot
@@ -434,6 +450,7 @@ func NewPipeReaderContext(ctx context.Context, r io.Reader, parallelism int) *Pi
 		depth:   depth,
 		ctx:     ctx,
 		ctxDone: ctx.Done(),
+		tr:      trace.FromContext(ctx),
 		free:    make(chan *pipeSlot, depth),
 		work:    make(chan *pipeSlot, depth),
 		emit:    make(chan *pipeSlot, depth),
@@ -529,6 +546,9 @@ func (pr *PipeReader) prefetch() {
 				return
 			}
 		}
+		if pr.tr != nil {
+			s.t0 = time.Now()
+		}
 		frame, got, err := readFrameBody(pr.r, s.frame, int(frameLen))
 		s.frame = frame
 		byteOff += int64(got)
@@ -611,6 +631,9 @@ func (pr *PipeReader) fail(s *pipeSlot) error {
 // drained one. It returns io.EOF at the terminator.
 func (pr *PipeReader) next() error {
 	if pr.cur != nil {
+		if pr.tr != nil {
+			pr.tr.RecordSpan("pipe_frame", pr.cur.t0, time.Now())
+		}
 		pr.cur.frame = pr.cur.frame[:0]
 		pr.free <- pr.cur
 		pr.cur = nil

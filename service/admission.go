@@ -57,8 +57,10 @@ type denial struct {
 // It returns (release, nil) on success — the caller MUST invoke release
 // exactly once — or (nil, *denial) when the request should be shed.
 // done is the request context's Done channel, so a client that hangs up
-// while queued frees its queue slot immediately.
-func (a *admission) admit(done <-chan struct{}) (func(), *denial) {
+// while queued frees its queue slot immediately. traceID (may be "")
+// becomes the queue-wait histogram's exemplar when this request sets a
+// new maximum, linking the worst observed wait back to its trace.
+func (a *admission) admit(done <-chan struct{}, traceID string) (func(), *denial) {
 	if a.isDrain.Load() {
 		telemetry.ServiceRejectedDraining.Inc()
 		return nil, &denial{
@@ -100,7 +102,7 @@ func (a *admission) admit(done <-chan struct{}) (func(), *denial) {
 	select {
 	case a.sem <- struct{}{}:
 		telemetry.ServiceInFlight.Inc()
-		telemetry.ServiceQueueWaits.Observe(time.Since(start).Nanoseconds())
+		telemetry.ServiceQueueWaits.ObserveExemplar(time.Since(start).Nanoseconds(), traceID)
 		return a.release, nil
 	case <-timer.C:
 		telemetry.ServiceRejectedWaitTimeout.Inc()

@@ -20,7 +20,12 @@ import (
 	"time"
 
 	szx "repro"
+	"repro/telemetry/trace"
 )
+
+// traceIDHeader mirrors service.TraceIDHeader (the client deliberately
+// does not import the server package).
+const traceIDHeader = "Szx-Trace-Id"
 
 // Params selects compression options for a request; the zero value uses
 // the server's defaults. It is the wire form of szx.Options.
@@ -103,6 +108,7 @@ type Error struct {
 	Frame      int           // frame index for streaming-container failures
 	Offset     int64         // byte offset for streaming-container failures
 	RetryAfter time.Duration // parsed Retry-After hint, 0 if absent
+	TraceID    string        // server-assigned trace ID, for /debug/requests lookup
 }
 
 func (e *Error) Error() string {
@@ -132,7 +138,7 @@ func (e *Error) Unwrap() error {
 // decodeError turns a non-2xx response into an *Error, tolerating
 // non-JSON bodies from intermediaries.
 func decodeError(resp *http.Response) error {
-	e := &Error{Status: resp.StatusCode, Code: "internal"}
+	e := &Error{Status: resp.StatusCode, Code: "internal", TraceID: resp.Header.Get(traceIDHeader)}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil {
 			e.RetryAfter = time.Duration(secs) * time.Second
@@ -166,7 +172,16 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Re
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
+	// A trace travelling in ctx rides the wire as a traceparent header, so
+	// the server adopts the caller's trace ID and the round trip shows up
+	// on the caller's trace as one client-side span.
+	tr := trace.FromContext(ctx)
+	if tr != nil {
+		req.Header.Set("Traceparent", tr.Traceparent())
+	}
+	sp := tr.StartSpan("client:" + strings.TrimPrefix(path, "/v1/"))
 	resp, err := c.hc.Do(req)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

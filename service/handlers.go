@@ -11,30 +11,13 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
-	"time"
 
 	szx "repro"
 	"repro/telemetry"
+	"repro/telemetry/trace"
 )
 
 const contentTypeBinary = "application/octet-stream"
-
-// enter runs admission control for a data endpoint. On success it counts
-// the request on reqs and returns a completion func the handler must
-// defer; on denial it writes the error response itself and returns nil.
-func (s *Server) enter(w http.ResponseWriter, r *http.Request, reqs *telemetry.Counter) func() {
-	release, den := s.adm.admit(r.Context().Done())
-	if den != nil {
-		writeError(w, den.status, wireError{Code: den.code, Message: den.msg}, den.retryAfter)
-		return nil
-	}
-	reqs.Inc()
-	start := time.Now()
-	return func() {
-		telemetry.ServiceRequestDurations.Observe(time.Since(start).Nanoseconds())
-		release()
-	}
-}
 
 // parseOptions maps the query string onto szx.Options plus the element
 // width. Recognized keys: t (f32|f64), e (error bound), ratio (fixed-ratio
@@ -99,12 +82,16 @@ func (s *Server) parseOptions(q url.Values) (opt szx.Options, elemSize int, err 
 
 // readRequestBody pulls the whole body through the scratch buffer,
 // translating size and disconnect failures into wire responses. A nil
-// slice return means the response has already been written.
-func readRequestBody(w http.ResponseWriter, r *http.Request, sc *scratch, max int64) []byte {
+// slice return means the response has already been written. tr (nil-safe)
+// gets the read_body span and the payload size.
+func readRequestBody(w http.ResponseWriter, r *http.Request, sc *scratch, max int64, tr *trace.Trace) []byte {
+	sp := tr.StartSpan("read_body")
 	body, err := sc.readBody(r.Body, max)
+	sp.End()
 	if err != nil {
 		if errors.Is(err, errBodyTooLarge) {
 			telemetry.ServiceBadRequests.Inc()
+			tr.SetError(err.Error())
 			writeError(w, http.StatusRequestEntityTooLarge,
 				wireError{Code: codeTooLarge, Message: err.Error()}, 0)
 			return nil
@@ -112,58 +99,70 @@ func readRequestBody(w http.ResponseWriter, r *http.Request, sc *scratch, max in
 		// A read error on the request body means the client went away (or
 		// the connection broke) mid-upload; nobody is listening for a body.
 		telemetry.ServiceCancelledRequests.Inc()
+		tr.SetError("client closed request during body read")
 		w.WriteHeader(statusClientClosedRequest)
 		return nil
 	}
 	if len(body) == 0 {
+		tr.SetError("empty request body")
 		badRequest(w, "empty request body")
 		return nil
 	}
 	telemetry.ServiceBytesIn.Add(int64(len(body)))
+	tr.SetBytes(int64(len(body)), -1)
 	return body
 }
 
 // handleCompress buffers the raw float payload, compresses it on a pooled
 // codec, and returns the SZx stream.
 func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
-	done := s.enter(w, r, &telemetry.ServiceRequestsCompress)
-	if done == nil {
+	rq, w, r, ok := s.begin(w, r, &telemetry.ServiceRequestsCompress, "compress")
+	if !ok {
 		return
 	}
-	defer done()
+	defer rq.end()
 
 	opt, elemSize, err := s.parseOptions(r.URL.Query())
 	if err != nil {
-		badRequest(w, err.Error())
+		rq.badRequest(w, err.Error())
 		return
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes)
+	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes, rq.tr)
 	if body == nil {
 		return
 	}
 	if len(body)%elemSize != 0 {
-		badRequest(w, fmt.Sprintf("body length %d is not a multiple of the %d-byte element size",
+		rq.badRequest(w, fmt.Sprintf("body length %d is not a multiple of the %d-byte element size",
 			len(body), elemSize))
 		return
 	}
+	if rq.tr != nil {
+		// The codec reports resolve_plan and encode/gather phases itself.
+		opt.Spans = rq.tr
+	}
 
 	var comp []byte
+	sp := rq.tr.StartSpan("unpack_body")
 	if elemSize == 4 {
 		sc.f32 = bytesToF32(sc.f32, body)
+		sp.End()
 		sc.c32.SetOptions(opt)
 		comp, err = sc.c32.Compress(sc.f32)
 	} else {
 		sc.f64 = bytesToF64(sc.f64, body)
+		sp.End()
 		sc.c64.SetOptions(opt)
 		comp, err = sc.c64.Compress(sc.f64)
 	}
 	if err != nil {
-		fail(w, err)
+		rq.fail(w, err)
 		return
 	}
+	sp = rq.tr.StartSpan("write_response")
 	writeBinary(w, comp)
+	sp.End()
 }
 
 // handleDecompress buffers the compressed payload — a single SZx stream or
@@ -171,20 +170,20 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 // and returns the raw floats. Decoding completes before the first response
 // byte, so corrupt input always yields a clean 4xx, never a truncated 200.
 func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
-	done := s.enter(w, r, &telemetry.ServiceRequestsDecompress)
-	if done == nil {
+	rq, w, r, ok := s.begin(w, r, &telemetry.ServiceRequestsDecompress, "decompress")
+	if !ok {
 		return
 	}
-	defer done()
+	defer rq.end()
 
 	opt, _, err := s.parseOptions(r.URL.Query())
 	if err != nil {
-		badRequest(w, err.Error())
+		rq.badRequest(w, err.Error())
 		return
 	}
 	sc := getScratch()
 	defer putScratch(sc)
-	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes)
+	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes, rq.tr)
 	if body == nil {
 		return
 	}
@@ -193,6 +192,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		// SZXS container: decode chunk by chunk with the serial container
 		// reader (no goroutines, fully deterministic) into the reused
 		// value buffer.
+		sp := rq.tr.StartSpan("decode")
 		sr := szx.NewReader(bytes.NewReader(body))
 		vals := sc.f32[:0]
 		for {
@@ -206,37 +206,42 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 			}
 			if rerr != nil {
 				sc.f32 = vals
-				fail(w, rerr)
+				sp.End()
+				rq.fail(w, rerr)
 				return
 			}
 		}
 		sc.f32 = vals
-		writeF32(w, sc, vals)
+		sp.End()
+		rq.writeF32(w, sc, vals)
 		return
 	}
 
 	h, err := szx.Info(body)
 	if err != nil {
-		fail(w, err)
+		rq.fail(w, err)
 		return
 	}
+	sp := rq.tr.StartSpan("decode")
 	if h.Type == szx.TypeFloat64 {
 		sc.c64.SetOptions(opt)
 		vals, derr := sc.c64.Decompress(body)
+		sp.End()
 		if derr != nil {
-			fail(w, derr)
+			rq.fail(w, derr)
 			return
 		}
-		writeF64(w, sc, vals)
+		rq.writeF64(w, sc, vals)
 		return
 	}
 	sc.c32.SetOptions(opt)
 	vals, derr := sc.c32.Decompress(body)
+	sp.End()
 	if derr != nil {
-		fail(w, derr)
+		rq.fail(w, derr)
 		return
 	}
-	writeF32(w, sc, vals)
+	rq.writeF32(w, sc, vals)
 }
 
 // handleStreamCompress pumps an unbounded raw float32 body through the
@@ -245,26 +250,26 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 // the body finishes, a mid-stream failure can only truncate the response —
 // SZXS's terminator frame lets the receiver detect that.
 func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
-	done := s.enter(w, r, &telemetry.ServiceRequestsStreamCompress)
-	if done == nil {
+	rq, w, r, ok := s.begin(w, r, &telemetry.ServiceRequestsStreamCompress, "stream_compress")
+	if !ok {
 		return
 	}
-	defer done()
+	defer rq.end()
 
 	q := r.URL.Query()
 	if t := q.Get("t"); t != "" && t != "f32" {
-		badRequest(w, "streaming endpoints carry float32 only")
+		rq.badRequest(w, "streaming endpoints carry float32 only")
 		return
 	}
 	opt, _, err := s.parseOptions(q)
 	if err != nil {
-		badRequest(w, err.Error())
+		rq.badRequest(w, err.Error())
 		return
 	}
 	// The pipeline surfaces errors mid-stream as truncation; option errors
 	// are knowable now, while a clean 400 is still possible.
 	if verr := opt.Validate(); verr != nil {
-		fail(w, verr)
+		rq.fail(w, verr)
 		return
 	}
 
@@ -286,16 +291,24 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 
 	w.Header().Set("Content-Type", contentTypeBinary)
 	cw := &countingWriter{w: w}
+	// The pipeline picks the request trace out of r.Context() itself and
+	// records one pipe_frame span per emitted frame.
 	pw := szx.NewPipeWriterContext(r.Context(), cw, opt, s.cfg.ChunkValues, s.cfg.StreamParallelism)
-	defer func() { telemetry.ServiceBytesOut.Add(cw.n) }()
+	var bodyIn int64
+	defer func() {
+		telemetry.ServiceBytesOut.Add(cw.n)
+		rq.tr.SetBytes(bodyIn, -1)
+	}()
 
 	for {
 		n, rerr := io.ReadFull(r.Body, buf)
 		if n > 0 {
 			telemetry.ServiceBytesIn.Add(int64(n))
+			bodyIn += int64(n)
 			if n%4 != 0 {
 				// Truncated trailing element: the upload broke mid-float.
 				telemetry.ServiceBadRequests.Inc()
+				rq.tr.SetError("body truncated mid-element")
 				pw.Abort()
 				_ = pw.Close()
 				return
@@ -303,6 +316,7 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 			sc.f32 = bytesToF32(sc.f32, buf[:n])
 			if werr := pw.Write(sc.f32); werr != nil {
 				countStreamFailure(r, werr)
+				rq.tr.SetError(werr.Error())
 				pw.Abort()
 				_ = pw.Close()
 				return
@@ -313,6 +327,7 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 		}
 		if rerr != nil {
 			telemetry.ServiceCancelledRequests.Inc()
+			rq.tr.SetError("client closed request during body read")
 			pw.Abort()
 			_ = pw.Close()
 			return
@@ -320,6 +335,7 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 	}
 	if cerr := pw.Close(); cerr != nil {
 		countStreamFailure(r, cerr)
+		rq.tr.SetError(cerr.Error())
 	}
 }
 
@@ -327,11 +343,11 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 // pipelined reader and emits raw float32 bytes. An error before the first
 // output byte yields a clean 4xx; after that the response truncates.
 func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) {
-	done := s.enter(w, r, &telemetry.ServiceRequestsStreamDecompress)
-	if done == nil {
+	rq, w, r, ok := s.begin(w, r, &telemetry.ServiceRequestsStreamDecompress, "stream_decompress")
+	if !ok {
 		return
 	}
-	defer done()
+	defer rq.end()
 
 	sc := getScratch()
 	defer putScratch(sc)
@@ -352,9 +368,14 @@ func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) 
 	_ = http.NewResponseController(w).EnableFullDuplex()
 
 	cr := &countingReader{r: r.Body}
+	// As on the compress side, the pipeline reads the request trace from
+	// r.Context() and records per-frame spans.
 	pr := szx.NewPipeReaderContext(r.Context(), cr, s.cfg.StreamParallelism)
 	defer pr.Close()
-	defer func() { telemetry.ServiceBytesIn.Add(cr.n) }()
+	defer func() {
+		telemetry.ServiceBytesIn.Add(cr.n)
+		rq.tr.SetBytes(cr.n, -1)
+	}()
 
 	wrote := false
 	for {
@@ -369,6 +390,7 @@ func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) 
 			}
 			if _, werr := w.Write(out[:4*n]); werr != nil {
 				telemetry.ServiceCancelledRequests.Inc()
+				rq.tr.SetError("client closed request during response write")
 				return
 			}
 			telemetry.ServiceBytesOut.Add(int64(4 * n))
@@ -378,11 +400,12 @@ func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) 
 		}
 		if rerr != nil {
 			if !wrote {
-				fail(w, rerr)
+				rq.fail(w, rerr)
 				return
 			}
 			// Headers are gone; the only honest signal is truncation.
 			countStreamFailure(r, rerr)
+			rq.tr.SetError(rerr.Error())
 			return
 		}
 	}

@@ -1,0 +1,156 @@
+package service
+
+import (
+	"net/http"
+	"time"
+
+	"repro/telemetry"
+	"repro/telemetry/trace"
+)
+
+// TraceIDHeader is the response header carrying the request's trace ID —
+// the handle for looking the request up at /debug/requests?trace_id=...
+// It is set before admission, so even shed (429/503) responses carry it.
+const TraceIDHeader = "Szx-Trace-Id"
+
+// traceparentHeader is the W3C-style request header a caller uses to
+// supply its own trace ID (version-00 format; see telemetry/trace).
+const traceparentHeader = "Traceparent"
+
+// statusWriter records the response status and body size as they pass
+// through, so the trace and access log can report what was actually sent.
+// Unwrap lets http.ResponseController reach the real writer (the streaming
+// handlers need EnableFullDuplex and, on HTTP/1.x, flushing).
+type statusWriter struct {
+	rw     http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.rw.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.rw.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.rw }
+
+// reqScope carries one admitted request's cross-cutting state: its trace,
+// the status-recording writer, and the admission release. Handlers defer
+// end() and route failures through fail/badRequest so the trace captures
+// the error text.
+type reqScope struct {
+	srv     *Server
+	tr      *trace.Trace // nil when tracing is disabled
+	sw      *statusWriter
+	release func()
+	start   time.Time
+}
+
+// begin runs the request-scoped preamble for a data endpoint: start (or
+// adopt) a trace, run admission — recording the wait as the queue_wait
+// span — and count the request. On denial it writes the error response and
+// finishes the trace itself, returning ok=false. On success the returned
+// writer and request (trace-wrapped) replace the originals, and the caller
+// must defer sc.end().
+func (s *Server) begin(w http.ResponseWriter, r *http.Request, reqs *telemetry.Counter, name string) (sc *reqScope, ww http.ResponseWriter, rr *http.Request, ok bool) {
+	var tr *trace.Trace
+	if s.rec != nil {
+		tr = trace.FromTraceparent(name, r.Header.Get(traceparentHeader))
+		w.Header().Set(TraceIDHeader, tr.ID())
+		r = r.WithContext(trace.NewContext(r.Context(), tr))
+	}
+	admT0 := time.Now()
+	release, den := s.adm.admit(r.Context().Done(), tr.ID())
+	tr.RecordSpan("queue_wait", admT0, time.Now())
+	if den != nil {
+		writeError(w, den.status, wireError{Code: den.code, Message: den.msg}, den.retryAfter)
+		if tr != nil {
+			tr.SetStatus(den.status)
+			tr.SetError(den.msg)
+			tr.Finish(s.rec)
+			s.logAccess(tr, den.status, 0)
+		}
+		return nil, w, r, false
+	}
+	reqs.Inc()
+	sw := &statusWriter{rw: w}
+	sc = &reqScope{srv: s, tr: tr, sw: sw, release: release, start: time.Now()}
+	return sc, sw, r, true
+}
+
+// end closes out an admitted request: release the execution slot, feed the
+// duration histogram (with this trace as exemplar candidate), seal the
+// trace with the response's actual status and size, offer it to the ring,
+// and emit the access-log line.
+func (sc *reqScope) end() {
+	d := time.Since(sc.start)
+	telemetry.ServiceRequestDurations.ObserveExemplar(d.Nanoseconds(), sc.tr.ID())
+	sc.release()
+	if sc.tr == nil {
+		return
+	}
+	status := sc.sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	sc.tr.SetStatus(status)
+	sc.tr.SetBytes(-1, sc.sw.bytes)
+	sc.tr.Finish(sc.srv.rec)
+	sc.srv.logAccess(sc.tr, status, sc.sw.bytes)
+}
+
+// fail and badRequest mirror the package-level helpers while also pinning
+// the error text on the trace (error-marked traces are always retained).
+func (sc *reqScope) fail(w http.ResponseWriter, err error) {
+	sc.tr.SetError(err.Error())
+	fail(w, err)
+}
+
+func (sc *reqScope) badRequest(w http.ResponseWriter, msg string) {
+	sc.tr.SetError(msg)
+	badRequest(w, msg)
+}
+
+// writeF32 / writeF64 wrap the package-level response writers in a
+// write_response span (which covers both the little-endian staging and the
+// socket write).
+func (sc *reqScope) writeF32(w http.ResponseWriter, scr *scratch, vals []float32) {
+	sp := sc.tr.StartSpan("write_response")
+	writeF32(w, scr, vals)
+	sp.End()
+}
+
+func (sc *reqScope) writeF64(w http.ResponseWriter, scr *scratch, vals []float64) {
+	sp := sc.tr.StartSpan("write_response")
+	writeF64(w, scr, vals)
+	sp.End()
+}
+
+// logAccess emits one structured access-log line for a finished request.
+func (s *Server) logAccess(tr *trace.Trace, status int, bytesOut int64) {
+	if s.alog == nil || tr == nil {
+		return
+	}
+	s.alog.Info("request",
+		"trace_id", tr.ID(),
+		"endpoint", tr.Name(),
+		"status", status,
+		"bytes_out", bytesOut,
+		"dur_us", tr.Duration().Microseconds(),
+		"queue_wait_us", tr.SpanDur("queue_wait").Microseconds(),
+		"stages", tr.StageSummary(),
+	)
+}

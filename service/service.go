@@ -31,12 +31,14 @@ package service
 import (
 	"context"
 	"expvar"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"time"
 
 	szx "repro"
 	"repro/telemetry"
+	"repro/telemetry/trace"
 )
 
 // Config tunes a Server. The zero value is serviceable: every field has a
@@ -70,6 +72,23 @@ type Config struct {
 	// concurrency comes from MaxInFlight, and a wide pipeline per request
 	// would let one stream monopolize the pool.
 	StreamParallelism int
+	// DisableTracing turns off request-scoped tracing (the zero value keeps
+	// it on: per-request span overhead is a handful of clock reads). With
+	// tracing on, every request gets a trace honoring an incoming
+	// traceparent header, the trace ID comes back in Szx-Trace-Id, and the
+	// interesting traces are browsable at GET /debug/requests.
+	DisableTracing bool
+	// TraceRing is how many finished traces /debug/requests retains
+	// (0 = 256).
+	TraceRing int
+	// TraceSample keeps 1 in TraceSample unremarkable traces (0 = 16;
+	// 1 keeps everything; negative keeps only errors and slow requests).
+	// Errors and p99-slow requests are always kept regardless.
+	TraceSample int
+	// AccessLog, when non-nil, receives one structured line per data-plane
+	// request (trace ID, endpoint, status, bytes, duration, queue wait,
+	// per-stage breakdown). Nil disables access logging.
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -107,17 +126,23 @@ func (c Config) withDefaults() Config {
 // an http.Server (cmd/szxd does exactly this), and call Drain before
 // shutting down.
 type Server struct {
-	cfg Config
-	adm *admission
-	mux *http.ServeMux
+	cfg  Config
+	adm  *admission
+	mux  *http.ServeMux
+	rec  *trace.Recorder // nil when tracing is disabled
+	alog *slog.Logger    // nil when access logging is disabled
 }
 
 // New returns a Server with cfg's zero fields defaulted.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		adm: newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		cfg:  cfg,
+		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		alog: cfg.AccessLog,
+	}
+	if !cfg.DisableTracing {
+		s.rec = trace.NewRecorder(cfg.TraceRing, cfg.TraceSample)
 	}
 	telemetry.PublishExpvar()
 	mux := http.NewServeMux()
@@ -129,9 +154,16 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", telemetry.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
+	if s.rec != nil {
+		mux.Handle("GET /debug/requests", s.rec.Handler())
+	}
 	s.mux = mux
 	return s
 }
+
+// TraceRecorder returns the server's trace ring, or nil when tracing is
+// disabled. Exposed for embedding /debug/requests elsewhere and for tests.
+func (s *Server) TraceRecorder() *trace.Recorder { return s.rec }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }

@@ -49,9 +49,11 @@ package szx
 
 import (
 	"errors"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/telemetry"
 )
 
 // Float constrains the element types SZx supports.
@@ -127,10 +129,16 @@ type Options struct {
 	// disabled the bound can be exceeded marginally (≲2x) on adversarially
 	// scaled data; guarded mode costs ~10-15% speed and is the default.
 	Unguarded bool
+	// Spans, when non-nil, receives this call's stage intervals (plan
+	// resolution, the core engine's encode phases) for request-scoped
+	// tracing; telemetry/trace.Trace is the canonical sink. Fixed-ratio
+	// probe compressions are deliberately excluded — the whole search is
+	// covered by the "resolve_plan" span. Nil costs nothing.
+	Spans telemetry.SpanSink
 }
 
 func (o Options) coreOpts() core.Options {
-	return core.Options{BlockSize: o.BlockSize, Unguarded: o.Unguarded}
+	return core.Options{BlockSize: o.BlockSize, Unguarded: o.Unguarded, Spans: o.Spans}
 }
 
 func (o Options) workers() int {
@@ -169,14 +177,26 @@ func CompressInto[T Float](dst []byte, data []T, opt Options) ([]byte, error) {
 // probe scratch (nil = package pool); Codec passes its own for
 // deterministic zero-allocation reuse.
 func compressInto[T Float](dst []byte, data []T, opt Options, rs *ratioScratch) ([]byte, error) {
+	var t0 time.Time
+	if opt.Spans != nil {
+		t0 = time.Now()
+	}
 	p, err := resolvePlan(data, opt, rs)
 	if err != nil {
 		return nil, err
 	}
-	if p.Workers > 1 {
-		return core.CompressParallelInto(dst, data, p.Bound, p.coreOpts(), p.Workers)
+	co := p.coreOpts()
+	if opt.Spans != nil {
+		// Plan resolution covers bound validation, the relative-bound range
+		// scan, and the whole fixed-ratio search (probes included) — for a
+		// TargetRatio request this span is where the latency hides.
+		opt.Spans.RecordSpan("resolve_plan", t0, time.Now())
+		co.Spans = opt.Spans
 	}
-	return core.CompressInto(dst, data, p.Bound, p.coreOpts())
+	if p.Workers > 1 {
+		return core.CompressParallelInto(dst, data, p.Bound, co, p.Workers)
+	}
+	return core.CompressInto(dst, data, p.Bound, co)
 }
 
 // CompressIntoStats is CompressInto with per-run statistics (serial path).

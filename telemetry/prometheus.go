@@ -108,12 +108,28 @@ var registry = []metric{
 	{name: "szx_service_request_duration_seconds", help: "End-to-end handler time of admitted requests.", h: &ServiceRequestDurations, scale: 1e-9},
 }
 
+// scrapeMu serializes whole-page exports against Reset. Exports (scrapes,
+// Snap) take the read side, so concurrent scrapes still run in parallel;
+// Reset takes the write side, so a page is never assembled half-before,
+// half-after a reset — without the lock a scrape could emit a histogram
+// whose cumulative buckets exceed its own +Inf count (a torn page that
+// Prometheus rejects). Individual Observe/Inc calls stay lock-free; the
+// per-value races they permit are monotonic and harmless.
+var scrapeMu sync.RWMutex
+
 // WritePrometheus emits every metric in the Prometheus text exposition
 // format (version 0.0.4). Counters become `counter` families (with labels
 // where a family is split by type/engine/code), Histograms become native
 // `histogram` families with power-of-two `le` buckets, and the BitHist
 // becomes a labeled counter family with one series per observed bit count.
+// The page is assembled under the scrape lock, so a concurrent Reset can
+// never tear it.
 func WritePrometheus(w io.Writer) error {
+	scrapeMu.RLock()
+	defer scrapeMu.RUnlock()
+	if err := writePromBuildInfo(w); err != nil {
+		return err
+	}
 	prevName := ""
 	for _, m := range registry {
 		if m.name != prevName {
@@ -150,6 +166,23 @@ func WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// writePromBuildInfo emits the szx_build_info series: a constant-1 gauge
+// whose labels carry the binary's identity (module version, Go toolchain,
+// active kernel set), the conventional info-metric shape for joining perf
+// shifts to deploys. Labels are dynamic, so it lives outside the static
+// registry.
+func writePromBuildInfo(w io.Writer) error {
+	bi := GetBuildInfo()
+	if _, err := fmt.Fprint(w,
+		"# HELP szx_build_info Build identity of this binary; the value is always 1.\n"+
+			"# TYPE szx_build_info gauge\n"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "szx_build_info{version=%q,revision=%q,goversion=%q,kernels=%q} 1\n",
+		bi.Version, bi.VCSRev, bi.GoVersion, bi.Kernels)
+	return err
 }
 
 func writePromHistogram(w io.Writer, m metric) error {

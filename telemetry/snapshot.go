@@ -110,6 +110,7 @@ type ServiceSnapshot struct {
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Enabled    bool               `json:"enabled"`
+	Build      BuildInfo          `json:"build"`
 	Compress   SideSnapshot       `json:"compress"`
 	Decompress SideSnapshot       `json:"decompress"`
 	Blocks     BlocksSnapshot     `json:"blocks"`
@@ -124,10 +125,15 @@ type Snapshot struct {
 
 // Snap assembles a Snapshot of the current metric values. The copy is not
 // a consistent cut across metrics (each value is loaded independently),
-// which is the usual, and sufficient, contract for scrape-style export.
+// which is the usual, and sufficient, contract for scrape-style export —
+// but it is taken under the scrape lock's read side, so a concurrent Reset
+// can never interleave mid-snapshot.
 func Snap() Snapshot {
+	scrapeMu.RLock()
+	defer scrapeMu.RUnlock()
 	s := Snapshot{
 		Enabled: Enabled(),
+		Build:   GetBuildInfo(),
 		Compress: SideSnapshot{
 			Calls:     CompressCalls.Load(),
 			BytesIn:   CompressBytesIn.Load(),
@@ -230,8 +236,13 @@ func Snap() Snapshot {
 }
 
 // Reset zeroes every metric (the enabled gate is left as-is). It must not
-// race with in-flight instrumented calls if exact totals matter.
+// race with in-flight instrumented calls if exact totals matter. It takes
+// the scrape lock's write side, so a concurrent Prometheus scrape or Snap
+// sees the metrics either entirely before or entirely after the reset,
+// never a torn mix (pinned by TestScrapeDuringReset).
 func Reset() {
+	scrapeMu.Lock()
+	defer scrapeMu.Unlock()
 	for _, m := range registry {
 		switch {
 		case m.c != nil:
@@ -257,6 +268,12 @@ func Report() string {
 	s := Snap()
 	var b strings.Builder
 	fmt.Fprintf(&b, "szx telemetry (enabled=%v)\n", s.Enabled)
+	bVer := s.Build.Version
+	if s.Build.VCSRev != "" {
+		bVer += "@" + s.Build.VCSRev
+	}
+	fmt.Fprintf(&b, "  build:      %s %s, %s, kernels %s\n",
+		s.Build.Module, bVer, s.Build.GoVersion, s.Build.Kernels)
 	fmt.Fprintf(&b, "  compress:   %d calls, %s in -> %s out (ratio %.2f), %s\n",
 		s.Compress.Calls, fmtBytes(s.Compress.BytesIn), fmtBytes(s.Compress.BytesOut),
 		s.Compress.Ratio, fmtDur(s.Compress.Durations))

@@ -1,0 +1,24 @@
+package telemetry
+
+import "time"
+
+// SpanSink receives completed wall-clock stage intervals from instrumented
+// layers. It is the request-scoped counterpart of the package's aggregate
+// histograms: where EncodePhaseDurations answers "what does the encode
+// phase cost on average", a SpanSink attached to one call answers "what did
+// *this* call's encode phase cost".
+//
+// The interface lives here — not in telemetry/trace — so the codec layers
+// (szx.Options.Spans, core.Options.Spans) can accept a sink without
+// depending on the tracer; telemetry/trace's *Trace is the canonical
+// implementation. Implementations must be safe for concurrent RecordSpan
+// calls: the parallel engine reports phases from the coordinating
+// goroutine, but the pipelined streaming engine reports frame spans from
+// its emitter goroutine while the producer is still submitting.
+//
+// A nil sink means "not traced"; instrumented sites gate on that nil check
+// and skip the clock reads entirely, independent of the Enabled() gate (a
+// request can be traced while aggregate telemetry is off, and vice versa).
+type SpanSink interface {
+	RecordSpan(name string, start, end time.Time)
+}

@@ -98,6 +98,13 @@ type Histogram struct {
 	count   atomic.Int64
 	sum     atomic.Int64
 	buckets [histBuckets]atomic.Int64
+	// max and exemplar link the histogram's worst observation back to the
+	// request that caused it (poor-man's exemplars): ObserveExemplar keeps
+	// the trace ID of the current maximum, so "what was the slowest
+	// request" is answerable from /debug/requests without full tracing of
+	// every request. exemplar always holds a string.
+	max      atomic.Int64
+	exemplar atomic.Value
 }
 
 // Observe records one value.
@@ -110,12 +117,39 @@ func (h *Histogram) Observe(v int64) {
 	h.sum.Add(v)
 }
 
+// ObserveExemplar records v like Observe and, when v is the largest value
+// seen since the last reset, remembers traceID as the histogram's exemplar.
+// An empty traceID degrades to a plain Observe. The max/exemplar pair is
+// updated with a CAS loop, so two racing maxima keep one of the two IDs —
+// either is an honest exemplar.
+func (h *Histogram) ObserveExemplar(v int64, traceID string) {
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	for {
+		m := h.max.Load()
+		if v < m {
+			return
+		}
+		if h.max.CompareAndSwap(m, v) {
+			h.exemplar.Store(traceID)
+			return
+		}
+	}
+}
+
 func (h *Histogram) reset() {
 	h.count.Store(0)
 	h.sum.Store(0)
 	for i := range h.buckets {
 		h.buckets[i].Store(0)
 	}
+	h.max.Store(0)
+	h.exemplar.Store("")
 }
 
 // Bucket is one non-empty histogram bucket in a snapshot. Le is the
@@ -125,17 +159,24 @@ type Bucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramSnapshot is a point-in-time copy of a Histogram.
+// HistogramSnapshot is a point-in-time copy of a Histogram. Max and
+// MaxTraceID surface the exemplar pair recorded by ObserveExemplar: the
+// largest observation and the trace it belongs to.
 type HistogramSnapshot struct {
-	Count   int64    `json:"count"`
-	Sum     int64    `json:"sum"`
-	Mean    float64  `json:"mean"`
-	Buckets []Bucket `json:"buckets,omitempty"`
+	Count      int64    `json:"count"`
+	Sum        int64    `json:"sum"`
+	Mean       float64  `json:"mean"`
+	Max        int64    `json:"max,omitempty"`
+	MaxTraceID string   `json:"max_trace_id,omitempty"`
+	Buckets    []Bucket `json:"buckets,omitempty"`
 }
 
 // Snapshot copies the histogram. Only non-empty buckets are materialized.
 func (h *Histogram) Snapshot() HistogramSnapshot {
-	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if id, ok := h.exemplar.Load().(string); ok {
+		s.MaxTraceID = id
+	}
 	if s.Count > 0 {
 		s.Mean = float64(s.Sum) / float64(s.Count)
 	}

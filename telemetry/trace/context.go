@@ -1,0 +1,23 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key carrying a *Trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. A nil t returns ctx unchanged, so
+// untraced requests pay no context allocation.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil return
+// composes with the nil-safe Trace methods: code can record spans against
+// FromContext's result unconditionally.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

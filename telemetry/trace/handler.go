@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// requestsPage is the JSON shape of /debug/requests.
+type requestsPage struct {
+	Offered         int64  `json:"offered"`
+	Kept            int64  `json:"kept"`
+	SlowThresholdNs int64  `json:"slow_threshold_ns"`
+	Traces          []View `json:"traces"`
+}
+
+// Handler serves the recorder's retained traces. JSON by default;
+// ?format=text (or an Accept header preferring text/plain) renders a
+// human-readable span breakdown. ?trace_id=<id> narrows to one trace
+// (404 when it has aged out of the ring).
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var traces []View
+		if id := req.URL.Query().Get("trace_id"); id != "" {
+			v, ok := r.Lookup(id)
+			if !ok {
+				http.Error(w, "trace not retained (aged out or never sampled)", http.StatusNotFound)
+				return
+			}
+			traces = []View{v}
+		} else {
+			traces = r.Traces()
+		}
+		st := r.Stats()
+		page := requestsPage{
+			Offered:         st.Offered,
+			Kept:            st.Kept,
+			SlowThresholdNs: st.SlowNs,
+			Traces:          traces,
+		}
+		if req.URL.Query().Get("format") == "text" ||
+			strings.HasPrefix(req.Header.Get("Accept"), "text/plain") {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeText(w, page)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(page)
+	})
+}
+
+func writeText(w http.ResponseWriter, p requestsPage) {
+	slow := "n/a"
+	if p.SlowThresholdNs > 0 {
+		slow = time.Duration(p.SlowThresholdNs).String()
+	}
+	fmt.Fprintf(w, "recent requests: %d kept of %d offered (slow ≥ %s)\n\n",
+		p.Kept, p.Offered, slow)
+	for _, v := range p.Traces {
+		status := ""
+		if v.Status != 0 {
+			status = fmt.Sprintf(" %d", v.Status)
+		}
+		fmt.Fprintf(w, "%s %s%s %s", v.TraceID, v.Name, status,
+			time.Duration(v.DurNs).Round(time.Microsecond))
+		if v.BytesIn > 0 || v.BytesOut > 0 {
+			fmt.Fprintf(w, " in=%d out=%d", v.BytesIn, v.BytesOut)
+		}
+		if v.SampledFor != "" {
+			fmt.Fprintf(w, " (kept: %s)", v.SampledFor)
+		}
+		fmt.Fprintln(w)
+		if v.Error != "" {
+			fmt.Fprintf(w, "    error: %s\n", v.Error)
+		}
+		for _, s := range v.Spans {
+			fmt.Fprintf(w, "    %-16s +%-12s %s\n", s.Name,
+				s.Start.Round(time.Microsecond), s.Dur.Round(time.Microsecond))
+		}
+		if v.Dropped > 0 {
+			fmt.Fprintf(w, "    (%d spans dropped)\n", v.Dropped)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Recorder retains a bounded ring of finished traces with tail-based
+// sampling: it decides what to keep after the request completes, when the
+// outcome is known. Three rules, in priority order:
+//
+//  1. errors (status ≥ 400 or an error message) are always kept;
+//  2. slow requests — duration at or above the cached p99 of everything
+//     offered so far — are always kept;
+//  3. of the rest, 1 in sampleN is kept, so steady-state healthy traffic
+//     still leaves a breadcrumb trail.
+//
+// The p99 threshold comes from a power-of-two duration histogram (same
+// bucketing as telemetry.Histogram) and is recomputed every
+// slowRecompute offers rather than per offer; until slowMinSamples
+// requests have been seen nothing qualifies as "slow", so a cold server
+// doesn't mark its first requests slow by definition.
+type Recorder struct {
+	size    int
+	sampleN int64
+
+	offered atomic.Int64
+	kept    atomic.Int64
+	slowNs  atomic.Int64
+	buckets [64]atomic.Int64
+
+	mu   sync.Mutex
+	ring []*Trace // circular, next points at the oldest entry
+	next int
+}
+
+const (
+	defaultRingSize = 256
+	defaultSampleN  = 16
+	slowMinSamples  = 64
+	slowRecompute   = 64
+)
+
+// NewRecorder returns a Recorder holding up to size traces (0 = 256),
+// keeping 1 in sampleN unremarkable traces (0 = 16; 1 keeps everything;
+// negative keeps only errors and slow requests).
+func NewRecorder(size, sampleN int) *Recorder {
+	if size <= 0 {
+		size = defaultRingSize
+	}
+	if sampleN == 0 {
+		sampleN = defaultSampleN
+	}
+	r := &Recorder{size: size, sampleN: int64(sampleN)}
+	r.slowNs.Store(math.MaxInt64)
+	return r
+}
+
+// offer applies the sampling rules to a finished trace. Called by
+// Trace.Finish.
+func (r *Recorder) offer(t *Trace) {
+	d := t.end.Sub(t.start).Nanoseconds()
+	if d < 0 {
+		d = 0
+	}
+	r.buckets[bits.Len64(uint64(d))].Add(1)
+	n := r.offered.Add(1)
+	if n%slowRecompute == 0 {
+		r.recomputeSlow(n)
+	}
+
+	t.mu.Lock()
+	isErr := t.status >= 400 || t.errMsg != ""
+	t.mu.Unlock()
+
+	keep := ""
+	switch {
+	case isErr:
+		keep = "error"
+	case n >= slowMinSamples && d >= r.slowNs.Load():
+		keep = "slow"
+	case r.sampleN == 1 || (r.sampleN > 1 && n%r.sampleN == 0):
+		keep = "sampled"
+	default:
+		return
+	}
+
+	t.mu.Lock()
+	t.keep = keep
+	t.mu.Unlock()
+	r.kept.Add(1)
+
+	r.mu.Lock()
+	if len(r.ring) < r.size {
+		r.ring = append(r.ring, t)
+	} else {
+		r.ring[r.next] = t
+		r.next = (r.next + 1) % r.size
+	}
+	r.mu.Unlock()
+}
+
+// recomputeSlow refreshes the cached p99 threshold from the duration
+// histogram. The power-of-two buckets give 2x resolution, which is plenty
+// for a "clearly slower than the rest" cut.
+func (r *Recorder) recomputeSlow(total int64) {
+	target := total - total/100 // ceil-ish p99 rank
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range r.buckets {
+		cum += r.buckets[i].Load()
+		if cum >= target {
+			// Bucket i holds durations with bit length i, i.e. < 2^i;
+			// use 2^(i-1) (the bucket's lower bound) so everything in the
+			// top bucket qualifies as slow.
+			ns := int64(1)
+			if i > 1 {
+				ns = int64(1) << uint(i-1)
+			}
+			r.slowNs.Store(ns)
+			return
+		}
+	}
+	r.slowNs.Store(math.MaxInt64)
+}
+
+// SlowThreshold returns the current always-keep duration cutoff, or 0
+// while too few requests have been seen to define one.
+func (r *Recorder) SlowThreshold() time.Duration {
+	ns := r.slowNs.Load()
+	if ns == math.MaxInt64 || r.offered.Load() < slowMinSamples {
+		return 0
+	}
+	return time.Duration(ns)
+}
+
+// Stats reports the recorder's sampling activity.
+type Stats struct {
+	Offered int64 `json:"offered"`
+	Kept    int64 `json:"kept"`
+	SlowNs  int64 `json:"slow_threshold_ns"`
+}
+
+// Stats snapshots the offer/keep counters and the slow threshold.
+func (r *Recorder) Stats() Stats {
+	return Stats{
+		Offered: r.offered.Load(),
+		Kept:    r.kept.Load(),
+		SlowNs:  int64(r.SlowThreshold()),
+	}
+}
+
+// Traces snapshots the retained traces, newest first.
+func (r *Recorder) Traces() []View {
+	r.mu.Lock()
+	ts := make([]*Trace, 0, len(r.ring))
+	// next is the oldest slot once the ring has wrapped; walk backwards
+	// from the newest.
+	for i := 0; i < len(r.ring); i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		ts = append(ts, r.ring[idx])
+	}
+	r.mu.Unlock()
+	out := make([]View, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, t.View())
+	}
+	return out
+}
+
+// Lookup returns the retained trace with the given ID, if any.
+func (r *Recorder) Lookup(id string) (View, bool) {
+	r.mu.Lock()
+	var found *Trace
+	for _, t := range r.ring {
+		if t.id == id {
+			found = t
+			break
+		}
+	}
+	r.mu.Unlock()
+	if found == nil {
+		return View{}, false
+	}
+	return found.View(), true
+}

@@ -1,0 +1,358 @@
+// Package trace is a dependency-free request-scoped tracer: where package
+// telemetry aggregates what the process does overall, a Trace records where
+// one request's time went — admission queue wait, body read, plan
+// resolution, the codec's encode/gather phases, response write — as named
+// wall-clock spans.
+//
+// A Trace travels in a context.Context (NewContext/FromContext) and across
+// process boundaries in a W3C-style traceparent header, so a client-side
+// trace ID survives the hop into szxd and comes back in the Szx-Trace-Id
+// response header. Finished traces are offered to a Recorder, which keeps a
+// bounded ring of the interesting ones — errors and slow requests always,
+// a sampled fraction of the rest — served at /debug/requests.
+//
+// Every method is safe on a nil *Trace and does nothing, so instrumented
+// code paths need no "am I traced?" branches; *Trace also implements
+// telemetry.SpanSink, which is how the codec layers (szx.Options.Spans,
+// core.Options.Spans) report stage intervals without importing this
+// package.
+package trace
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one named wall-clock interval inside a trace, stored as offsets
+// from the trace's start so a serialized trace is self-contained.
+type Span struct {
+	Name  string        `json:"name"`
+	Start time.Duration `json:"start_ns"` // offset from the trace's start
+	Dur   time.Duration `json:"dur_ns"`
+}
+
+// maxSpans bounds the spans one trace retains; past it, RecordSpan counts
+// drops instead of growing without bound (a pipelined stream can emit one
+// span per frame, and a frame count is attacker-controlled input).
+const maxSpans = 96
+
+// Trace accumulates spans for one request. Create with New, NewWithID, or
+// FromTraceparent; mark stages with StartSpan/RecordSpan; seal with Finish.
+// All methods are nil-safe and (except Finish's recorder hand-off)
+// goroutine-safe, so pipeline workers can record spans while the handler
+// is still running.
+type Trace struct {
+	id     string
+	parent string // parent span id from an incoming traceparent, "" at the root
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	spans    []Span
+	dropped  int
+	status   int
+	errMsg   string
+	bytesIn  int64
+	bytesOut int64
+	end      time.Time
+	done     bool
+	keep     string // sampling verdict, set by the Recorder
+}
+
+// New starts a root trace with a fresh random ID. name is the operation
+// label ("compress", "client:decompress", ...).
+func New(name string) *Trace {
+	return &Trace{id: randHex(32), name: name, start: time.Now()}
+}
+
+// NewWithID starts a trace under a caller-supplied trace ID (32 lowercase
+// hex digits, the W3C trace-id shape). An ill-formed ID falls back to a
+// fresh random one, so the result is always propagatable.
+func NewWithID(name, id string) *Trace {
+	if !isHex(id) || len(id) != 32 || id == zeroTraceID {
+		return New(name)
+	}
+	return &Trace{id: id, name: name, start: time.Now()}
+}
+
+// FromTraceparent starts a trace that adopts the trace ID of an incoming
+// traceparent header value ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex
+// flags>"). A missing or malformed header yields a fresh root trace, so
+// the caller never has to pre-validate.
+func FromTraceparent(name, header string) *Trace {
+	tid, parent, ok := parseTraceparent(header)
+	if !ok {
+		return New(name)
+	}
+	t := NewWithID(name, tid)
+	t.parent = parent
+	return t
+}
+
+const zeroTraceID = "00000000000000000000000000000000"
+
+// parseTraceparent validates a version-00 traceparent value.
+func parseTraceparent(h string) (traceID, parentSpan string, ok bool) {
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || h[35] != '-' || h[52] != '-' {
+		return "", "", false
+	}
+	tid, psid := h[3:35], h[36:52]
+	if !isHex(tid) || !isHex(psid) || tid == zeroTraceID {
+		return "", "", false
+	}
+	return tid, psid, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// randHex returns n random lowercase hex digits (n even, ≤ 32).
+func randHex(n int) string {
+	const digits = "0123456789abcdef"
+	var b [32]byte
+	for i := 0; i < n; i += 16 {
+		v := rand.Uint64()
+		for j := 0; j < 16 && i+j < n; j++ {
+			b[i+j] = digits[v&0xf]
+			v >>= 4
+		}
+	}
+	return string(b[:n])
+}
+
+// ID returns the 32-hex-digit trace ID, or "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Name returns the operation label.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Traceparent renders the outgoing header value for propagating this trace
+// to a downstream service: same trace ID, a fresh span ID for the hop,
+// sampled flag set. Empty on a nil trace.
+func (t *Trace) Traceparent() string {
+	if t == nil {
+		return ""
+	}
+	return "00-" + t.id + "-" + randHex(16) + "-01"
+}
+
+// SpanHandle is an in-progress span; End records it. The zero handle (from
+// a nil trace) is inert.
+type SpanHandle struct {
+	t    *Trace
+	name string
+	t0   time.Time
+}
+
+// StartSpan begins a named span now. On a nil trace it returns an inert
+// handle without touching the clock.
+func (t *Trace) StartSpan(name string) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	return SpanHandle{t: t, name: name, t0: time.Now()}
+}
+
+// End records the span's interval.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.t.RecordSpan(h.name, h.t0, time.Now())
+}
+
+// RecordSpan records a completed interval. It implements
+// telemetry.SpanSink, so a *Trace plugs directly into szx.Options.Spans.
+func (t *Trace) RecordSpan(name string, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.spans) >= maxSpans {
+		t.dropped++
+	} else {
+		t.spans = append(t.spans, Span{Name: name, Start: start.Sub(t.start), Dur: end.Sub(start)})
+	}
+	t.mu.Unlock()
+}
+
+// SetStatus records the request's final HTTP status.
+func (t *Trace) SetStatus(code int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.status = code
+	t.mu.Unlock()
+}
+
+// SetError records a failure message; an error-marked trace is always kept
+// by the Recorder.
+func (t *Trace) SetError(msg string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.errMsg = msg
+	t.mu.Unlock()
+}
+
+// SetBytes records payload sizes for the trace view (either may be -1 to
+// leave the previous value).
+func (t *Trace) SetBytes(in, out int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if in >= 0 {
+		t.bytesIn = in
+	}
+	if out >= 0 {
+		t.bytesOut = out
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace — further spans are dropped — and offers it to
+// rec for retention (nil rec just seals). Only the first Finish takes
+// effect.
+func (t *Trace) Finish(rec *Recorder) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.end = time.Now()
+	t.mu.Unlock()
+	if rec != nil {
+		rec.offer(t)
+	}
+}
+
+// Duration returns the traced wall time: start to Finish, or start to now
+// while unfinished. Zero on a nil trace.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.end.Sub(t.start)
+	}
+	return time.Since(t.start)
+}
+
+// SpanDur sums the durations of every span with the given name (a
+// pipelined request records many "pipe_frame" spans).
+func (t *Trace) SpanDur(name string) time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d time.Duration
+	for _, s := range t.spans {
+		if s.Name == name {
+			d += s.Dur
+		}
+	}
+	return d
+}
+
+// StageSummary renders the spans as a compact "name=dur name=dur" string
+// for access-log lines, merging same-named spans and keeping span order of
+// first appearance.
+func (t *Trace) StageSummary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	var names []string
+	sums := make(map[string]time.Duration, len(t.spans))
+	for _, s := range t.spans {
+		if _, ok := sums[s.Name]; !ok {
+			names = append(names, s.Name)
+		}
+		sums[s.Name] += s.Dur
+	}
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%s", n, sums[n].Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// View is the serializable snapshot of a trace, the unit /debug/requests
+// serves.
+type View struct {
+	TraceID    string    `json:"trace_id"`
+	ParentSpan string    `json:"parent_span_id,omitempty"`
+	Name       string    `json:"endpoint"`
+	Start      time.Time `json:"start"`
+	DurNs      int64     `json:"dur_ns"`
+	Status     int       `json:"status,omitempty"`
+	Error      string    `json:"error,omitempty"`
+	BytesIn    int64     `json:"bytes_in,omitempty"`
+	BytesOut   int64     `json:"bytes_out,omitempty"`
+	SampledFor string    `json:"sampled_for,omitempty"` // error | slow | sampled
+	Spans      []Span    `json:"spans"`
+	Dropped    int       `json:"spans_dropped,omitempty"`
+}
+
+// View snapshots the trace. Safe to call at any point; the recorder calls
+// it after Finish.
+func (t *Trace) View() View {
+	if t == nil {
+		return View{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	d := time.Since(t.start)
+	if t.done {
+		d = t.end.Sub(t.start)
+	}
+	v := View{
+		TraceID:    t.id,
+		ParentSpan: t.parent,
+		Name:       t.name,
+		Start:      t.start,
+		DurNs:      d.Nanoseconds(),
+		Status:     t.status,
+		Error:      t.errMsg,
+		BytesIn:    t.bytesIn,
+		BytesOut:   t.bytesOut,
+		SampledFor: t.keep,
+		Spans:      append([]Span(nil), t.spans...),
+		Dropped:    t.dropped,
+	}
+	return v
+}
