@@ -1,0 +1,178 @@
+package szx
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCompressBatchByteIdentity pins the batch contract: each array's stream
+// is byte-identical to a one-shot Compress with the same Options, whatever
+// worker count the batch ran with.
+func TestCompressBatchByteIdentity(t *testing.T) {
+	// Force the work-stealing path even though the arrays are tiny.
+	saved := core.ParallelMinBytes
+	core.ParallelMinBytes = 0
+	defer func() { core.ParallelMinBytes = saved }()
+
+	arrays := [][]float32{
+		testField(4096, 1),
+		testField(31, 2), // sub-block tail
+		testField(1024, 3),
+		{},
+		testField(9000, 4),
+	}
+	for _, opt := range []Options{
+		{ErrorBound: 1e-3},
+		{ErrorBound: 1e-2, Mode: BoundRelative},
+		{TargetRatio: 4},
+	} {
+		for _, workers := range []int{WorkersSerial, 3, WorkersAuto} {
+			bo := opt
+			bo.Workers = workers
+			outs, errs := CompressBatch[float32](nil, nil, arrays, bo)
+			if len(outs) != len(arrays) || len(errs) != len(arrays) {
+				t.Fatalf("batch returned %d/%d results for %d arrays", len(outs), len(errs), len(arrays))
+			}
+			for i, a := range arrays {
+				want, werr := Compress(a, opt)
+				if werr != nil {
+					if errs[i] == nil || werr.Error() != errs[i].Error() {
+						t.Fatalf("opt %+v array %d: one-shot err %v, batch err %v", opt, i, werr, errs[i])
+					}
+					continue
+				}
+				if errs[i] != nil {
+					t.Fatalf("opt %+v array %d: batch err %v, one-shot succeeded", opt, i, errs[i])
+				}
+				if !bytes.Equal(outs[i], want) {
+					t.Fatalf("opt %+v workers %d array %d: batch stream differs from one-shot (%d vs %d bytes)",
+						opt, workers, i, len(outs[i]), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestBatchRoundTrip exercises compress→decompress through the batch entry
+// points, reusing the result slices across calls (the pooled-service
+// pattern).
+func TestBatchRoundTrip(t *testing.T) {
+	arrays := [][]float32{testField(2048, 7), testField(555, 8), testField(128, 9)}
+	opt := Options{ErrorBound: 1e-3, Workers: WorkersAuto}
+	var outs [][]byte
+	var vals [][]float32
+	var errs []error
+	for round := 0; round < 3; round++ {
+		outs, errs = CompressBatch(outs, errs, arrays, opt)
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("round %d compress array %d: %v", round, i, e)
+			}
+		}
+		vals, errs = DecompressBatch(vals, errs, outs, WorkersAuto)
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("round %d decompress array %d: %v", round, i, e)
+			}
+			if len(vals[i]) != len(arrays[i]) {
+				t.Fatalf("round %d array %d: got %d values, want %d", round, i, len(vals[i]), len(arrays[i]))
+			}
+			for k := range vals[i] {
+				if d := float64(vals[i][k] - arrays[i][k]); d > 1e-3 || d < -1e-3 {
+					t.Fatalf("round %d array %d value %d: error %v exceeds bound", round, i, k, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchPerArrayErrors: one bad array fails alone; its neighbours still
+// produce valid results, and error positions line up with their arrays.
+func TestBatchPerArrayErrors(t *testing.T) {
+	good := testField(512, 11)
+	comp, err := Compress(good, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), comp...)
+	corrupt[0] ^= 0xFF // break the magic
+
+	vals, errs := DecompressBatch[float32](nil, nil, [][]byte{comp, corrupt, comp}, 2)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good arrays failed: %v %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Fatal("corrupt array did not fail")
+	}
+	if !errors.Is(errs[1], ErrBadMagic) && !errors.Is(errs[1], ErrCorrupt) {
+		t.Fatalf("corrupt array error %v does not match a decode sentinel", errs[1])
+	}
+	if len(vals[0]) != len(good) || len(vals[2]) != len(good) {
+		t.Fatalf("neighbour arrays truncated: %d, %d values", len(vals[0]), len(vals[2]))
+	}
+
+	// Compression side: a relative bound on constant data is per-array
+	// degenerate; the other arrays are untouched.
+	outs, cerrs := CompressBatch[float32](nil, nil,
+		[][]float32{good, make([]float32, 256), good},
+		Options{ErrorBound: 1e-2, Mode: BoundRelative})
+	if cerrs[0] != nil || cerrs[2] != nil {
+		t.Fatalf("good arrays failed: %v %v", cerrs[0], cerrs[2])
+	}
+	if !errors.Is(cerrs[1], ErrDegenerateRange) {
+		t.Fatalf("degenerate array error = %v, want ErrDegenerateRange", cerrs[1])
+	}
+	if len(outs[0]) == 0 || len(outs[2]) == 0 {
+		t.Fatal("neighbour arrays produced no output")
+	}
+}
+
+// TestBatchWrongType: an f64 stream inside an f32 batch fails that array
+// with ErrWrongType.
+func TestBatchWrongType(t *testing.T) {
+	c32, err := Compress(testField(256, 13), Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c64, err := CompressFloat64([]float64{1, 2, 3, 4}, Options{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, errs := DecompressBatch[float32](nil, nil, [][]byte{c32, c64}, 1)
+	if errs[0] != nil {
+		t.Fatalf("f32 stream failed: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrWrongType) {
+		t.Fatalf("f64 stream error = %v, want ErrWrongType", errs[1])
+	}
+}
+
+// TestBatchEmpty: a zero-length batch returns empty slices, no panic.
+func TestBatchEmpty(t *testing.T) {
+	outs, errs := CompressBatch[float32](nil, nil, nil, Options{ErrorBound: 1e-3})
+	if len(outs) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d/%d results", len(outs), len(errs))
+	}
+	vals, errs := DecompressBatch[float32](nil, nil, nil, 4)
+	if len(vals) != 0 || len(errs) != 0 {
+		t.Fatalf("empty batch returned %d/%d results", len(vals), len(errs))
+	}
+}
+
+// TestBatchInvalidOptions: option-level failures mark every array (there is
+// no partial validity to salvage).
+func TestBatchInvalidOptions(t *testing.T) {
+	outs, errs := CompressBatch[float32](nil, nil, [][]float32{{1, 2}, {3, 4}},
+		Options{ErrorBound: -1})
+	for i, e := range errs {
+		if !errors.Is(e, ErrBadOptions) {
+			t.Fatalf("array %d error = %v, want ErrBadOptions", i, e)
+		}
+		if len(outs[i]) != 0 {
+			t.Fatalf("array %d produced output despite invalid options", i)
+		}
+	}
+}

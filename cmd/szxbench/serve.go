@@ -38,6 +38,20 @@ type serveLevel struct {
 	P99Ms    float64 `json:"p99_ms"`
 }
 
+// smallLevel is one row of the small-payload sweep: arrays of SizeBytes
+// pushed either one per request ("oneshot") or 64 per request ("batch64").
+// ArraysSec is the headline — arrays compressed per second, which for
+// one-shot mode equals requests per second. Latency percentiles are per
+// HTTP request, so a batch row's p50 covers all 64 arrays it carries.
+type smallLevel struct {
+	SizeBytes int     `json:"size_bytes"`
+	Mode      string  `json:"mode"`
+	ArraysSec float64 `json:"arrays_per_s"`
+	MBs       float64 `json:"mb_s"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+}
+
 type serveReport struct {
 	Date         string       `json:"date"`
 	Goos         string       `json:"goos"`
@@ -48,6 +62,7 @@ type serveReport struct {
 	Commands     []string     `json:"commands"`
 	InProcessMBs float64      `json:"inprocess_mb_s"`
 	Levels       []serveLevel `json:"levels"`
+	Small        []smallLevel `json:"small_levels"`
 }
 
 func runServe(outPath string, benchtime time.Duration) error {
@@ -96,7 +111,10 @@ func runServe(outPath string, benchtime time.Duration) error {
 			"QueueWait=250ms, driven by the service/client library. inprocess_mb_s is the "+
 			"same payload on a pooled Codec without the HTTP hop — the ceiling. Rejected "+
 			"counts are 429s from admission control; at 64 clients the server is "+
-			"oversubscribed on purpose to show load shedding instead of collapse.",
+			"oversubscribed on purpose to show load shedding instead of collapse. "+
+			"small_levels sweeps 4-256 KiB arrays with one client, one array per request "+
+			"(oneshot) vs 64 per /v1/batch request (batch64); arrays_per_s is the headline "+
+			"and latency percentiles are per HTTP request.",
 			maxInFlight, 2*maxInFlight),
 		Commands: []string{
 			fmt.Sprintf("go run ./cmd/szxbench -serve BENCH_SERVE.json -benchtime %s", benchtime),
@@ -113,6 +131,21 @@ func runServe(outPath string, benchtime time.Duration) error {
 		rep.Levels = append(rep.Levels, lvl)
 	}
 
+	// Small-payload sweep: the batch endpoint's reason to exist. One client,
+	// 4 KiB through 256 KiB arrays, one array per request vs 64 per request
+	// — the arrays/s ratio between the two modes is the service/in-process
+	// gap the batch path closes. The two modes alternate inside each size's
+	// window so machine noise (GC, CPU steal on shared boxes) lands on both
+	// sides of the ratio equally.
+	for _, size := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		fmt.Fprintf(os.Stderr, "serve: small %d KiB oneshot vs batch64...\n", size>>10)
+		one, b64, err := runSmallPair(base, size, benchtime)
+		if err != nil {
+			return fmt.Errorf("small %d: %w", size, err)
+		}
+		rep.Small = append(rep.Small, one, b64)
+	}
+
 	var sb strings.Builder
 	jenc := json.NewEncoder(&sb)
 	jenc.SetIndent("", "  ")
@@ -124,6 +157,101 @@ func runServe(outPath string, benchtime time.Duration) error {
 		return nil
 	}
 	return os.WriteFile(outPath, []byte(sb.String()), 0o644)
+}
+
+// runSmallPair measures one small-payload size in both modes — one array
+// per request and 64 per request — alternating between them in short
+// chunks across the whole window, single client.
+func runSmallPair(base string, sizeBytes int, benchtime time.Duration) (one, b64 smallLevel, err error) {
+	vals := hotpathData(sizeBytes / 4)
+	arrays := make([][]float32, 64)
+	for i := range arrays {
+		arrays[i] = vals
+	}
+	c := client.New(base)
+	ctx := context.Background()
+	p := client.Params{ErrorBound: 1e-3}
+
+	doOne := func() error {
+		_, err := c.Compress(ctx, vals, p)
+		return err
+	}
+	doBatch := func() error {
+		res, err := c.CompressBatch(ctx, arrays, p)
+		if err != nil {
+			return err
+		}
+		for i := range res {
+			if res[i].Err != nil {
+				return res[i].Err
+			}
+		}
+		return nil
+	}
+
+	// Clear the previous level's garbage (the shed level in particular
+	// leaves a lot) so this row doesn't pay another row's GC bill, then
+	// warm connections and pools in both modes.
+	runtime.GC()
+	if err := doOne(); err != nil {
+		return one, b64, err
+	}
+	if err := doBatch(); err != nil {
+		return one, b64, err
+	}
+
+	type acc struct {
+		lats    []time.Duration
+		elapsed time.Duration
+	}
+	var oneAcc, b64Acc acc
+	run := func(a *acc, do func() error, dur time.Duration) error {
+		deadline := time.Now().Add(dur)
+		start := time.Now()
+		for time.Now().Before(deadline) {
+			t0 := time.Now()
+			if err := do(); err != nil {
+				return err
+			}
+			a.lats = append(a.lats, time.Since(t0))
+		}
+		a.elapsed += time.Since(start)
+		return nil
+	}
+	// Many short alternating chunks rather than a few long ones: on shared
+	// boxes, interference arrives in bursts that can swallow a whole chunk,
+	// and finer interleaving spreads a burst across both modes instead of
+	// letting it condemn one.
+	const rounds = 8
+	chunk := benchtime / (2 * rounds)
+	for r := 0; r < rounds; r++ {
+		if err := run(&oneAcc, doOne, chunk); err != nil {
+			return one, b64, err
+		}
+		if err := run(&b64Acc, doBatch, chunk); err != nil {
+			return one, b64, err
+		}
+	}
+
+	level := func(a acc, mode string, perReq int) smallLevel {
+		sort.Slice(a.lats, func(i, j int) bool { return a.lats[i] < a.lats[j] })
+		pct := func(p float64) float64 {
+			if len(a.lats) == 0 {
+				return 0
+			}
+			return float64(a.lats[int(p*float64(len(a.lats)-1))].Microseconds()) / 1e3
+		}
+		totalArrays := float64(len(a.lats) * perReq)
+		return smallLevel{
+			SizeBytes: sizeBytes,
+			Mode:      mode,
+			ArraysSec: math.Round(totalArrays/a.elapsed.Seconds()*10) / 10,
+			MBs:       math.Round(totalArrays*float64(sizeBytes)/a.elapsed.Seconds()/1e6*100) / 100,
+			P50Ms:     math.Round(pct(0.50)*1000) / 1000,
+			P99Ms:     math.Round(pct(0.99)*1000) / 1000,
+		}
+	}
+	return level(oneAcc, "oneshot", 1), level(b64Acc, "batch64", 64), nil
 }
 
 func runServeLevel(base string, data []float32, clients int, benchtime time.Duration, rawBytes int64) (serveLevel, error) {

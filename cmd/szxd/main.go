@@ -35,6 +35,7 @@ func main() {
 		errBound    = flag.Float64("e", 0, "default error bound when a request omits ?e= (0 = 1e-3)")
 		maxWorkers  = flag.Int("max-workers", 0, "cap on per-request codec workers (0 = GOMAXPROCS)")
 		chunk       = flag.Int("chunk", 0, "streaming chunk size in values (0 = library default)")
+		maxBatch    = flag.Int("max-batch", 0, "max arrays per /v1/batch request (0 = 1024)")
 		streamPar   = flag.Int("stream-workers", 0, "pipeline workers per streaming request (0 = 1)")
 		drainWait   = flag.Duration("drain-wait", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		withPprof   = flag.Bool("pprof", false, "also serve /debug/pprof")
@@ -65,6 +66,7 @@ func main() {
 		DefaultErrorBound: *errBound,
 		MaxWorkers:        *maxWorkers,
 		ChunkValues:       *chunk,
+		MaxBatchArrays:    *maxBatch,
 		StreamParallelism: *streamPar,
 		DisableTracing:    !*tracing,
 		TraceRing:         *traceRing,

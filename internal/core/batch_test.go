@@ -1,0 +1,46 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestBatchRunCoversEveryItem(t *testing.T) {
+	for _, tc := range []struct{ items, workers int }{
+		{0, 4}, {1, 4}, {7, 1}, {7, 3}, {100, 4}, {5, 64},
+	} {
+		var hits []atomic.Int32
+		if tc.items > 0 {
+			hits = make([]atomic.Int32, tc.items)
+		}
+		maxWorker := int32(-1)
+		var mw atomic.Int32
+		mw.Store(maxWorker)
+		BatchRun(tc.items, tc.workers, func(worker, item int) {
+			hits[item].Add(1)
+			for {
+				cur := mw.Load()
+				if int32(worker) <= cur || mw.CompareAndSwap(cur, int32(worker)) {
+					break
+				}
+			}
+		})
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("items=%d workers=%d: item %d ran %d times", tc.items, tc.workers, i, n)
+			}
+		}
+		if tc.items > 0 {
+			w := tc.workers
+			if w > tc.items {
+				w = tc.items
+			}
+			if w < 1 {
+				w = 1
+			}
+			if got := int(mw.Load()); got >= w {
+				t.Fatalf("items=%d workers=%d: saw participant id %d (cap %d)", tc.items, tc.workers, got, w)
+			}
+		}
+	}
+}

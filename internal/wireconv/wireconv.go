@@ -1,0 +1,138 @@
+// Package wireconv converts between float slices and their little-endian
+// wire encoding. The wire format is fixed (SZx streams, the szxd service,
+// and the SZXB batch framing are all little-endian), so on little-endian
+// hosts — every platform this repo targets in practice — the conversion is
+// a single memcpy through an unsafe reinterpretation, the same technique
+// internal/core uses for same-width float views. Big-endian hosts fall
+// back to portable per-value encoding.
+//
+// Per-value byte shuffling is pure overhead on small-payload service
+// traffic: a 64-array batch of 16 KiB floats crosses the float/byte
+// boundary four times (client stage, server unpack, server restage, client
+// decode), and at memcpy speed those four crossings stop showing up in the
+// per-array cost.
+package wireconv
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLE reports whether the host's native byte order is the wire's
+// little-endian order. A var rather than a const so tests can exercise the
+// portable path on any hardware.
+var hostLE = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f32Raw views vals' storage as bytes. Valid only while vals is alive and
+// unmoved; every exported caller copies out of the view before returning.
+func f32Raw(vals []float32) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vals))), 4*len(vals))
+}
+
+func f64Raw(vals []float64) []byte {
+	if len(vals) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(vals))), 8*len(vals))
+}
+
+// AppendF32 appends vals' wire bytes to dst.
+func AppendF32(dst []byte, vals []float32) []byte {
+	if hostLE {
+		return append(dst, f32Raw(vals)...)
+	}
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(v))
+	}
+	return dst
+}
+
+// AppendF64 appends vals' wire bytes to dst.
+func AppendF64(dst []byte, vals []float64) []byte {
+	if hostLE {
+		return append(dst, f64Raw(vals)...)
+	}
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// PutF32 writes vals' wire bytes into dst, which must hold 4*len(vals)
+// bytes.
+func PutF32(dst []byte, vals []float32) {
+	if hostLE {
+		copy(dst, f32Raw(vals))
+		return
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(v))
+	}
+}
+
+// PutF64 writes vals' wire bytes into dst, which must hold 8*len(vals)
+// bytes.
+func PutF64(dst []byte, vals []float64) {
+	if hostLE {
+		copy(dst, f64Raw(vals))
+		return
+	}
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(dst[8*i:], math.Float64bits(v))
+	}
+}
+
+// DecodeF32 fills dst from its wire bytes; len(b) must be at least
+// 4*len(dst).
+func DecodeF32(dst []float32, b []byte) {
+	if hostLE {
+		copy(f32Raw(dst), b[:4*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+}
+
+// DecodeF64 fills dst from its wire bytes; len(b) must be at least
+// 8*len(dst).
+func DecodeF64(dst []float64, b []byte) {
+	if hostLE {
+		copy(f64Raw(dst), b[:8*len(dst)])
+		return
+	}
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+}
+
+// F32 decodes b's wire float32s into dst's reused capacity and returns the
+// resized slice.
+func F32(dst []float32, b []byte) []float32 {
+	n := len(b) / 4
+	if cap(dst) < n {
+		dst = make([]float32, n)
+	}
+	dst = dst[:n]
+	DecodeF32(dst, b)
+	return dst
+}
+
+// F64 decodes b's wire float64s into dst's reused capacity and returns the
+// resized slice.
+func F64(dst []float64, b []byte) []float64 {
+	n := len(b) / 8
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	DecodeF64(dst, b)
+	return dst
+}

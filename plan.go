@@ -221,6 +221,14 @@ type ratioScratch struct {
 
 var ratioPool = sync.Pool{New: func() any { return new(ratioScratch) }}
 
+// getRatioScratch / putRatioScratch lease a probe scratch from the pool for
+// callers that resolve many plans back to back. The batch entry points lease
+// one per participating worker so a fixed-ratio batch runs its per-array
+// bound searches concurrently without the workers contending on the pool for
+// every array.
+func getRatioScratch() *ratioScratch   { return ratioPool.Get().(*ratioScratch) }
+func putRatioScratch(rs *ratioScratch) { ratioPool.Put(rs) }
+
 // resolveRatio fills p.Bound (and the search trace) for a TargetRatio
 // request.
 func resolveRatio[T Float](p *Plan, data []T, opt Options, rs *ratioScratch) error {

@@ -93,13 +93,54 @@ if [[ "${BENCH_STREAM:-1}" != 0 ]]; then
     go run ./cmd/szxbench -stream - -benchtime "$BENCHTIME"
 fi
 
-# Service load generator for the working tree: in-process szxd driven by
-# the client library at 1/8/64 concurrent clients (the BENCH_SERVE.json
-# workload), including the 429 shed counts from admission control. Skip
-# with BENCH_SERVE=0.
+# Service A/B: the szxd load generator (the BENCH_SERVE.json workload) run
+# interleaved between the baseline worktree and the working tree, same
+# A,B,A,B discipline as the codec benchmarks. The headline comparison is
+# the 1-client 8 MiB row (levels[0].mb_s) — the "batching must not tax
+# large one-shot requests" guard — plus the working tree's small-payload
+# oneshot-vs-batch64 ratios when present. Skip with BENCH_SERVE=0; rounds
+# default to 3 (override with SERVE_ROUNDS) because each round runs the
+# full level sweep on both sides.
 if [[ "${BENCH_SERVE:-1}" != 0 ]]; then
-    echo "bench_ab: szxd service load generator (working tree)" >&2
-    go run ./cmd/szxbench -serve - -benchtime "$BENCHTIME"
+    SERVE_ROUNDS="${SERVE_ROUNDS:-3}"
+    echo "bench_ab: szxd service A/B (interleaved, $SERVE_ROUNDS rounds)" >&2
+    for ((i = 1; i <= SERVE_ROUNDS; i++)); do
+        echo "bench_ab: serve round $i/$SERVE_ROUNDS (A: baseline)" >&2
+        (cd "$work/base" && go run ./cmd/szxbench -serve "$work/serve_a_$i.json" -benchtime "$BENCHTIME")
+        echo "bench_ab: serve round $i/$SERVE_ROUNDS (B: working tree)" >&2
+        go run ./cmd/szxbench -serve "$work/serve_b_$i.json" -benchtime "$BENCHTIME"
+    done
+    python3 - "$work" "$SERVE_ROUNDS" <<'PY'
+import json, sys
+work, rounds = sys.argv[1], int(sys.argv[2])
+
+def rows(side):
+    out = []
+    for i in range(1, rounds + 1):
+        try:
+            out.append(json.load(open(f"{work}/serve_{side}_{i}.json")))
+        except FileNotFoundError:
+            pass
+    return out
+
+a, b = rows("a"), rows("b")
+mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+am = mean([r["levels"][0]["mb_s"] for r in a])
+bm = mean([r["levels"][0]["mb_s"] for r in b])
+if am:
+    print(f"serve 8 MiB one-shot (1 client): old {am:.2f} MB/s  new {bm:.2f} MB/s  "
+          f"ratio {bm/am:.3f}x ({(bm/am-1)*100:+.1f}%)")
+small = {}
+for r in b:
+    for lvl in r.get("small_levels", []):
+        small.setdefault((lvl["size_bytes"], lvl["mode"]), []).append(lvl["arrays_per_s"])
+for size in sorted({k[0] for k in small}):
+    one = mean(small.get((size, "oneshot"), []))
+    b64 = mean(small.get((size, "batch64"), []))
+    if one and b64:
+        print(f"serve {size >> 10:3d} KiB: oneshot {one:9.1f} arrays/s  "
+              f"batch64 {b64:9.1f} arrays/s  ratio {b64/one:.2f}x")
+PY
 fi
 
 # Fixed-ratio bound-search sweep for the working tree: target-ratio search

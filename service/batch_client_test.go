@@ -1,0 +1,205 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	szx "repro"
+	"repro/service"
+	"repro/service/client"
+)
+
+// TestClientBatch drives the batch endpoints through the client package:
+// positional results, per-array errors that unwrap to szx sentinels, and a
+// full round trip.
+func TestClientBatch(t *testing.T) {
+	_, c, _ := newTestServer(t, service.Config{})
+	ctx := context.Background()
+	arrays := [][]float32{testField(2048, 1), testField(300, 2), testField(4096, 3)}
+
+	results, err := c.CompressBatch(ctx, arrays, client.Params{ErrorBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comps := make([][]byte, len(results))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("array %d: %v", i, r.Err)
+		}
+		comps[i] = r.Comp
+	}
+
+	// Corrupt the middle stream: its array must fail alone, with the szx
+	// sentinel reachable through errors.Is and the index preserved.
+	comps[1] = []byte("definitely not a stream")
+	vals, err := c.DecompressBatch(ctx, comps, client.Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range vals {
+		if i == 1 {
+			if r.Err == nil {
+				t.Fatal("corrupt array decoded successfully")
+			}
+			var ae *client.ArrayError
+			if !errors.As(r.Err, &ae) || ae.Index != 1 {
+				t.Fatalf("array 1 error %v lacks positional context", r.Err)
+			}
+			if !errors.Is(r.Err, szx.ErrCorrupt) {
+				t.Fatalf("array 1 error %v does not unwrap to ErrCorrupt", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("array %d: %v", i, r.Err)
+		}
+		if len(r.Values) != len(arrays[i]) {
+			t.Fatalf("array %d: %d values back, want %d", i, len(r.Values), len(arrays[i]))
+		}
+	}
+}
+
+// TestClientCoalescing: with coalescing on, concurrent small Compress calls
+// share batch requests — the one-shot endpoint sees no traffic — and every
+// caller still gets a stream identical to its own one-shot result.
+func TestClientCoalescing(t *testing.T) {
+	srv := service.New(service.Config{})
+	var oneShot, batches atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/compress":
+			oneShot.Add(1)
+		case "/v1/batch/compress":
+			batches.Add(1)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+
+	const callers = 8
+	c := client.New(ts.URL, client.WithCoalescing(20*time.Millisecond, callers, 64<<10))
+	plain := client.New(ts.URL)
+	p := client.Params{ErrorBound: 1e-3}
+
+	arrays := make([][]float32, callers)
+	for i := range arrays {
+		arrays[i] = testField(1024, int64(i))
+	}
+	got := make([][]byte, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = c.Compress(context.Background(), arrays[i], p)
+		}(i)
+	}
+	wg.Wait()
+	// Snapshot before the verification loop below drives its own one-shot
+	// traffic through the same counting handler.
+	leaked, coalesced := oneShot.Load(), batches.Load()
+
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		want, err := plain.Compress(context.Background(), arrays[i], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[i]) != string(want) {
+			t.Fatalf("caller %d: coalesced stream differs from one-shot", i)
+		}
+	}
+	if leaked != 0 {
+		t.Fatalf("%d calls leaked to the one-shot endpoint", leaked)
+	}
+	if coalesced < 1 || coalesced >= callers {
+		t.Fatalf("%d batch requests for %d callers; want coalescing (1..%d)", coalesced, callers, callers-1)
+	}
+}
+
+// TestClientCoalescingLargeBypass: payloads over maxArrayBytes skip the
+// coalescer and go one-shot.
+func TestClientCoalescingLargeBypass(t *testing.T) {
+	srv := service.New(service.Config{})
+	var oneShot atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/compress" {
+			oneShot.Add(1)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	c := client.New(ts.URL, client.WithCoalescing(time.Millisecond, 4, 1<<10))
+	if _, err := c.Compress(context.Background(), testField(4096, 1), client.Params{ErrorBound: 1e-3}); err != nil {
+		t.Fatal(err)
+	}
+	if oneShot.Load() != 1 {
+		t.Fatalf("large payload did not bypass the coalescer (%d one-shot calls)", oneShot.Load())
+	}
+}
+
+// BenchmarkClientRoundTrip4K measures the client-side cost of a 4 KiB
+// compress round trip — the small-payload case the pooled body buffers,
+// cached query strings, and recycled header maps exist for. ReportAllocs
+// keeps the per-call allocation count honest.
+func BenchmarkClientRoundTrip4K(b *testing.B) {
+	srv := service.New(service.Config{DisableTracing: true})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	vals := testField(1024, 1) // 4 KiB
+	p := client.Params{ErrorBound: 1e-3}
+	ctx := context.Background()
+	if _, err := c.Compress(ctx, vals, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(4 * int64(len(vals)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(ctx, vals, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClientBatchCompress4K is the batched counterpart: 64 4 KiB
+// arrays per request, reported per-array.
+func BenchmarkClientBatchCompress4K(b *testing.B) {
+	srv := service.New(service.Config{DisableTracing: true})
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	c := client.New(ts.URL)
+	arrays := make([][]float32, 64)
+	for i := range arrays {
+		arrays[i] = testField(1024, int64(i))
+	}
+	p := client.Params{ErrorBound: 1e-3}
+	ctx := context.Background()
+	if _, err := c.CompressBatch(ctx, arrays, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(64 * 4 * 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.CompressBatch(ctx, arrays, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range res {
+			if res[j].Err != nil {
+				b.Fatal(res[j].Err)
+			}
+		}
+	}
+}

@@ -38,7 +38,7 @@ func BenchmarkPooledCompressPath(b *testing.B) {
 	}
 	var raw []byte
 	{
-		sc := getScratch()
+		sc := getScratch(int64(len(raw)))
 		raw = append(raw, make([]byte, 4*len(vals))...)
 		for i, v := range vals {
 			putF32(raw[4*i:], v)
@@ -50,7 +50,7 @@ func BenchmarkPooledCompressPath(b *testing.B) {
 
 	// Warm one scratch through the pool so steady state starts at iter 0.
 	{
-		sc := getScratch()
+		sc := getScratch(int64(len(raw)))
 		rd.Reset(raw)
 		body, err := sc.readBody(rd, 1<<30)
 		if err != nil {
@@ -68,7 +68,7 @@ func BenchmarkPooledCompressPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := getScratch()
+		sc := getScratch(int64(len(raw)))
 		rd.Reset(raw)
 		body, err := sc.readBody(rd, 1<<30)
 		if err != nil {
@@ -98,7 +98,7 @@ func BenchmarkPooledDecompressPath(b *testing.B) {
 	opt := szx.Options{}
 
 	{
-		sc := getScratch()
+		sc := getScratch(int64(len(comp)))
 		rd.Reset(comp)
 		body, err := sc.readBody(rd, 1<<30)
 		if err != nil {
@@ -117,7 +117,7 @@ func BenchmarkPooledDecompressPath(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sc := getScratch()
+		sc := getScratch(int64(len(comp)))
 		rd.Reset(comp)
 		body, err := sc.readBody(rd, 1<<30)
 		if err != nil {
@@ -146,7 +146,7 @@ func TestPooledPathZeroAllocs(t *testing.T) {
 	}
 	rd := bytes.NewReader(raw)
 	opt := szx.Options{ErrorBound: 1e-3}
-	sc := getScratch() // hold one scratch so the pool can't evict it mid-test
+	sc := getScratch(int64(len(raw))) // hold one scratch so the pool can't evict it mid-test
 	defer putScratch(sc)
 
 	run := func() {

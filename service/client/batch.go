@@ -1,0 +1,311 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wireconv"
+	"repro/telemetry"
+)
+
+// Batch support: CompressBatch/DecompressBatch pack many arrays into one
+// /v1/batch request (SZXB framing, mirrored from the service — the client
+// deliberately does not import the server package), and WithCoalescing
+// turns individual small Compress calls into shared batches transparently.
+
+const (
+	batchMagic     = "SZXB"
+	batchVersion   = 1
+	batchHeaderLen = len(batchMagic) + 1 + 4
+)
+
+// ArrayError is one array's failure inside an otherwise successful batch.
+// It unwraps to the szx sentinels exactly as *Error does, so errors.Is
+// works whether a decode failed one-shot or batched.
+type ArrayError struct {
+	Index   int    // position in the request batch
+	Code    string // wire error code ("corrupt", "wrong_type", ...)
+	Message string
+}
+
+func (e *ArrayError) Error() string {
+	return fmt.Sprintf("szxd: array %d: %s (%s)", e.Index, e.Message, e.Code)
+}
+
+func (e *ArrayError) Unwrap() error { return sentinelFor(e.Code) }
+
+// BatchResult is one array's outcome from CompressBatch: the compressed
+// stream, or the per-array error (*ArrayError).
+type BatchResult struct {
+	Comp []byte
+	Err  error
+}
+
+// BatchValues is one array's outcome from DecompressBatch.
+type BatchValues struct {
+	Values []float32
+	Err    error
+}
+
+// appendFrame appends one length-prefixed array payload.
+func appendFrame(out, payload []byte) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	return append(out, payload...)
+}
+
+// stageBatch builds an SZXB request body from pre-encoded payloads.
+func stageBatch(payloads [][]byte) *bytes.Buffer {
+	size := batchHeaderLen
+	for _, p := range payloads {
+		size += 4 + len(p)
+	}
+	b := getBody()
+	b.Grow(size)
+	buf := b.AvailableBuffer()
+	buf = append(buf, batchMagic...)
+	buf = append(buf, batchVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payloads)))
+	for _, p := range payloads {
+		buf = appendFrame(buf, p)
+	}
+	b.Write(buf)
+	return b
+}
+
+// parseBatchResponse splits an SZXB response into per-array (payload, err)
+// pairs, invoking fn for each.
+func parseBatchResponse(body []byte, want int, fn func(i int, payload []byte, err error)) error {
+	if len(body) < batchHeaderLen || string(body[:4]) != batchMagic || body[4] != batchVersion {
+		return fmt.Errorf("szxd: malformed batch response (%d bytes)", len(body))
+	}
+	count := int(binary.LittleEndian.Uint32(body[5:9]))
+	if count != want {
+		return fmt.Errorf("szxd: batch response carries %d arrays, want %d", count, want)
+	}
+	off := batchHeaderLen
+	for i := 0; i < count; i++ {
+		if len(body)-off < 5 {
+			return fmt.Errorf("szxd: batch response truncated at array %d", i)
+		}
+		status := body[off]
+		n := int(binary.LittleEndian.Uint32(body[off+1 : off+5]))
+		off += 5
+		if len(body)-off < n {
+			return fmt.Errorf("szxd: batch response truncated in array %d", i)
+		}
+		payload := body[off : off+n]
+		off += n
+		switch status {
+		case 0:
+			fn(i, payload, nil)
+		case 1:
+			ae := &ArrayError{Index: i, Code: "internal"}
+			var we struct {
+				Code    string `json:"code"`
+				Message string `json:"error"`
+				Index   int    `json:"index"`
+			}
+			if json.Unmarshal(payload, &we) == nil && we.Code != "" {
+				ae.Code, ae.Message = we.Code, we.Message
+			} else {
+				ae.Message = string(payload)
+			}
+			fn(i, nil, ae)
+		default:
+			return fmt.Errorf("szxd: batch response array %d has unknown status %d", i, status)
+		}
+	}
+	return nil
+}
+
+// postBatch runs one framed batch request and hands the response frames to
+// fn. A returned error condemns the whole batch (per-array failures arrive
+// through fn instead).
+func (c *Client) postBatch(ctx context.Context, path, rawQuery string, payloads [][]byte, fn func(i int, payload []byte, err error)) error {
+	body := stageBatch(payloads)
+	defer putBody(body)
+	resp, err := c.post(ctx, path, rawQuery, bytes.NewReader(body.Bytes()))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, err := readBody(resp)
+	if err != nil {
+		return err
+	}
+	return parseBatchResponse(raw, len(payloads), fn)
+}
+
+// CompressBatch compresses many float32 arrays in one request. The server
+// runs the whole batch through one engine pass under one admission slot, so
+// N small arrays cost roughly one round trip instead of N. Results are
+// positional; results[i].Err (an *ArrayError) reports array i alone — one
+// failed array never fails its neighbours. A non-nil returned error means
+// the whole request failed and there are no results.
+func (c *Client) CompressBatch(ctx context.Context, arrays [][]float32, p Params) ([]BatchResult, error) {
+	payloads := make([][]byte, len(arrays))
+	stage := getBody()
+	defer putBody(stage)
+	total := 0
+	for _, a := range arrays {
+		total += 4 * len(a)
+	}
+	stage.Grow(total)
+	buf := stage.AvailableBuffer()
+	for i, a := range arrays {
+		start := len(buf)
+		buf = wireconv.AppendF32(buf, a)
+		payloads[i] = buf[start:len(buf):len(buf)]
+	}
+	stage.Write(buf)
+
+	results := make([]BatchResult, len(arrays))
+	err := c.postBatch(ctx, "/v1/batch/compress", p.queryString("f32"), payloads, func(i int, payload []byte, aerr error) {
+		if aerr != nil {
+			results[i].Err = aerr
+			return
+		}
+		results[i].Comp = append([]byte(nil), payload...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// DecompressBatch decompresses many SZx streams in one request. Only
+// Params.Workers is meaningful here; the zero value lets the server pick
+// its own batch-wide parallelism.
+func (c *Client) DecompressBatch(ctx context.Context, comps [][]byte, p Params) ([]BatchValues, error) {
+	results := make([]BatchValues, len(comps))
+	err := c.postBatch(ctx, "/v1/batch/decompress", p.queryString("f32"), comps, func(i int, payload []byte, aerr error) {
+		if aerr != nil {
+			results[i].Err = aerr
+			return
+		}
+		if len(payload)%4 != 0 {
+			results[i].Err = fmt.Errorf("szxd: array %d: truncated response (%d bytes)", i, len(payload))
+			return
+		}
+		results[i].Values = bytesToF32(payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// WithCoalescing makes Compress transparently merge concurrent small calls
+// into shared CompressBatch requests: a call whose payload is at most
+// maxArrayBytes joins the pending batch for its Params, and the batch
+// flushes when it reaches maxArrays or when window elapses since its first
+// array. Each caller still gets its own result (and its own per-array
+// error); the trade is up to one window of added latency per call in
+// exchange for one round trip and one admission slot per batch. The flush
+// itself runs on a background context, so one caller cancelling cannot
+// abort a batch carrying other callers' work — a cancelled caller just
+// stops waiting. While coalescing is in effect, the value slice passed to
+// Compress must stay unmodified until the call returns.
+func WithCoalescing(window time.Duration, maxArrays, maxArrayBytes int) Option {
+	return func(c *Client) {
+		if window <= 0 {
+			window = 2 * time.Millisecond
+		}
+		if maxArrays <= 0 {
+			maxArrays = 64
+		}
+		if maxArrayBytes <= 0 {
+			maxArrayBytes = 256 << 10
+		}
+		c.co = &coalescer{
+			c:             c,
+			window:        window,
+			maxArrays:     maxArrays,
+			maxArrayBytes: maxArrayBytes,
+			pending:       make(map[Params]*pendingBatch),
+		}
+	}
+}
+
+// coalescer accumulates small Compress calls into per-Params batches.
+type coalescer struct {
+	c             *Client
+	window        time.Duration
+	maxArrays     int
+	maxArrayBytes int
+
+	mu      sync.Mutex
+	pending map[Params]*pendingBatch
+}
+
+// pendingBatch is one open batch: the arrays queued so far and the flush
+// rendezvous. done closes once results/err are set.
+type pendingBatch struct {
+	arrays  [][]float32
+	timer   *time.Timer
+	done    chan struct{}
+	results []BatchResult
+	err     error
+}
+
+func (co *coalescer) compress(ctx context.Context, vals []float32, p Params) ([]byte, error) {
+	enq := time.Now()
+	co.mu.Lock()
+	pb := co.pending[p]
+	if pb == nil {
+		pb = &pendingBatch{done: make(chan struct{})}
+		co.pending[p] = pb
+		pb.timer = time.AfterFunc(co.window, func() { co.flush(p, pb) })
+	}
+	idx := len(pb.arrays)
+	pb.arrays = append(pb.arrays, vals)
+	full := len(pb.arrays) >= co.maxArrays
+	if full {
+		pb.timer.Stop()
+		delete(co.pending, p)
+	}
+	co.mu.Unlock()
+	if full {
+		co.run(pb, p)
+	}
+
+	select {
+	case <-pb.done:
+		telemetry.BatchCoalesceWaits.Observe(time.Since(enq).Nanoseconds())
+		if pb.err != nil {
+			return nil, pb.err
+		}
+		r := pb.results[idx]
+		return r.Comp, r.Err
+	case <-ctx.Done():
+		// The batch still flushes (it may carry other callers); this
+		// caller's slot is simply abandoned.
+		return nil, ctx.Err()
+	}
+}
+
+// flush is the window-timer path: detach the batch if it is still pending
+// (the size trigger may have raced ahead) and run it.
+func (co *coalescer) flush(p Params, pb *pendingBatch) {
+	co.mu.Lock()
+	if co.pending[p] != pb {
+		co.mu.Unlock()
+		return
+	}
+	delete(co.pending, p)
+	co.mu.Unlock()
+	co.run(pb, p)
+}
+
+func (co *coalescer) run(pb *pendingBatch, p Params) {
+	telemetry.BatchCoalescedCalls.Add(int64(len(pb.arrays)))
+	// Background context: the batch belongs to every queued caller, so no
+	// single caller's cancellation may abort it.
+	pb.results, pb.err = co.c.CompressBatch(context.Background(), pb.arrays, p)
+	close(pb.done)
+}

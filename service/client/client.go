@@ -8,18 +8,18 @@ package client
 import (
 	"bytes"
 	"context"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	szx "repro"
+	"repro/internal/wireconv"
 	"repro/telemetry/trace"
 )
 
@@ -60,6 +60,27 @@ func (p Params) query(elem string) url.Values {
 	return q
 }
 
+// queryString is the encoded form of query(elem), cached: Params is
+// comparable and a process uses a handful of distinct parameter sets over
+// millions of calls, so encoding each set once removes a url.Values
+// allocation (and its string building) from every request.
+func (p Params) queryString(elem string) string {
+	k := queryKey{p: p, elem: elem}
+	if v, ok := queryCache.Load(k); ok {
+		return v.(string)
+	}
+	s := p.query(elem).Encode()
+	queryCache.Store(k, s)
+	return s
+}
+
+type queryKey struct {
+	p    Params
+	elem string
+}
+
+var queryCache sync.Map // queryKey -> string
+
 // Client talks to one szxd instance. It is safe for concurrent use; the
 // underlying http.Client pools and reuses connections, so a long-lived
 // Client amortizes TCP/TLS setup the same way a pooled Codec amortizes
@@ -67,6 +88,7 @@ func (p Params) query(elem string) url.Values {
 type Client struct {
 	base string
 	hc   *http.Client
+	co   *coalescer // nil unless WithCoalescing
 }
 
 // Option customizes a Client.
@@ -123,8 +145,12 @@ func (e *Error) Retryable() bool {
 }
 
 // Unwrap exposes the szx sentinel matching the wire code, if any.
-func (e *Error) Unwrap() error {
-	switch e.Code {
+func (e *Error) Unwrap() error { return sentinelFor(e.Code) }
+
+// sentinelFor maps a wire error code to the matching szx sentinel; request
+// level (*Error) and per-array (*ArrayError) failures share the mapping.
+func sentinelFor(code string) error {
+	switch code {
 	case "corrupt":
 		return szx.ErrCorrupt
 	case "wrong_type":
@@ -162,26 +188,76 @@ func decodeError(resp *http.Response) error {
 	return e
 }
 
-func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Reader) (*http.Response, error) {
+// headerPool recycles request header maps with Content-Type pre-set.
+// http.NewRequestWithContext allocates a fresh map per call, which on a
+// 4 KiB round trip is measurable overhead; a request's headers are written
+// before its response arrives, so the map is safe to reclaim once Do
+// returns.
+var headerPool = sync.Pool{New: func() any {
+	h := make(http.Header, 2)
+	h.Set("Content-Type", "application/octet-stream")
+	return h
+}}
+
+// bodyPool recycles staging buffers for small request bodies, so a warm
+// client encodes its floats into reused capacity instead of allocating a
+// fresh slice per call.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getBody() *bytes.Buffer  { b := bodyPool.Get().(*bytes.Buffer); b.Reset(); return b }
+func putBody(b *bytes.Buffer) { bodyPool.Put(b) }
+func stageF32(vals []float32) *bytes.Buffer {
+	b := getBody()
+	b.Grow(4 * len(vals))
+	b.Write(wireconv.AppendF32(b.AvailableBuffer(), vals))
+	return b
+}
+
+func stageF64(vals []float64) *bytes.Buffer {
+	b := getBody()
+	b.Grow(8 * len(vals))
+	b.Write(wireconv.AppendF64(b.AvailableBuffer(), vals))
+	return b
+}
+
+// readBody slurps a response body into a buffer pre-sized from
+// Content-Length (szxd always sets it), so large responses skip
+// io.ReadAll's doubling growth.
+func readBody(resp *http.Response) ([]byte, error) {
+	n := resp.ContentLength
+	if n < 0 {
+		return io.ReadAll(resp.Body)
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, n+1))
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (c *Client) post(ctx context.Context, path, rawQuery string, body io.Reader) (*http.Response, error) {
 	u := c.base + path
-	if enc := q.Encode(); enc != "" {
-		u += "?" + enc
+	if rawQuery != "" {
+		u += "?" + rawQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, body)
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/octet-stream")
+	h := headerPool.Get().(http.Header)
+	req.Header = h
 	// A trace travelling in ctx rides the wire as a traceparent header, so
 	// the server adopts the caller's trace ID and the round trip shows up
 	// on the caller's trace as one client-side span.
 	tr := trace.FromContext(ctx)
 	if tr != nil {
-		req.Header.Set("Traceparent", tr.Traceparent())
+		h.Set("Traceparent", tr.Traceparent())
 	}
 	sp := tr.StartSpan("client:" + strings.TrimPrefix(path, "/v1/"))
 	resp, err := c.hc.Do(req)
 	sp.End()
+	h.Del("Traceparent")
+	headerPool.Put(h)
 	if err != nil {
 		return nil, err
 	}
@@ -192,35 +268,44 @@ func (c *Client) post(ctx context.Context, path string, q url.Values, body io.Re
 	return resp, nil
 }
 
-// Compress sends vals to the service and returns the SZx stream.
+// Compress sends vals to the service and returns the SZx stream. With
+// coalescing enabled (WithCoalescing), small payloads may ride a shared
+// batch request; vals must then stay unmodified until Compress returns.
 func (c *Client) Compress(ctx context.Context, vals []float32, p Params) ([]byte, error) {
-	resp, err := c.post(ctx, "/v1/compress", p.query("f32"), bytes.NewReader(f32ToBytes(vals)))
+	if c.co != nil && 4*len(vals) <= c.co.maxArrayBytes {
+		return c.co.compress(ctx, vals, p)
+	}
+	body := stageF32(vals)
+	defer putBody(body)
+	resp, err := c.post(ctx, "/v1/compress", p.queryString("f32"), bytes.NewReader(body.Bytes()))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	return readBody(resp)
 }
 
 // CompressFloat64 is Compress for float64 payloads.
 func (c *Client) CompressFloat64(ctx context.Context, vals []float64, p Params) ([]byte, error) {
-	resp, err := c.post(ctx, "/v1/compress", p.query("f64"), bytes.NewReader(f64ToBytes(vals)))
+	body := stageF64(vals)
+	defer putBody(body)
+	resp, err := c.post(ctx, "/v1/compress", p.queryString("f64"), bytes.NewReader(body.Bytes()))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	return io.ReadAll(resp.Body)
+	return readBody(resp)
 }
 
 // Decompress sends a compressed stream (single SZx stream or SZXS
 // container, the server auto-detects) and returns the float32 values.
 func (c *Client) Decompress(ctx context.Context, comp []byte) ([]float32, error) {
-	resp, err := c.post(ctx, "/v1/decompress", nil, bytes.NewReader(comp))
+	resp, err := c.post(ctx, "/v1/decompress", "", bytes.NewReader(comp))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readBody(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -232,12 +317,12 @@ func (c *Client) Decompress(ctx context.Context, comp []byte) ([]float32, error)
 
 // DecompressFloat64 is Decompress for float64 streams.
 func (c *Client) DecompressFloat64(ctx context.Context, comp []byte) ([]float64, error) {
-	resp, err := c.post(ctx, "/v1/decompress", nil, bytes.NewReader(comp))
+	resp, err := c.post(ctx, "/v1/decompress", "", bytes.NewReader(comp))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	raw, err := readBody(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +337,7 @@ func (c *Client) DecompressFloat64(ctx context.Context, comp []byte) ([]float64,
 // directions stream: neither side buffers the whole payload. The caller
 // must Close the returned reader.
 func (c *Client) StreamCompress(ctx context.Context, r io.Reader, p Params) (io.ReadCloser, error) {
-	resp, err := c.post(ctx, "/v1/stream/compress", p.query(""), r)
+	resp, err := c.post(ctx, "/v1/stream/compress", p.queryString(""), r)
 	if err != nil {
 		return nil, err
 	}
@@ -264,7 +349,7 @@ func (c *Client) StreamCompress(ctx context.Context, r io.Reader, p Params) (io.
 // returned reader; a server-side mid-stream failure surfaces as a
 // truncated body.
 func (c *Client) StreamDecompress(ctx context.Context, r io.Reader) (io.ReadCloser, error) {
-	resp, err := c.post(ctx, "/v1/stream/decompress", nil, r)
+	resp, err := c.post(ctx, "/v1/stream/decompress", "", r)
 	if err != nil {
 		return nil, err
 	}
@@ -289,34 +374,6 @@ func (c *Client) Ready(ctx context.Context) error {
 	return nil
 }
 
-func f32ToBytes(v []float32) []byte {
-	out := make([]byte, 4*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(x))
-	}
-	return out
-}
+func bytesToF32(b []byte) []float32 { return wireconv.F32(nil, b) }
 
-func f64ToBytes(v []float64) []byte {
-	out := make([]byte, 8*len(v))
-	for i, x := range v {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(x))
-	}
-	return out
-}
-
-func bytesToF32(b []byte) []float32 {
-	out := make([]float32, len(b)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
-	}
-	return out
-}
-
-func bytesToF64(b []byte) []float64 {
-	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return out
-}
+func bytesToF64(b []byte) []float64 { return wireconv.F64(nil, b) }

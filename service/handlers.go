@@ -13,6 +13,7 @@ import (
 	"strconv"
 
 	szx "repro"
+	"repro/internal/wireconv"
 	"repro/telemetry"
 	"repro/telemetry/trace"
 )
@@ -127,7 +128,7 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		rq.badRequest(w, err.Error())
 		return
 	}
-	sc := getScratch()
+	sc := getScratch(r.ContentLength)
 	defer putScratch(sc)
 	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes, rq.tr)
 	if body == nil {
@@ -137,6 +138,12 @@ func (s *Server) handleCompress(w http.ResponseWriter, r *http.Request) {
 		rq.badRequest(w, fmt.Sprintf("body length %d is not a multiple of the %d-byte element size",
 			len(body), elemSize))
 		return
+	}
+	// Small-request fast path: below the adaptive engine's own serial
+	// threshold, even entering the parallel path is pure setup cost, so a
+	// 16 KiB request with ?workers=-1 runs serially no matter what it asked.
+	if opt.Workers != 0 && len(body) < szx.ParallelMinBytes() {
+		opt.Workers = 0
 	}
 	if rq.tr != nil {
 		// The codec reports resolve_plan and encode/gather phases itself.
@@ -181,7 +188,7 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 		rq.badRequest(w, err.Error())
 		return
 	}
-	sc := getScratch()
+	sc := getScratch(r.ContentLength)
 	defer putScratch(sc)
 	body := readRequestBody(w, r, sc, s.cfg.MaxBodyBytes, rq.tr)
 	if body == nil {
@@ -221,6 +228,15 @@ func (s *Server) handleDecompress(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		rq.fail(w, err)
 		return
+	}
+	// The header gives the exact decoded size, so the serial shortcut keys
+	// on output bytes — the same signal the adaptive engine itself uses.
+	es := 4
+	if h.Type == szx.TypeFloat64 {
+		es = 8
+	}
+	if opt.Workers != 0 && es*h.N < szx.ParallelMinBytes() {
+		opt.Workers = 0
 	}
 	sp := rq.tr.StartSpan("decode")
 	if h.Type == szx.TypeFloat64 {
@@ -273,9 +289,9 @@ func (s *Server) handleStreamCompress(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sc := getScratch()
-	defer putScratch(sc)
 	chunkBytes := 4 * s.cfg.ChunkValues
+	sc := getScratch(int64(chunkBytes))
+	defer putScratch(sc)
 	buf := sc.raw[:0]
 	if cap(buf) < chunkBytes {
 		buf = make([]byte, 0, chunkBytes)
@@ -349,7 +365,7 @@ func (s *Server) handleStreamDecompress(w http.ResponseWriter, r *http.Request) 
 	}
 	defer rq.end()
 
-	sc := getScratch()
+	sc := getScratch(int64(4 * s.cfg.ChunkValues))
 	defer putScratch(sc)
 	vals := sc.f32[:0]
 	if cap(vals) < s.cfg.ChunkValues {
@@ -444,9 +460,7 @@ func writeF32(w http.ResponseWriter, sc *scratch, vals []float32) {
 		out = make([]byte, 0, need)
 	}
 	out = out[:need]
-	for i, v := range vals {
-		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
-	}
+	wireconv.PutF32(out, vals)
 	sc.out = out
 	writeBinary(w, out)
 }
@@ -458,39 +472,15 @@ func writeF64(w http.ResponseWriter, sc *scratch, vals []float64) {
 		out = make([]byte, 0, need)
 	}
 	out = out[:need]
-	for i, v := range vals {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
-	}
+	wireconv.PutF64(out, vals)
 	sc.out = out
 	writeBinary(w, out)
 }
 
 // bytesToF32 decodes little-endian float32s into dst's reused capacity.
-func bytesToF32(dst []float32, b []byte) []float32 {
-	n := len(b) / 4
-	dst = dst[:0]
-	if cap(dst) < n {
-		dst = make([]float32, 0, n)
-	}
-	dst = dst[:n]
-	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
-	}
-	return dst
-}
+func bytesToF32(dst []float32, b []byte) []float32 { return wireconv.F32(dst[:0], b) }
 
-func bytesToF64(dst []float64, b []byte) []float64 {
-	n := len(b) / 8
-	dst = dst[:0]
-	if cap(dst) < n {
-		dst = make([]float64, 0, n)
-	}
-	dst = dst[:n]
-	for i := range dst {
-		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
-	}
-	return dst
-}
+func bytesToF64(dst []float64, b []byte) []float64 { return wireconv.F64(dst[:0], b) }
 
 // countingWriter / countingReader tally streamed bytes for the service
 // byte counters without buffering anything.

@@ -10,38 +10,110 @@ import (
 // scratch is the per-request working set for the buffered endpoints: the
 // raw body bytes, the decoded value views, warm Codec handles for both
 // element types, and an output staging buffer. One scratch serves one
-// request at a time; the pool recycles them across requests so that in
+// request at a time; the pools recycle them across requests so that in
 // steady state the whole compress/decompress path — body read included —
 // allocates nothing.
 type scratch struct {
-	raw []byte // request body, reused capacity
-	out []byte // response staging, reused capacity
-	f32 []float32
-	f64 []float64
-	c32 *szx.Codec[float32]
-	c64 *szx.Codec[float64]
+	raw   []byte // request body, reused capacity
+	out   []byte // response staging, reused capacity
+	f32   []float32
+	f64   []float64
+	c32   *szx.Codec[float32]
+	c64   *szx.Codec[float64]
+	class int // pool index this scratch was drawn from
+	hint  int // declared body size for this lease (0 = unknown)
 }
 
-var scratchPool = sync.Pool{
-	New: func() any {
-		return &scratch{
-			c32: szx.NewCodec[float32](szx.Options{}),
-			c64: szx.NewCodec[float64](szx.Options{}),
+// Scratch buffers are size-classed so small requests never pay big-request
+// buffer costs. Historically there was one pool, and its buffers grew to
+// the largest body ever seen — after a single 8 MiB request, every 4 KiB
+// request leased (and touched, and kept hot) an 8 MiB working set. Now a
+// request is routed by its Content-Length to the smallest class that fits,
+// and on release the scratch is re-classed by the capacity it actually
+// retains: a small-class scratch that absorbed an oversized chunked upload
+// migrates to the class its buffers now belong to instead of polluting the
+// small pool. Bodies beyond the largest class share an overflow pool.
+var scratchClassSizes = [...]int{4 << 10, 64 << 10, 1 << 20, 8 << 20}
+
+// scratchOverflow indexes the pool for bodies beyond the largest class.
+const scratchOverflow = len(scratchClassSizes)
+
+var scratchPools [scratchOverflow + 1]sync.Pool
+
+func init() {
+	for i := range scratchPools {
+		scratchPools[i].New = func() any {
+			return &scratch{
+				c32: szx.NewCodec[float32](szx.Options{}),
+				c64: szx.NewCodec[float64](szx.Options{}),
+			}
 		}
-	},
+	}
 }
 
-func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
-func putScratch(s *scratch) { scratchPool.Put(s) }
+// classForSize returns the index of the smallest class holding n bytes.
+func classForSize(n int64) int {
+	for i, sz := range scratchClassSizes {
+		if n <= int64(sz) {
+			return i
+		}
+	}
+	return scratchOverflow
+}
+
+// getScratch leases a scratch sized for a body of sizeHint bytes (a
+// request's Content-Length; <= 0 means unknown, which routes to the middle
+// 64 KiB class — the historical default buffer size).
+func getScratch(sizeHint int64) *scratch {
+	if sizeHint <= 0 {
+		sizeHint = 64 << 10
+	}
+	cl := classForSize(sizeHint)
+	sc := scratchPools[cl].Get().(*scratch)
+	sc.class = cl
+	sc.hint = int(sizeHint)
+	return sc
+}
+
+// putScratch returns a scratch to the pool of the class its retained
+// buffers actually fit, which is what keeps the small-class pools small: a
+// scratch that served a body larger than its class (lying or absent
+// Content-Length) carries big buffers now, and re-classing moves those to
+// the big pools where they are an asset instead of a liability.
+func putScratch(sc *scratch) {
+	sc.class = classForSize(int64(sc.footprint()))
+	sc.hint = 0
+	scratchPools[sc.class].Put(sc)
+}
+
+// footprint is the largest buffer this scratch retains, in bytes — the
+// size-class signal. (The Codec handles hold internal buffers too, but they
+// track the same request sizes as raw/out, so the externally visible
+// buffers are an honest proxy.)
+func (sc *scratch) footprint() int {
+	f := cap(sc.raw)
+	if c := cap(sc.out); c > f {
+		f = c
+	}
+	if c := 4 * cap(sc.f32); c > f {
+		f = c
+	}
+	if c := 8 * cap(sc.f64); c > f {
+		f = c
+	}
+	return f
+}
 
 // readBody reads r to EOF into sc.raw, reusing its capacity, and enforces
 // the body-size cap. It is io.ReadAll minus the fresh allocation per call:
-// the buffer grows to the high-water mark of request sizes and then stays.
-// Returns errBodyTooLarge once the read crosses max.
+// the buffer is seeded at the scratch's class size (or the declared
+// Content-Length when that is larger), then grows by doubling only if the
+// body outruns its declaration. Returns errBodyTooLarge once the read
+// crosses max.
 func (sc *scratch) readBody(r io.Reader, max int64) ([]byte, error) {
 	buf := sc.raw[:0]
-	if cap(buf) == 0 {
-		buf = make([]byte, 0, 64<<10)
+	if seed := sc.seedSize(max); cap(buf) < seed {
+		buf = make([]byte, 0, seed)
 	}
 	for {
 		if int64(len(buf)) > max {
@@ -65,6 +137,24 @@ func (sc *scratch) readBody(r io.Reader, max int64) ([]byte, error) {
 			return nil, err
 		}
 	}
+}
+
+// seedSize picks the initial body-buffer capacity: the class size, bumped
+// to the declared Content-Length for overflow-class bodies (so an 80 MiB
+// upload is one allocation, not a doubling ladder), and clamped to the
+// body cap so a hostile Content-Length cannot make us allocate more than
+// we would ever accept.
+func (sc *scratch) seedSize(max int64) int {
+	seed := 64 << 10
+	if sc.class < scratchOverflow {
+		seed = scratchClassSizes[sc.class]
+	} else if sc.hint > seed {
+		seed = sc.hint
+	}
+	if int64(seed) > max {
+		seed = int(max) + 1
+	}
+	return seed
 }
 
 // errBodyTooLarge marks a request body that exceeded Config.MaxBodyBytes.

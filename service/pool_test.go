@@ -1,0 +1,124 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	szx "repro"
+)
+
+// TestScratchSizeClasses pins the size-class routing: a small request after
+// a big one must not inherit the big request's buffers. Pre-class pooling
+// had exactly this failure — one 8 MiB body grew the (single) pool's
+// scratch, and every later 4 KiB request leased an 8 MiB working set.
+func TestScratchSizeClasses(t *testing.T) {
+	big := make([]byte, 8<<20)
+	sc := getScratch(int64(len(big)))
+	if sc.class != classForSize(8<<20) {
+		t.Fatalf("8 MiB hint routed to class %d, want %d", sc.class, classForSize(8<<20))
+	}
+	if _, err := sc.readBody(bytes.NewReader(big), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	putScratch(sc)
+
+	// A small-hint lease must come from the small pool, and whatever it
+	// gets must carry small buffers: the 8 MiB scratch re-classed itself on
+	// release and is unreachable from here.
+	small := make([]byte, 16<<10)
+	for i := 0; i < 8; i++ {
+		sc := getScratch(int64(len(small)))
+		if got, want := sc.class, classForSize(16<<10); got != want {
+			t.Fatalf("16 KiB hint routed to class %d, want %d", got, want)
+		}
+		if cap(sc.raw) > scratchClassSizes[sc.class] {
+			t.Fatalf("small-class scratch carries a %d-byte body buffer (class cap %d)",
+				cap(sc.raw), scratchClassSizes[sc.class])
+		}
+		if _, err := sc.readBody(bytes.NewReader(small), 1<<30); err != nil {
+			t.Fatal(err)
+		}
+		if cap(sc.raw) > scratchClassSizes[sc.class] {
+			t.Fatalf("16 KiB body grew the buffer to %d bytes (class cap %d)",
+				cap(sc.raw), scratchClassSizes[sc.class])
+		}
+		putScratch(sc)
+	}
+}
+
+// TestScratchReclassOnRelease: a scratch whose body outran its class (no or
+// lying Content-Length) migrates to the class its buffers now fit on
+// release, instead of returning fat to the small pool.
+func TestScratchReclassOnRelease(t *testing.T) {
+	sc := getScratch(0) // unknown length: middle class
+	if got, want := sc.class, classForSize(64<<10); got != want {
+		t.Fatalf("unknown length routed to class %d, want %d", got, want)
+	}
+	body := make([]byte, 3<<20) // outruns the 64 KiB class
+	if _, err := sc.readBody(bytes.NewReader(body), 1<<30); err != nil {
+		t.Fatal(err)
+	}
+	putScratch(sc)
+	if got, want := sc.class, classForSize(int64(cap(sc.raw))); got != want {
+		t.Fatalf("released scratch classed %d, want %d for its %d-byte buffer",
+			got, want, cap(sc.raw))
+	}
+	if sc.class < 2 {
+		t.Fatalf("3 MiB buffer re-classed into small class %d", sc.class)
+	}
+}
+
+// TestClassForSize pins the boundaries.
+func TestClassForSize(t *testing.T) {
+	for _, tc := range []struct {
+		n    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {4 << 10, 0}, {4<<10 + 1, 1},
+		{64 << 10, 1}, {64<<10 + 1, 2}, {1 << 20, 2}, {1<<20 + 1, 3},
+		{8 << 20, 3}, {8<<20 + 1, scratchOverflow}, {1 << 30, scratchOverflow},
+	} {
+		if got := classForSize(tc.n); got != tc.want {
+			t.Errorf("classForSize(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+// TestSmallBodyZeroAllocs is the small-payload twin of
+// TestPooledPathZeroAllocs: a warm 16 KiB compress through the pooled path
+// must allocate nothing AND stay inside its size class — the two properties
+// the size-classed pool exists for.
+func TestSmallBodyZeroAllocs(t *testing.T) {
+	vals := make([]float32, 4*1024) // 16 KiB body
+	for i := range vals {
+		vals[i] = float32(i%31) * 0.25
+	}
+	raw := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		putF32(raw[4*i:], v)
+	}
+	rd := bytes.NewReader(raw)
+	opt := szx.Options{ErrorBound: 1e-3}
+	sc := getScratch(int64(len(raw))) // hold it so the pool can't evict mid-test
+	defer putScratch(sc)
+
+	run := func() {
+		rd.Reset(raw)
+		body, err := sc.readBody(rd, 1<<30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.f32 = bytesToF32(sc.f32, body)
+		sc.c32.SetOptions(opt)
+		if _, err := sc.c32.Compress(sc.f32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	if n := testing.AllocsPerRun(20, run); n > 0 {
+		t.Fatalf("small-body pooled path allocates %.1f times per request; want 0", n)
+	}
+	if cap(sc.raw) > scratchClassSizes[classForSize(int64(len(raw)))] {
+		t.Fatalf("16 KiB requests grew the body buffer to %d bytes", cap(sc.raw))
+	}
+}

@@ -14,6 +14,9 @@
 //     memory; neither side is ever buffered whole.
 //   - POST /v1/stream/decompress — SZXS container in, raw float32 out,
 //     same bounded-memory pipeline in reverse.
+//   - POST /v1/batch/compress, /v1/batch/decompress — many small arrays in
+//     one SZXB-framed request, processed in one engine pass under one
+//     admission slot with per-array error reporting (see batch.go).
 //   - GET /healthz, /readyz — liveness and drain-aware readiness.
 //   - GET /metrics, /debug/vars — the telemetry package's existing export
 //     surfaces, including the szx_service_* family.
@@ -67,6 +70,10 @@ type Config struct {
 	// ChunkValues is the SZXS chunk granularity on the streaming endpoints
 	// (0 = szx.DefaultChunkValues).
 	ChunkValues int
+	// MaxBatchArrays caps the array count in one /v1/batch request
+	// (0 = 1024). The body-size cap still applies on top; this bounds the
+	// positional bookkeeping, not the bytes.
+	MaxBatchArrays int
 	// StreamParallelism is the pipeline worker count per streaming request
 	// (0 = 1). Per-request pipelines stay narrow on purpose: cross-request
 	// concurrency comes from MaxInFlight, and a wide pipeline per request
@@ -116,6 +123,9 @@ func (c Config) withDefaults() Config {
 	if c.ChunkValues <= 0 {
 		c.ChunkValues = szx.DefaultChunkValues
 	}
+	if c.MaxBatchArrays <= 0 {
+		c.MaxBatchArrays = 1024
+	}
 	if c.StreamParallelism <= 0 {
 		c.StreamParallelism = 1
 	}
@@ -150,6 +160,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/decompress", s.handleDecompress)
 	mux.HandleFunc("POST /v1/stream/compress", s.handleStreamCompress)
 	mux.HandleFunc("POST /v1/stream/decompress", s.handleStreamDecompress)
+	mux.HandleFunc("POST /v1/batch/compress", s.handleBatchCompress)
+	mux.HandleFunc("POST /v1/batch/decompress", s.handleBatchDecompress)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.Handle("GET /metrics", telemetry.Handler())

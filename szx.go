@@ -300,6 +300,16 @@ func Info(comp []byte) (Header, error) {
 	return core.ParseHeader(comp)
 }
 
+// ParallelMinBytes reports the adaptive engine's serial-fallback threshold
+// in bytes: inputs (compression) or outputs (decompression) smaller than
+// this always run on the calling goroutine because scheduling workers would
+// cost more than the codec work. Callers that route requests — the service
+// handlers, most usefully — can skip the parallel entry entirely below it.
+// 0 means the adaptive fallback is disabled (a test/benchmark override).
+func ParallelMinBytes() int {
+	return core.ParallelMinBytes
+}
+
 // ActiveKernels reports which block-kernel implementation set the codec
 // dispatched at startup ("avx2" on CPUs with the required vector features,
 // "generic" otherwise) and why, e.g. "avx2 (cpu feature detection)" or

@@ -95,6 +95,8 @@ var registry = []metric{
 	{name: "szx_service_requests_total", labels: `{endpoint="decompress"}`, c: &ServiceRequestsDecompress},
 	{name: "szx_service_requests_total", labels: `{endpoint="stream_compress"}`, c: &ServiceRequestsStreamCompress},
 	{name: "szx_service_requests_total", labels: `{endpoint="stream_decompress"}`, c: &ServiceRequestsStreamDecompress},
+	{name: "szx_service_requests_total", labels: `{endpoint="batch_compress"}`, c: &ServiceRequestsBatchCompress},
+	{name: "szx_service_requests_total", labels: `{endpoint="batch_decompress"}`, c: &ServiceRequestsBatchDecompress},
 	{name: "szx_service_bytes_in_total", help: "Request payload bytes received by the service.", c: &ServiceBytesIn},
 	{name: "szx_service_bytes_out_total", help: "Response payload bytes sent by the service.", c: &ServiceBytesOut},
 	{name: "szx_service_rejected_total", help: "Requests refused by admission control, by reason (queue_full and wait_timeout are 429s, draining is a 503).", labels: `{reason="queue_full"}`, c: &ServiceRejectedQueueFull},
@@ -106,6 +108,13 @@ var registry = []metric{
 	{name: "szx_service_queue_depth", help: "Requests currently waiting in the admission queue.", g: &ServiceQueueDepth},
 	{name: "szx_service_queue_wait_seconds", help: "Admission-queue wait time of admitted requests.", h: &ServiceQueueWaits, scale: 1e-9},
 	{name: "szx_service_request_duration_seconds", help: "End-to-end handler time of admitted requests.", h: &ServiceRequestDurations, scale: 1e-9},
+
+	{name: "szx_batch_arrays_total", help: "Arrays processed by the batch endpoints.", c: &BatchArrays},
+	{name: "szx_batch_array_errors_total", help: "Arrays that failed individually inside an otherwise successful batch.", c: &BatchArrayErrors},
+	{name: "szx_batch_arrays_per_request", help: "Arrays carried per batch request.", h: &BatchArraysPerRequest, scale: 1},
+	{name: "szx_batch_array_bytes", help: "Payload bytes per batched array.", h: &BatchArrayBytes, scale: 1},
+	{name: "szx_batch_coalesced_calls_total", help: "Client calls merged into coalesced batch requests.", c: &BatchCoalescedCalls},
+	{name: "szx_batch_coalesce_wait_seconds", help: "Time an individual client call waited for its coalesced batch to flush.", h: &BatchCoalesceWaits, scale: 1e-9},
 }
 
 // scrapeMu serializes whole-page exports against Reset. Exports (scrapes,

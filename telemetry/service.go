@@ -36,4 +36,19 @@ var (
 	// end-to-end handler time for admitted requests.
 	ServiceQueueWaits       Histogram // ns waited for an execution slot
 	ServiceRequestDurations Histogram // ns per admitted request
+
+	// Batch endpoints (szx_batch_*): one request carries many arrays, so the
+	// request counters above undercount the work — these track the arrays.
+	ServiceRequestsBatchCompress   Counter
+	ServiceRequestsBatchDecompress Counter
+	BatchArrays                    Counter   // arrays processed across batch requests
+	BatchArrayErrors               Counter   // arrays that failed individually (batch still 200)
+	BatchArraysPerRequest          Histogram // arrays per batch request
+	BatchArrayBytes                Histogram // payload bytes per array
+
+	// Client-side coalescing (service/client auto-batching of concurrent
+	// small calls). CoalesceWaits is the latency an individual call spent
+	// parked before its batch flushed — the price paid for amortization.
+	BatchCoalescedCalls Counter
+	BatchCoalesceWaits  Histogram // ns from enqueue to batch flush
 )

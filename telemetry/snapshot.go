@@ -107,6 +107,18 @@ type ServiceSnapshot struct {
 	RequestDurations         HistogramSnapshot `json:"request_duration_ns"`
 }
 
+// BatchSnapshot summarizes the batch endpoints and client-side coalescing.
+type BatchSnapshot struct {
+	RequestsCompress   int64             `json:"requests_compress"`
+	RequestsDecompress int64             `json:"requests_decompress"`
+	Arrays             int64             `json:"arrays"`
+	ArrayErrors        int64             `json:"array_errors"`
+	ArraysPerRequest   HistogramSnapshot `json:"arrays_per_request"`
+	ArrayBytes         HistogramSnapshot `json:"array_bytes"`
+	CoalescedCalls     int64             `json:"coalesced_calls"`
+	CoalesceWaits      HistogramSnapshot `json:"coalesce_wait_ns"`
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Enabled    bool               `json:"enabled"`
@@ -121,6 +133,7 @@ type Snapshot struct {
 	Containers ContainersSnapshot `json:"containers"`
 	Ratio      RatioSnapshot      `json:"ratio"`
 	Service    ServiceSnapshot    `json:"service"`
+	Batch      BatchSnapshot      `json:"batch"`
 }
 
 // Snap assembles a Snapshot of the current metric values. The copy is not
@@ -201,6 +214,16 @@ func Snap() Snapshot {
 			QueueDepth:               ServiceQueueDepth.Load(),
 			QueueWaits:               ServiceQueueWaits.Snapshot(),
 			RequestDurations:         ServiceRequestDurations.Snapshot(),
+		},
+		Batch: BatchSnapshot{
+			RequestsCompress:   ServiceRequestsBatchCompress.Load(),
+			RequestsDecompress: ServiceRequestsBatchDecompress.Load(),
+			Arrays:             BatchArrays.Load(),
+			ArrayErrors:        BatchArrayErrors.Load(),
+			ArraysPerRequest:   BatchArraysPerRequest.Snapshot(),
+			ArrayBytes:         BatchArrayBytes.Snapshot(),
+			CoalescedCalls:     BatchCoalescedCalls.Load(),
+			CoalesceWaits:      BatchCoalesceWaits.Snapshot(),
 		},
 		Containers: ContainersSnapshot{
 			StreamFramesWritten:   StreamFramesWritten.Load(),
@@ -340,15 +363,23 @@ func Report() string {
 			s.Ratio.Searches, s.Ratio.Probes, s.Ratio.Unconverged, s.Ratio.Reestimates)
 	}
 	sv := s.Service
-	reqs := sv.RequestsCompress + sv.RequestsDecompress + sv.RequestsStreamCompress + sv.RequestsStreamDecompress
+	bt := s.Batch
+	reqs := sv.RequestsCompress + sv.RequestsDecompress + sv.RequestsStreamCompress + sv.RequestsStreamDecompress +
+		bt.RequestsCompress + bt.RequestsDecompress
 	rejected := sv.RejectedQueueFull + sv.RejectedWaitTimeout + sv.RejectedDraining
 	if reqs+rejected > 0 {
-		fmt.Fprintf(&b, "  service:    %d requests (%d compress, %d decompress, %d stream), %s in -> %s out, %d rejected (%d queue-full, %d timeout, %d draining), %d bad, %d cancelled; in-flight %d, queued %d, queue wait %s\n",
+		fmt.Fprintf(&b, "  service:    %d requests (%d compress, %d decompress, %d stream, %d batch), %s in -> %s out, %d rejected (%d queue-full, %d timeout, %d draining), %d bad, %d cancelled; in-flight %d, queued %d, queue wait %s\n",
 			reqs, sv.RequestsCompress, sv.RequestsDecompress,
 			sv.RequestsStreamCompress+sv.RequestsStreamDecompress,
+			bt.RequestsCompress+bt.RequestsDecompress,
 			fmtBytes(sv.BytesIn), fmtBytes(sv.BytesOut),
 			rejected, sv.RejectedQueueFull, sv.RejectedWaitTimeout, sv.RejectedDraining,
 			sv.BadRequests, sv.Cancelled, sv.InFlight, sv.QueueDepth, fmtDur(sv.QueueWaits))
+	}
+	if bt.Arrays+bt.CoalescedCalls > 0 {
+		fmt.Fprintf(&b, "  batch:      %d arrays over %d requests (mean %.1f/request, %d array errors); %d coalesced calls, coalesce wait %s\n",
+			bt.Arrays, bt.RequestsCompress+bt.RequestsDecompress, bt.ArraysPerRequest.Mean,
+			bt.ArrayErrors, bt.CoalescedCalls, fmtDur(bt.CoalesceWaits))
 	}
 	return b.String()
 }
