@@ -18,12 +18,40 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/service"
+	"repro/service/cluster"
 	"repro/telemetry"
 )
+
+// peerList gathers the cluster seed list from -peers (comma-separated) and
+// -peers-file (one address per line, #-comments allowed). Both may be set;
+// duplicates are dropped later by the membership layer.
+func peerList(peers, peersFile string) ([]string, error) {
+	var out []string
+	for _, p := range strings.Split(peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if peersFile != "" {
+		data, err := os.ReadFile(peersFile)
+		if err != nil {
+			return nil, err
+		}
+		for line := range strings.Lines(string(data)) {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			out = append(out, line)
+		}
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -44,6 +72,11 @@ func main() {
 		traceRing   = flag.Int("trace-ring", 0, "retained traces at /debug/requests (0 = 256)")
 		traceSample = flag.Int("trace-sample", 0, "keep 1 in N unremarkable traces (0 = 16, 1 = all, <0 = errors+slow only)")
 		accessLog   = flag.Bool("access-log", false, "structured JSON access log on stderr")
+		peers       = flag.String("peers", "", "comma-separated cluster peer addresses (host:port or URLs); enables cluster membership")
+		peersFile   = flag.String("peers-file", "", "file with one cluster peer address per line (# comments allowed)")
+		nodeID      = flag.String("node-id", "", "stable cluster node identity (default: random per process)")
+		advertise   = flag.String("advertise", "", "this node's own address as it appears in the peer list (so it skips polling itself)")
+		clusterPoll = flag.Duration("cluster-poll", 0, "cluster membership poll interval (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -72,9 +105,35 @@ func main() {
 		TraceRing:         *traceRing,
 		TraceSample:       *traceSample,
 		AccessLog:         alog,
+		NodeID:            *nodeID,
 	})
 
+	// Cluster membership: given a peer list, poll the fleet and expose the
+	// peer view at /debug/cluster. The data plane is unchanged — membership
+	// is observability plus the substrate client-side routing reads.
+	seeds, err := peerList(*peers, *peersFile)
+	if err != nil {
+		log.Fatalf("szxd: reading -peers-file: %v", err)
+	}
+	var mem *cluster.Membership
+	if len(seeds) > 0 {
+		mem = cluster.New(cluster.Config{
+			Self:         *advertise,
+			Peers:        seeds,
+			PollInterval: *clusterPoll,
+			Logger:       slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		})
+		mem.Start()
+		defer mem.Stop()
+	}
+
 	handler := srv.Handler()
+	if mem != nil {
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.Handle("GET /debug/cluster", mem.Handler())
+		handler = mux
+	}
 	if *withPprof {
 		mux := http.NewServeMux()
 		mux.Handle("/", handler)
@@ -105,6 +164,9 @@ func main() {
 	cfg := srv.Config()
 	log.Printf("szxd listening on %s (inflight=%d queue=%d wait=%s)",
 		*addr, cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait)
+	if mem != nil {
+		log.Printf("szxd: cluster node %s polling %d peer(s); view at /debug/cluster", srv.NodeID(), len(mem.Peers()))
+	}
 
 	select {
 	case err := <-errCh:

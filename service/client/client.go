@@ -86,9 +86,10 @@ var queryCache sync.Map // queryKey -> string
 // Client amortizes TCP/TLS setup the same way a pooled Codec amortizes
 // buffers.
 type Client struct {
-	base string
-	hc   *http.Client
-	co   *coalescer // nil unless WithCoalescing
+	base  string
+	hc    *http.Client
+	co    *coalescer   // nil unless WithCoalescing
+	retry *RetryPolicy // nil unless WithRetry
 }
 
 // Option customizes a Client.
@@ -235,7 +236,34 @@ func readBody(resp *http.Response) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// post sends one data-plane request. With WithRetry configured and a
+// replayable body, shed responses (429/503) and transport failures are
+// retried with jittered backoff, honoring Retry-After and the context
+// deadline; streaming bodies get exactly one attempt.
 func (c *Client) post(ctx context.Context, path, rawQuery string, body io.Reader) (*http.Response, error) {
+	if c.retry == nil || !rewindable(body) {
+		return c.postOnce(ctx, path, rawQuery, body)
+	}
+	p := *c.retry
+	for attempt := 1; ; attempt++ {
+		resp, err := c.postOnce(ctx, path, rawQuery, body)
+		if err == nil || attempt >= p.MaxAttempts || !IsRetryable(err) {
+			return resp, err
+		}
+		if s, ok := body.(io.Seeker); ok {
+			if _, serr := s.Seek(0, io.SeekStart); serr != nil {
+				return nil, err
+			}
+		}
+		if serr := sleepRetry(ctx, retryDelay(p, attempt, retryAfterOf(err))); serr != nil {
+			// Deadline or cancellation during backoff: the shed error, not
+			// the sleep's, is the informative one.
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) postOnce(ctx context.Context, path, rawQuery string, body io.Reader) (*http.Response, error) {
 	u := c.base + path
 	if rawQuery != "" {
 		u += "?" + rawQuery

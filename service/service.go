@@ -96,6 +96,10 @@ type Config struct {
 	// request (trace ID, endpoint, status, bytes, duration, queue wait,
 	// per-stage breakdown). Nil disables access logging.
 	AccessLog *slog.Logger
+	// NodeID is this instance's identity in GET /v1/cluster/info (empty = a
+	// random "szx-xxxxxxxxxxxx" minted at construction). Operators running a
+	// cluster set it so peer views stay stable across restarts.
+	NodeID string
 }
 
 func (c Config) withDefaults() Config {
@@ -136,20 +140,27 @@ func (c Config) withDefaults() Config {
 // an http.Server (cmd/szxd does exactly this), and call Drain before
 // shutting down.
 type Server struct {
-	cfg  Config
-	adm  *admission
-	mux  *http.ServeMux
-	rec  *trace.Recorder // nil when tracing is disabled
-	alog *slog.Logger    // nil when access logging is disabled
+	cfg    Config
+	adm    *admission
+	mux    *http.ServeMux
+	rec    *trace.Recorder // nil when tracing is disabled
+	alog   *slog.Logger    // nil when access logging is disabled
+	nodeID string
+	start  time.Time
 }
 
 // New returns a Server with cfg's zero fields defaulted.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		adm:  newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
-		alog: cfg.AccessLog,
+		cfg:    cfg,
+		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		alog:   cfg.AccessLog,
+		nodeID: cfg.NodeID,
+		start:  time.Now(),
+	}
+	if s.nodeID == "" {
+		s.nodeID = newNodeID()
 	}
 	if !cfg.DisableTracing {
 		s.rec = trace.NewRecorder(cfg.TraceRing, cfg.TraceSample)
@@ -164,6 +175,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("POST /v1/batch/decompress", s.handleBatchDecompress)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/cluster/info", s.handleClusterInfo)
 	mux.Handle("GET /metrics", telemetry.Handler())
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	if s.rec != nil {
@@ -228,6 +240,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.adm.draining() {
+		// Retry-After on the probe itself, not just the data-plane 503s:
+		// pollers and routers that only watch readiness learn how long to
+		// stop sending without ever parsing a JSON error body.
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.QueueWait))
 		w.WriteHeader(http.StatusServiceUnavailable)
 		_, _ = w.Write([]byte("draining\n"))
 		return

@@ -48,14 +48,20 @@ type wireError struct {
 func writeError(w http.ResponseWriter, status int, we wireError, retryAfter time.Duration) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	if retryAfter > 0 {
-		secs := int(retryAfter.Seconds())
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		w.Header().Set("Retry-After", retryAfterSeconds(retryAfter))
 	}
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(we)
+}
+
+// retryAfterSeconds renders a duration as a Retry-After header value:
+// whole seconds, rounded up to at least 1 so the hint is never "now".
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(d.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // classify maps a codec/pipeline error onto (HTTP status, wire code),

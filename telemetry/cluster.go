@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// The cluster metric set (service/cluster membership + the client-side
+// ClusterClient). Like the service family these are ungated: membership
+// transitions and routing decisions happen a handful of times per request
+// or per poll round, never per block.
+var (
+	// Routing decisions, by the policy that made them. Fallback counts
+	// dispatches where no routable (alive, non-draining) node existed and
+	// the router resorted to a suspect or dead peer rather than failing
+	// outright.
+	ClusterRoutedHash        Counter
+	ClusterRoutedLeastLoaded Counter
+	ClusterRoutedOrdered     Counter
+	ClusterRoutedFallback    Counter
+
+	// Hedging: second-replica requests fired after the latency trigger, and
+	// how many of those returned first (won the race against the primary).
+	ClusterHedgesFired Counter
+	ClusterHedgesWon   Counter
+
+	// Retries against another replica after a retryable failure (429/503 or
+	// a transport error), and dispatches the hedge/retry token buckets
+	// refused — the budget backstop that keeps a cluster client from
+	// amplifying load into an already-overloaded fleet.
+	ClusterRetries           Counter
+	ClusterHedgeBudgetDenied Counter
+	ClusterRetryBudgetDenied Counter
+
+	// Failure-detector state: instantaneous peer counts per state, and
+	// cumulative transitions into each state (a flapping peer shows up as a
+	// high transition rate with a steady state gauge).
+	ClusterPeersAlive   Gauge
+	ClusterPeersSuspect Gauge
+	ClusterPeersDead    Gauge
+	ClusterPeerToAlive  Counter
+	ClusterPeerToSuspect Counter
+	ClusterPeerToDead   Counter
+
+	// Membership poll rounds completed.
+	ClusterPolls Counter
+)
+
+// clusterNodes is the per-node request tally: one counter per node address,
+// created on first use. Node sets are dynamic (they come from -peers or a
+// ClusterClient's node list at runtime), so this family lives outside the
+// static registry and is exported by the same dynamic-label mechanism as
+// szx_build_info.
+var clusterNodes struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// ClusterNodeRequests returns the request counter for one node address,
+// creating it on first use. The address becomes the `node` label of the
+// szx_cluster_node_requests_total series.
+func ClusterNodeRequests(node string) *Counter {
+	clusterNodes.mu.Lock()
+	defer clusterNodes.mu.Unlock()
+	if clusterNodes.m == nil {
+		clusterNodes.m = make(map[string]*Counter)
+	}
+	c := clusterNodes.m[node]
+	if c == nil {
+		c = &Counter{}
+		clusterNodes.m[node] = c
+	}
+	return c
+}
+
+// clusterNodeSnapshot copies the per-node tallies (addresses with zero
+// counts included: a node that was registered but never routed to is
+// signal, not noise).
+func clusterNodeSnapshot() map[string]int64 {
+	clusterNodes.mu.Lock()
+	defer clusterNodes.mu.Unlock()
+	if len(clusterNodes.m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(clusterNodes.m))
+	for k, c := range clusterNodes.m {
+		out[k] = c.Load()
+	}
+	return out
+}
+
+func resetClusterNodes() {
+	clusterNodes.mu.Lock()
+	defer clusterNodes.mu.Unlock()
+	clusterNodes.m = nil
+}
+
+// writePromClusterNodes emits the dynamic szx_cluster_node_requests_total
+// family in sorted label order (callers hold the scrape lock).
+func writePromClusterNodes(w io.Writer) error {
+	snap := clusterNodeSnapshot()
+	if len(snap) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprint(w,
+		"# HELP szx_cluster_node_requests_total Requests dispatched per cluster node by this process.\n"+
+			"# TYPE szx_cluster_node_requests_total counter\n"); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "szx_cluster_node_requests_total{node=%q} %d\n", k, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -119,6 +119,29 @@ type BatchSnapshot struct {
 	CoalesceWaits      HistogramSnapshot `json:"coalesce_wait_ns"`
 }
 
+// ClusterSnapshot summarizes cluster routing, hedging/retry, and the
+// membership failure detector (service/cluster + the client-side
+// ClusterClient).
+type ClusterSnapshot struct {
+	RoutedHash        int64            `json:"routed_hash"`
+	RoutedLeastLoaded int64            `json:"routed_least_loaded"`
+	RoutedOrdered     int64            `json:"routed_ordered"`
+	RoutedFallback    int64            `json:"routed_fallback"`
+	HedgesFired       int64            `json:"hedges_fired"`
+	HedgesWon         int64            `json:"hedges_won"`
+	Retries           int64            `json:"retries"`
+	HedgeBudgetDenied int64            `json:"hedge_budget_denied"`
+	RetryBudgetDenied int64            `json:"retry_budget_denied"`
+	PeersAlive        int64            `json:"peers_alive"`
+	PeersSuspect      int64            `json:"peers_suspect"`
+	PeersDead         int64            `json:"peers_dead"`
+	PeerToAlive       int64            `json:"peer_to_alive"`
+	PeerToSuspect     int64            `json:"peer_to_suspect"`
+	PeerToDead        int64            `json:"peer_to_dead"`
+	Polls             int64            `json:"polls"`
+	NodeRequests      map[string]int64 `json:"node_requests,omitempty"`
+}
+
 // Snapshot is a point-in-time copy of every metric.
 type Snapshot struct {
 	Enabled    bool               `json:"enabled"`
@@ -134,6 +157,7 @@ type Snapshot struct {
 	Ratio      RatioSnapshot      `json:"ratio"`
 	Service    ServiceSnapshot    `json:"service"`
 	Batch      BatchSnapshot      `json:"batch"`
+	Cluster    ClusterSnapshot    `json:"cluster"`
 }
 
 // Snap assembles a Snapshot of the current metric values. The copy is not
@@ -242,6 +266,25 @@ func Snap() Snapshot {
 			Reestimates: RatioReestimates.Load(),
 			Unconverged: RatioUnconverged.Load(),
 		},
+		Cluster: ClusterSnapshot{
+			RoutedHash:        ClusterRoutedHash.Load(),
+			RoutedLeastLoaded: ClusterRoutedLeastLoaded.Load(),
+			RoutedOrdered:     ClusterRoutedOrdered.Load(),
+			RoutedFallback:    ClusterRoutedFallback.Load(),
+			HedgesFired:       ClusterHedgesFired.Load(),
+			HedgesWon:         ClusterHedgesWon.Load(),
+			Retries:           ClusterRetries.Load(),
+			HedgeBudgetDenied: ClusterHedgeBudgetDenied.Load(),
+			RetryBudgetDenied: ClusterRetryBudgetDenied.Load(),
+			PeersAlive:        ClusterPeersAlive.Load(),
+			PeersSuspect:      ClusterPeersSuspect.Load(),
+			PeersDead:         ClusterPeersDead.Load(),
+			PeerToAlive:       ClusterPeerToAlive.Load(),
+			PeerToSuspect:     ClusterPeerToSuspect.Load(),
+			PeerToDead:        ClusterPeerToDead.Load(),
+			Polls:             ClusterPolls.Load(),
+			NodeRequests:      clusterNodeSnapshot(),
+		},
 	}
 	for i := range s.Blocks.LeadCodes {
 		s.Blocks.LeadCodes[i] = LeadCodes[i].Load()
@@ -283,6 +326,7 @@ func Reset() {
 	if impl, ok := kernelImpl.Load().(string); ok {
 		SetKernelDispatch(impl, KernelDispatchDetail())
 	}
+	resetClusterNodes()
 }
 
 // Report renders the current snapshot as a human-readable block of text,
@@ -380,6 +424,14 @@ func Report() string {
 		fmt.Fprintf(&b, "  batch:      %d arrays over %d requests (mean %.1f/request, %d array errors); %d coalesced calls, coalesce wait %s\n",
 			bt.Arrays, bt.RequestsCompress+bt.RequestsDecompress, bt.ArraysPerRequest.Mean,
 			bt.ArrayErrors, bt.CoalescedCalls, fmtDur(bt.CoalesceWaits))
+	}
+	cl := s.Cluster
+	routed := cl.RoutedHash + cl.RoutedLeastLoaded + cl.RoutedOrdered + cl.RoutedFallback
+	if routed+cl.Polls > 0 {
+		fmt.Fprintf(&b, "  cluster:    %d routed (hash=%d least-loaded=%d ordered=%d fallback=%d), hedges %d fired/%d won, %d retries (%d+%d budget-denied); peers %d alive/%d suspect/%d dead over %d polls\n",
+			routed, cl.RoutedHash, cl.RoutedLeastLoaded, cl.RoutedOrdered, cl.RoutedFallback,
+			cl.HedgesFired, cl.HedgesWon, cl.Retries, cl.HedgeBudgetDenied, cl.RetryBudgetDenied,
+			cl.PeersAlive, cl.PeersSuspect, cl.PeersDead, cl.Polls)
 	}
 	return b.String()
 }
